@@ -1,0 +1,87 @@
+//! Baseline request-distribution strategies from the DCWS paper's related
+//! work (§2), in transport-independent form so the simulator and the
+//! benches can drive them:
+//!
+//! * [`RoundRobinDns`] — the NCSA model: identical replicated servers
+//!   behind round-robin DNS, with client-side TTL caching (the paper's
+//!   critique: a low TTL bottlenecks the DNS server, a high TTL loses
+//!   control; and caching produces hot spots).
+//! * [`CentralRouter`] — the LocalDirector / MagicRouter / TCP-router
+//!   model: one box that every inbound connection traverses, with a fixed
+//!   per-connection forwarding cost; the paper's critique: the router "is
+//!   expected to be a bottleneck as all packets must pass through it".
+//! * [`Strategy`] — the selector the simulator dispatches on, including
+//!   `Dcws` itself and `Single` (no distribution at all).
+
+#![warn(missing_docs)]
+
+pub mod dns;
+pub mod router;
+
+pub use dns::RoundRobinDns;
+pub use router::CentralRouter;
+
+/// Which request-distribution architecture a simulated cluster runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Strategy {
+    /// The paper's system: one home server, co-ops recruited dynamically
+    /// via hyperlink rewriting.
+    Dcws,
+    /// Round-robin DNS over fully replicated servers (NCSA model), with
+    /// the given client-side TTL in milliseconds.
+    RoundRobinDns {
+        /// DNS mapping time-to-live in ms; clients re-resolve after this.
+        ttl_ms: u64,
+    },
+    /// A central TCP router forwarding every connection to replicated
+    /// back-ends, charging `forward_cpu_us` of router CPU per connection.
+    CentralRouter {
+        /// Router CPU cost per forwarded connection, microseconds.
+        forward_cpu_us: u64,
+    },
+    /// A single server hosting everything (the scalability floor).
+    Single,
+}
+
+impl Strategy {
+    /// Short label for experiment output tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Dcws => "dcws",
+            Strategy::RoundRobinDns { .. } => "rr-dns",
+            Strategy::CentralRouter { .. } => "router",
+            Strategy::Single => "single",
+        }
+    }
+
+    /// Whether documents are replicated on every server in this strategy
+    /// (the shared-filesystem assumption of the DNS/router baselines).
+    pub fn replicated(&self) -> bool {
+        !matches!(self, Strategy::Dcws)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_distinct() {
+        let labels = [
+            Strategy::Dcws.label(),
+            Strategy::RoundRobinDns { ttl_ms: 1 }.label(),
+            Strategy::CentralRouter { forward_cpu_us: 1 }.label(),
+            Strategy::Single.label(),
+        ];
+        let set: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn replication_model() {
+        assert!(!Strategy::Dcws.replicated());
+        assert!(Strategy::RoundRobinDns { ttl_ms: 1 }.replicated());
+        assert!(Strategy::CentralRouter { forward_cpu_us: 1 }.replicated());
+        assert!(Strategy::Single.replicated());
+    }
+}

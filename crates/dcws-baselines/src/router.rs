@@ -1,0 +1,80 @@
+//! The centralized TCP-router baseline (Cisco LocalDirector, MagicRouter,
+//! IBM TCP router — references 22, 2, and 11 in the paper).
+
+use dcws_graph::ServerId;
+
+/// A central router: every inbound connection consumes router CPU before
+/// being forwarded round-robin to a back-end. Responses return directly to
+/// the client (TCP-router style), so the router is connection-bound, not
+/// byte-bound — exactly the bottleneck profile the paper argues against.
+#[derive(Debug, Clone)]
+pub struct CentralRouter {
+    backends: Vec<ServerId>,
+    next: usize,
+    /// Per-connection forwarding cost in microseconds of router CPU.
+    pub forward_cpu_us: u64,
+    /// Connections forwarded so far.
+    pub forwarded: u64,
+}
+
+impl CentralRouter {
+    /// A router over `backends` charging `forward_cpu_us` per connection.
+    ///
+    /// # Panics
+    /// Panics if `backends` is empty.
+    pub fn new(backends: Vec<ServerId>, forward_cpu_us: u64) -> Self {
+        assert!(!backends.is_empty(), "router needs at least one backend");
+        CentralRouter { backends, next: 0, forward_cpu_us, forwarded: 0 }
+    }
+
+    /// Pick the back-end for the next connection (round-robin).
+    pub fn forward(&mut self) -> ServerId {
+        let b = self.backends[self.next % self.backends.len()].clone();
+        self.next = (self.next + 1) % self.backends.len();
+        self.forwarded += 1;
+        b
+    }
+
+    /// The router's maximum connections-per-second given its per-connection
+    /// CPU cost — its hard scalability ceiling.
+    pub fn max_cps(&self) -> f64 {
+        if self.forward_cpu_us == 0 {
+            f64::INFINITY
+        } else {
+            1_000_000.0 / self.forward_cpu_us as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backends(n: usize) -> Vec<ServerId> {
+        (0..n).map(|i| ServerId::new(format!("b{i}:80"))).collect()
+    }
+
+    #[test]
+    fn round_robin_forwarding() {
+        let mut r = CentralRouter::new(backends(3), 100);
+        let picks: Vec<_> = (0..6).map(|_| r.forward()).collect();
+        assert_eq!(picks[0], picks[3]);
+        assert_eq!(picks[1], picks[4]);
+        assert_ne!(picks[0], picks[1]);
+        assert_eq!(r.forwarded, 6);
+    }
+
+    #[test]
+    fn max_cps_from_cost() {
+        let r = CentralRouter::new(backends(1), 150);
+        assert!((r.max_cps() - 6666.7).abs() < 1.0);
+        let r = CentralRouter::new(backends(1), 0);
+        assert!(r.max_cps().is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_backends_panic() {
+        CentralRouter::new(vec![], 1);
+    }
+}

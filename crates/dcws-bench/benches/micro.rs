@@ -1,0 +1,207 @@
+//! Criterion micro-benchmarks for every hot path in the DCWS stack:
+//! HTTP framing, HTML parse/rewrite (§4.3), LDG operations, Algorithm 1,
+//! GLT merge, piggyback codec, workload generation, engine request
+//! handling, and a short end-to-end simulation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dcws_core::{MemStore, ServerConfig, ServerEngine};
+use dcws_graph::{
+    select_for_migration, DocKind, GlobalLoadTable, LoadInfo, LocalDocGraph, ServerId,
+};
+use dcws_http::{parse_request, parse_response, LoadReport, Method, Request, Response};
+use dcws_workloads::{materialize::materialize, Dataset, PageKind};
+
+/// A representative ~6.5 KB document (the paper's average size).
+fn sample_doc() -> String {
+    let ds = Dataset::mapug(1);
+    let doc = ds
+        .docs
+        .iter()
+        .find(|d| d.kind == PageKind::Html && (6_000..7_200).contains(&(d.size as usize)))
+        .or_else(|| ds.docs.iter().find(|d| d.kind == PageKind::Html))
+        .expect("mapug has html docs")
+        .clone();
+    String::from_utf8(materialize(&doc)).expect("valid utf-8")
+}
+
+fn bench_http(c: &mut Criterion) {
+    let mut g = c.benchmark_group("http");
+    let req = Request::get("/archive/msg0042.html")
+        .with_header("Host", "home.example:8080")
+        .with_header("X-DCWS-Load", "server=h:80; cps=12.5; bps=99000.0; ts=12345");
+    let wire = req.to_bytes();
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("parse_request", |b| {
+        b.iter(|| parse_request(black_box(&wire)).unwrap().unwrap())
+    });
+    g.bench_function("serialize_request", |b| b.iter(|| black_box(&req).to_bytes()));
+
+    let resp = Response::ok(vec![0x41; 6500], "text/html");
+    let rwire = resp.to_bytes();
+    g.throughput(Throughput::Bytes(rwire.len() as u64));
+    g.bench_function("parse_response_6k5", |b| {
+        b.iter(|| parse_response(black_box(&rwire), Method::Get).unwrap().unwrap())
+    });
+    g.finish();
+}
+
+fn bench_html(c: &mut Criterion) {
+    let doc = sample_doc();
+    let mut g = c.benchmark_group("html");
+    g.throughput(Throughput::Bytes(doc.len() as u64));
+    g.bench_function("tokenize_6k5", |b| {
+        b.iter(|| dcws_html::tokenize(black_box(&doc)))
+    });
+    g.bench_function("parse_tree_6k5", |b| {
+        b.iter(|| dcws_html::parse_tree(black_box(&doc)))
+    });
+    g.bench_function("extract_links_6k5", |b| {
+        b.iter(|| dcws_html::extract_links(black_box(&doc)))
+    });
+    // The full §4.3 reconstruction: parse, rewrite every link, serialize.
+    g.bench_function("reconstruct_6k5", |b| {
+        b.iter(|| {
+            dcws_html::rewrite_links(black_box(&doc), |u| {
+                Some(format!("http://coop:8001/~migrate/home/80{u}"))
+            })
+        })
+    });
+    g.finish();
+}
+
+fn lod_graph() -> LocalDocGraph {
+    let ds = Dataset::lod(1);
+    let mut g = LocalDocGraph::new();
+    for d in &ds.docs {
+        let kind = match d.kind {
+            PageKind::Html => DocKind::Html,
+            PageKind::Image => DocKind::Image,
+        };
+        g.insert_doc(
+            d.name.clone(),
+            d.size,
+            kind,
+            d.all_links().map(String::from).collect(),
+            d.entry_point,
+        );
+    }
+    for (i, d) in ds.docs.iter().enumerate() {
+        for _ in 0..(i % 37) {
+            g.record_hit(&d.name, d.size);
+        }
+    }
+    g.rotate_hits();
+    g
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph");
+    g.bench_function("ldg_build_lod_349_docs", |b| b.iter(lod_graph));
+    let graph = lod_graph();
+    g.bench_function("ldg_lookup", |b| {
+        b.iter(|| graph.get(black_box("/tables/table3.html")))
+    });
+    g.bench_function("algorithm1_select_lod", |b| {
+        b.iter(|| select_for_migration(black_box(&graph), 10))
+    });
+
+    let mut glt = GlobalLoadTable::new(ServerId::new("me:1"));
+    for i in 0..16 {
+        glt.update(
+            ServerId::new(format!("s{i}:80")),
+            LoadInfo { cps: i as f64, bps: i as f64 * 1e4, ts_ms: 100 },
+        );
+    }
+    g.bench_function("glt_least_loaded_16", |b| {
+        b.iter(|| glt.least_loaded(dcws_graph::BalanceMetric::Cps, &[]))
+    });
+    g.bench_function("glt_update", |b| {
+        let mut glt = glt.clone();
+        let mut ts = 1000u64;
+        b.iter(|| {
+            ts += 1;
+            glt.update(ServerId::new("s3:80"), LoadInfo { cps: 5.0, bps: 5e4, ts_ms: ts })
+        })
+    });
+    g.finish();
+}
+
+fn bench_piggyback(c: &mut Criterion) {
+    let r = LoadReport { server: "host:8080".into(), cps: 123.456, bps: 9.87e6, ts_ms: 42_000 };
+    let encoded = r.encode();
+    c.bench_function("piggyback_encode", |b| b.iter(|| black_box(&r).encode()));
+    c.bench_function("piggyback_decode", |b| {
+        b.iter(|| LoadReport::decode(black_box(&encoded)).unwrap())
+    });
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads");
+    g.sample_size(10);
+    g.bench_function("generate_lod", |b| b.iter(|| Dataset::lod(black_box(1))));
+    g.bench_function("generate_mapug", |b| b.iter(|| Dataset::mapug(black_box(1))));
+    let ds = Dataset::lod(1);
+    let doc = ds.get("/tables/table0.html").expect("exists").clone();
+    g.bench_function("materialize_table_page", |b| b.iter(|| materialize(black_box(&doc))));
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let ds = Dataset::lod(1);
+    let mut engine = ServerEngine::new(
+        ServerId::new("home:80"),
+        ServerConfig::paper_defaults(),
+        Box::new(MemStore::new()),
+    );
+    for d in &ds.docs {
+        let kind = match d.kind {
+            PageKind::Html => DocKind::Html,
+            PageKind::Image => DocKind::Image,
+        };
+        engine.publish(&d.name, materialize(d), kind, d.entry_point);
+    }
+    let req = Request::get("/guide/page050.html");
+    c.bench_function("engine_serve_clean_doc", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            engine.handle_request(black_box(&req), t)
+        })
+    });
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.bench_function("lod_2srv_8cli_10s", |b| {
+        b.iter(|| {
+            let mut cfg = dcws_sim::SimConfig::paper(Dataset::lod(1), 2, 8);
+            cfg.duration_ms = 10_000;
+            cfg.sample_interval_ms = 5_000;
+            dcws_sim::run_sim(cfg)
+        })
+    });
+    g.finish();
+}
+
+fn configured() -> Criterion {
+    // Short windows keep `cargo bench --workspace` under a couple of
+    // minutes; these micro-benches are stable well below this budget.
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30)
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_http,
+        bench_html,
+        bench_graph,
+        bench_piggyback,
+        bench_workloads,
+        bench_engine,
+        bench_sim
+}
+criterion_main!(benches);

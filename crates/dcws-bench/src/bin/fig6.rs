@@ -1,0 +1,117 @@
+//! Figure 6 — DCWS performance on the LOD dataset with increasing numbers
+//! of concurrent clients: (a) bytes per second, (b) connections per
+//! second, one curve per server-group size.
+//!
+//! Expected shape (paper): both measures rise near-linearly with client
+//! count until the group's capacity is reached, then plateau (excess
+//! requests are dropped gracefully); doubling the server count doubles the
+//! plateau. Paper peaks: ≈ 18.6 MB/s & 7,150 CPS at 8 servers / 176
+//! clients; ≈ 39.4 MB/s & 15,150 CPS at 16 servers / 368 clients.
+//!
+//! Control-plane timers run 20× accelerated so each point reaches
+//! migration steady state in minutes of simulated time (see
+//! EXPERIMENTS.md); Figure 8 is the one experiment run at paper timers.
+
+use dcws_bench::{fmt_thousands, scaled, write_csv};
+use dcws_sim::{run_sim, SimConfig};
+use dcws_workloads::Dataset;
+
+fn main() {
+    let servers: Vec<usize> = if dcws_bench::quick() {
+        vec![1, 4]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
+    let clients: Vec<usize> = if dcws_bench::quick() {
+        vec![16, 64, 128]
+    } else {
+        vec![16, 48, 80, 112, 144, 176, 240, 304, 368, 400]
+    };
+    let duration_ms = scaled(420_000, 90_000);
+
+    println!("Figure 6: DCWS performance, LOD dataset (steady state, last half of run)");
+    let mut csv = vec![vec![
+        "servers".into(),
+        "clients".into(),
+        "cps".into(),
+        "bps".into(),
+        "drops_per_sec".into(),
+        "migrations".into(),
+    ]];
+    // (clients, steady CPS, steady BPS) per point, one curve per size.
+    type Curve = Vec<(usize, f64, f64)>;
+    let mut results: Vec<(usize, Curve)> = Vec::new();
+    for &n in &servers {
+        let mut curve = Vec::new();
+        for &m in &clients {
+            let mut cfg = SimConfig::paper(Dataset::lod(1), n, m).accelerate(20);
+            cfg.duration_ms = duration_ms;
+            cfg.sample_interval_ms = 10_000;
+            let r = run_sim(cfg);
+            let (cps, bps) = (r.steady_cps(), r.steady_bps());
+            eprintln!(
+                "  servers={n:<2} clients={m:<3} cps={:>7} bps={:>11} drops/s={:>6.0}",
+                fmt_thousands(cps),
+                fmt_thousands(bps),
+                r.steady_drop_rate()
+            );
+            csv.push(vec![
+                n.to_string(),
+                m.to_string(),
+                format!("{cps:.1}"),
+                format!("{bps:.1}"),
+                format!("{:.1}", r.steady_drop_rate()),
+                r.migrations.to_string(),
+            ]);
+            curve.push((m, cps, bps));
+        }
+        results.push((n, curve));
+    }
+
+    println!("\nFigure 6(a): BPS (MB/s) vs concurrent clients");
+    print!("{:>8}", "clients");
+    for (n, _) in &results {
+        print!("{:>10}", format!("{n} srv"));
+    }
+    println!();
+    for (i, &m) in clients.iter().enumerate() {
+        print!("{m:>8}");
+        for (_, curve) in &results {
+            print!("{:>10.2}", curve[i].2 / 1e6);
+        }
+        println!();
+    }
+
+    println!("\nFigure 6(b): CPS vs concurrent clients");
+    print!("{:>8}", "clients");
+    for (n, _) in &results {
+        print!("{:>10}", format!("{n} srv"));
+    }
+    println!();
+    for (i, &m) in clients.iter().enumerate() {
+        print!("{m:>8}");
+        for (_, curve) in &results {
+            print!("{:>10}", fmt_thousands(curve[i].1));
+        }
+        println!();
+    }
+
+    // Shape checks the paper's text makes.
+    if !dcws_bench::quick() {
+        let peak = |n: usize| -> f64 {
+            results
+                .iter()
+                .find(|(s, _)| *s == n)
+                .map(|(_, c)| c.iter().map(|p| p.1).fold(0.0, f64::max))
+                .unwrap_or(0.0)
+        };
+        println!("\nshape checks:");
+        for (a, b) in [(1usize, 2usize), (2, 4), (4, 8), (8, 16)] {
+            let ratio = peak(b) / peak(a).max(1.0);
+            println!(
+                "  peak CPS {b} srv / {a} srv = {ratio:.2}x  (paper: ~2x per doubling)"
+            );
+        }
+    }
+    write_csv("fig6", &csv);
+}

@@ -1,0 +1,112 @@
+//! Figure 7 — peak DCWS performance vs number of cooperating servers, for
+//! all four datasets: (a) bytes per second, (b) connections per second.
+//!
+//! Expected shape (paper): LOD and Sequoia scale close to linearly up to
+//! 16 servers; SBLog and MAPUG flatten (8→16 servers bought only ~5–7 %)
+//! because their shared images produce hot spots that a single co-op must
+//! absorb. BPS ordering Sequoia > SBLog > MAPUG > LOD (decreasing average
+//! document size); CPS ordering reversed (§5.3).
+
+use dcws_bench::{fmt_thousands, scaled, write_csv};
+use dcws_sim::{run_sim, SimConfig};
+use dcws_workloads::Dataset;
+
+const DATASETS: [&str; 4] = ["lod", "sblog", "mapug", "sequoia"];
+
+fn main() {
+    let servers: Vec<usize> = if dcws_bench::quick() {
+        vec![1, 4]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
+    let clients = scaled(400, 64) as usize;
+    let duration_ms = scaled(1_200_000, 90_000);
+
+    println!("Figure 7: peak performance vs number of cooperating servers");
+    println!("({clients} concurrent clients per run, steady state of last half)\n");
+
+    let mut csv = vec![vec![
+        "dataset".into(),
+        "servers".into(),
+        "cps".into(),
+        "bps".into(),
+        "migrations".into(),
+        "imbalance".into(),
+    ]];
+    // results[dataset][server_idx] = (cps, bps)
+    let mut results: Vec<Vec<(f64, f64)>> = Vec::new();
+    for ds in DATASETS {
+        let mut row = Vec::new();
+        for &n in &servers {
+            let mut cfg =
+                SimConfig::paper(Dataset::by_name(ds, 1).expect("known dataset"), n, clients)
+                    .accelerate(8);
+            cfg.duration_ms = duration_ms;
+            cfg.sample_interval_ms = 10_000;
+            let r = run_sim(cfg);
+            let (cps, bps) = (r.steady_cps(), r.steady_bps());
+            eprintln!(
+                "  {ds:<8} servers={n:<2} cps={:>7} bps={:>11} migr={:<4} imb={:.2}",
+                fmt_thousands(cps),
+                fmt_thousands(bps),
+                r.migrations,
+                r.final_load_imbalance()
+            );
+            csv.push(vec![
+                ds.into(),
+                n.to_string(),
+                format!("{cps:.1}"),
+                format!("{bps:.1}"),
+                r.migrations.to_string(),
+                format!("{:.3}", r.final_load_imbalance()),
+            ]);
+            row.push((cps, bps));
+        }
+        results.push(row);
+    }
+
+    for (title, pick) in [
+        ("Figure 7(a): peak BPS (MB/s) vs servers", 1usize),
+        ("Figure 7(b): peak CPS vs servers", 0),
+    ] {
+        println!("\n{title}");
+        print!("{:>9}", "servers");
+        for ds in DATASETS {
+            print!("{ds:>10}");
+        }
+        println!();
+        for (i, &n) in servers.iter().enumerate() {
+            print!("{n:>9}");
+            for row in &results {
+                let v = if pick == 1 { row[i].1 / 1e6 } else { row[i].0 };
+                if pick == 1 {
+                    print!("{v:>10.2}");
+                } else {
+                    print!("{:>10}", fmt_thousands(v));
+                }
+            }
+            println!();
+        }
+    }
+
+    if !dcws_bench::quick() && servers.contains(&8) && servers.contains(&16) {
+        let i8 = servers.iter().position(|&n| n == 8).expect("checked");
+        let i16 = servers.iter().position(|&n| n == 16).expect("checked");
+        println!("\nshape checks (8 -> 16 servers CPS gain; paper: LOD/Sequoia large, SBLog/MAPUG ~5-7%):");
+        for (d, row) in DATASETS.iter().zip(&results) {
+            let gain = 100.0 * (row[i16].0 / row[i8].0.max(1.0) - 1.0);
+            println!("  {d:<8} +{gain:.0}%");
+        }
+        println!("\nordering checks at 16 servers:");
+        let at16: Vec<(f64, f64)> = results.iter().map(|r| r[i16]).collect();
+        println!(
+            "  BPS  sequoia > sblog > mapug > lod : {}",
+            at16[3].1 > at16[1].1 && at16[1].1 > at16[2].1 && at16[2].1 > at16[0].1
+        );
+        println!(
+            "  CPS  lod > mapug > sblog > sequoia : {}",
+            at16[0].0 > at16[2].0 && at16[2].0 > at16[1].0 && at16[1].0 > at16[3].0
+        );
+    }
+    write_csv("fig7", &csv);
+}

@@ -1,0 +1,96 @@
+//! Figure 8 — performance growth over time from a cold start.
+//!
+//! One home server holds every document; the co-op servers start empty.
+//! The system runs for 30 minutes at the **paper's Table-1 timers** (this
+//! is the one experiment where the control-plane pace *is* the result),
+//! sampled every 10 seconds. Expected shape: CPS and BPS grow slowly at
+//! first, then at a seemingly exponential rate as each migration frees
+//! home bandwidth that in turn drives traffic to documents on other
+//! co-ops (§5.3's three compounding effects).
+
+use dcws_bench::{fmt_thousands, scaled, write_csv};
+use dcws_sim::{run_sim, SimConfig};
+use dcws_workloads::Dataset;
+
+fn main() {
+    let n_servers = 8;
+    let n_clients = scaled(300, 60) as usize;
+    let duration_ms = scaled(1_800_000, 180_000); // 30 min as in the paper
+
+    println!("Figure 8: cold-start warm-up, LOD dataset, {n_servers} servers,");
+    println!("{n_clients} clients, paper Table-1 timers, 10 s samples\n");
+
+    let mut cfg = SimConfig::paper(Dataset::lod(1), n_servers, n_clients);
+    cfg.duration_ms = duration_ms;
+    cfg.sample_interval_ms = 10_000;
+    let r = run_sim(cfg);
+
+    let mut csv = vec![vec![
+        "t_s".into(),
+        "cps".into(),
+        "bps".into(),
+        "migrations_total".into(),
+        "home_cps".into(),
+    ]];
+    println!(
+        "{:>7} {:>9} {:>12} {:>11} {:>9}",
+        "t(s)", "CPS", "BPS", "migrations", "home CPS"
+    );
+    // Print every third sample to keep the table readable; CSV has all.
+    for (i, s) in r.samples.iter().enumerate() {
+        let home = s.per_server_cps.first().copied().unwrap_or(0.0);
+        csv.push(vec![
+            (s.t_ms / 1000).to_string(),
+            format!("{:.1}", s.cps),
+            format!("{:.0}", s.bps),
+            s.migrations_total.to_string(),
+            format!("{home:.1}"),
+        ]);
+        if i % 3 == 0 || i + 1 == r.samples.len() {
+            println!(
+                "{:>7} {:>9} {:>12} {:>11} {:>9}",
+                s.t_ms / 1000,
+                fmt_thousands(s.cps),
+                fmt_thousands(s.bps),
+                s.migrations_total,
+                fmt_thousands(home)
+            );
+        }
+    }
+
+    // Shape check: growth accelerates (second half gains more than first).
+    let n = r.samples.len();
+    if n >= 8 {
+        let q = n / 4;
+        let avg = |lo: usize, hi: usize| {
+            r.samples[lo..hi].iter().map(|s| s.cps).sum::<f64>() / (hi - lo) as f64
+        };
+        let q1 = avg(0, q);
+        let q2 = avg(q, 2 * q);
+        let q4 = avg(3 * q, n);
+        println!(
+            "\nquarter averages: q1={} q2={} q4={} CPS",
+            fmt_thousands(q1),
+            fmt_thousands(q2),
+            fmt_thousands(q4)
+        );
+        println!(
+            "early gain (q2-q1) = {} CPS, late gain (q4-q2)/2 = {} CPS per quarter — growth {}",
+            fmt_thousands(q2 - q1),
+            fmt_thousands((q4 - q2) / 2.0),
+            if (q4 - q2) / 2.0 > (q2 - q1) { "ACCELERATING (exponential-like, as in the paper)" } else { "not accelerating" }
+        );
+    }
+    let cps_series: Vec<f64> = r.samples.iter().map(|s| s.cps).collect();
+    println!("\nCPS vs time (the Figure 8 curve):");
+    print!("{}", dcws_bench::ascii_chart(&[("CPS", &cps_series)], 12));
+    println!(
+        "\ntotals: {} migrations, {} regenerations, final home share {:.0}%",
+        r.migrations,
+        r.regenerations,
+        100.0
+            * r.samples.last().map(|s| s.per_server_cps[0]
+                / s.per_server_cps.iter().sum::<f64>().max(1.0)).unwrap_or(0.0)
+    );
+    write_csv("fig8", &csv);
+}

@@ -1,0 +1,55 @@
+//! Table 1 — "Setting of server parameters".
+//!
+//! Prints the configuration constants the implementation uses, side by
+//! side with the values published in the paper, and asserts they match.
+
+use dcws_core::ServerConfig;
+
+fn main() {
+    let c = ServerConfig::paper_defaults();
+    println!("Table 1: Setting of server parameters");
+    println!("{:-<78}", "");
+    println!("{:<52} {:>12} {:>12}", "Description", "paper", "ours");
+    println!("{:-<78}", "");
+    let rows: Vec<(&str, String, String)> = vec![
+        ("Number of front-end threads (N_fe)", "1".into(), "1".into()),
+        ("Number of pinger threads (N_pi)", "1".into(), "1".into()),
+        ("Number of worker threads (N_wk)", "12".into(), c.n_workers.to_string()),
+        (
+            "Socket queue length for backlogged requests (L_sq)",
+            "100".into(),
+            c.socket_queue_len.to_string(),
+        ),
+        (
+            "Statistics re-calculation interval (T_st)",
+            "10 s".into(),
+            format!("{} s", c.stat_interval_ms / 1000),
+        ),
+        (
+            "Pinger thread activation interval (T_pi)",
+            "20 s".into(),
+            format!("{} s", c.pinger_interval_ms / 1000),
+        ),
+        (
+            "Co-op server document validation interval (T_val)",
+            "120 s".into(),
+            format!("{} s", c.validation_interval_ms / 1000),
+        ),
+        (
+            "Home server document re-migration interval (T_home)",
+            "300 s".into(),
+            format!("{} s", c.remigration_interval_ms / 1000),
+        ),
+        (
+            "Minimum time between migrations to same co-op (T_coop)",
+            "60 s".into(),
+            format!("{} s", c.coop_migration_interval_ms / 1000),
+        ),
+    ];
+    for (d, p, o) in &rows {
+        assert_eq!(p.trim_end_matches(" s"), o.trim_end_matches(" s"), "{d} mismatch");
+        println!("{d:<52} {p:>12} {o:>12}");
+    }
+    println!("{:-<78}", "");
+    println!("all parameters match the paper's Table 1");
+}

@@ -1,0 +1,128 @@
+//! Table 2 — tuning server parameters.
+//!
+//! The paper predicts qualitative trade-offs for each timer; this harness
+//! measures them: each parameter is swept to a quarter and to four times
+//! its (accelerated) default while everything else stays fixed, on the
+//! LOD dataset, and the metrics that the paper says should move are
+//! reported.
+//!
+//! | Param | Higher values | Lower values |
+//! |-------|---------------|--------------|
+//! | T_st | longer delay to balance load | overhead from frequent migration/recalc |
+//! | T_pi | less accurate statistics | more forced pinger requests |
+//! | T_val | staler consistency, fewer transfers | more retransmission of unchanged docs |
+//! | T_home | slower adjustment | more migration/redirect overhead |
+//! | T_coop | less often migration | shorter delay to balance load |
+
+use dcws_bench::{scaled, write_csv};
+use dcws_sim::{run_sim, SimConfig, SimResult};
+use dcws_workloads::Dataset;
+
+#[derive(Clone, Copy)]
+enum Param {
+    Tst,
+    Tpi,
+    Tval,
+    Thome,
+    Tcoop,
+}
+
+impl Param {
+    fn name(&self) -> &'static str {
+        match self {
+            Param::Tst => "T_st",
+            Param::Tpi => "T_pi",
+            Param::Tval => "T_val",
+            Param::Thome => "T_home",
+            Param::Tcoop => "T_coop",
+        }
+    }
+    fn apply(&self, cfg: &mut SimConfig, factor: f64) {
+        let scale = |v: u64| ((v as f64 * factor) as u64).max(250);
+        let c = &mut cfg.server_config;
+        match self {
+            Param::Tst => c.stat_interval_ms = scale(c.stat_interval_ms),
+            Param::Tpi => c.pinger_interval_ms = scale(c.pinger_interval_ms),
+            Param::Tval => c.validation_interval_ms = scale(c.validation_interval_ms),
+            Param::Thome => c.remigration_interval_ms = scale(c.remigration_interval_ms),
+            Param::Tcoop => c.coop_migration_interval_ms = scale(c.coop_migration_interval_ms),
+        }
+    }
+}
+
+fn run(param: Option<(Param, f64)>) -> SimResult {
+    let mut cfg = SimConfig::paper(Dataset::lod(1), 4, 96).accelerate(10);
+    cfg.duration_ms = scaled(360_000, 60_000);
+    cfg.sample_interval_ms = 10_000;
+    if let Some((p, f)) = param {
+        p.apply(&mut cfg, f);
+    }
+    run_sim(cfg)
+}
+
+/// Time (ms) to reach 80 % of the run's final steady CPS — the "delay to
+/// balance load" that T_st and T_coop govern.
+fn time_to_balance(r: &SimResult) -> u64 {
+    let target = 0.8 * r.steady_cps();
+    r.samples
+        .iter()
+        .find(|s| s.cps >= target)
+        .map(|s| s.t_ms)
+        .unwrap_or(r.duration_ms)
+}
+
+fn main() {
+    println!("Table 2: measured parameter trade-offs (LOD, 4 servers, 96 clients,");
+    println!("timers 10x-accelerated; each parameter swept x0.25 / x1 / x4)\n");
+
+    let base = run(None);
+    let mut csv = vec![vec![
+        "param".into(),
+        "factor".into(),
+        "steady_cps".into(),
+        "time_to_balance_ms".into(),
+        "migrations".into(),
+        "remigrations+revocations".into(),
+        "regenerations".into(),
+        "redirects".into(),
+    ]];
+    println!(
+        "{:<8} {:>7} {:>11} {:>14} {:>11} {:>9} {:>10} {:>10}",
+        "param", "factor", "steady CPS", "t_balance(s)", "migrations", "rebal", "regens", "redirects"
+    );
+    let mut print_row = |name: &str, factor: &str, r: &SimResult| {
+        println!(
+            "{:<8} {:>7} {:>11.0} {:>14.0} {:>11} {:>9} {:>10} {:>10}",
+            name,
+            factor,
+            r.steady_cps(),
+            time_to_balance(r) as f64 / 1000.0,
+            r.migrations,
+            r.revocations,
+            r.regenerations,
+            r.totals.redirects,
+        );
+        csv.push(vec![
+            name.into(),
+            factor.into(),
+            format!("{:.1}", r.steady_cps()),
+            time_to_balance(r).to_string(),
+            r.migrations.to_string(),
+            r.revocations.to_string(),
+            r.regenerations.to_string(),
+            r.totals.redirects.to_string(),
+        ]);
+    };
+    print_row("base", "x1", &base);
+    for p in [Param::Tst, Param::Tpi, Param::Tval, Param::Thome, Param::Tcoop] {
+        for f in [0.25, 4.0] {
+            let r = run(Some((p, f)));
+            print_row(p.name(), &format!("x{f}"), &r);
+        }
+    }
+    println!("\npaper's predicted directions (Table 2):");
+    println!("  higher T_st/T_coop -> longer time-to-balance; lower -> more migration overhead");
+    println!("  lower  T_val       -> more retransmission of unchanged documents (regens/validations)");
+    println!("  lower  T_home      -> more re-migration and redirect overhead");
+    write_csv("table2", &csv);
+}

@@ -1,0 +1,95 @@
+//! Minimal ASCII charts for figure output.
+//!
+//! The paper presents Figures 6–8 as plots; these helpers render the same
+//! series directly in the harness output so the shapes (linear ramps,
+//! plateaus, the Figure 8 exponential) are visible without leaving the
+//! terminal.
+
+/// Render `series` (label, points) as an ASCII line chart of the given
+/// height. X positions are the point indices (callers supply uniformly
+/// spaced samples); Y is auto-scaled from 0 to the global maximum.
+pub fn ascii_chart(series: &[(&str, &[f64])], height: usize) -> String {
+    let height = height.max(2);
+    let width = series.iter().map(|(_, p)| p.len()).max().unwrap_or(0);
+    if width == 0 {
+        return String::from("(no data)\n");
+    }
+    let max = series
+        .iter()
+        .flat_map(|(_, p)| p.iter().copied())
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
+    let marks: &[char] = &['*', 'o', '+', 'x', '#', '@'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, points)) in series.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        for (x, &v) in points.iter().enumerate() {
+            let row = ((v / max) * (height - 1) as f64).round() as usize;
+            let y = height - 1 - row.min(height - 1);
+            grid[y][x] = mark;
+        }
+    }
+    let mut out = String::new();
+    for (y, row) in grid.iter().enumerate() {
+        let label = if y == 0 {
+            format!("{max:>10.0} |")
+        } else if y == height - 1 {
+            format!("{:>10.0} |", 0.0)
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {}", marks[i % marks.len()], name))
+        .collect();
+    out.push_str(&format!("{:>12}{}\n", "", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_monotone_series() {
+        let pts: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let c = ascii_chart(&[("ramp", &pts)], 6);
+        let lines: Vec<&str> = c.lines().collect();
+        assert!(lines.len() >= 8, "{c}");
+        // Max label on the top line, zero at the bottom.
+        assert!(lines[0].trim_start().starts_with("19"));
+        assert!(c.contains("* ramp"));
+        // The last point sits on the top row, the first on the bottom row.
+        assert!(lines[0].contains('*'));
+        assert!(lines[5].contains('*'));
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_marks() {
+        let a: Vec<f64> = vec![1.0, 2.0, 3.0];
+        let b: Vec<f64> = vec![3.0, 2.0, 1.0];
+        let c = ascii_chart(&[("up", &a), ("down", &b)], 4);
+        assert!(c.contains('*') && c.contains('o'));
+        assert!(c.contains("* up") && c.contains("o down"));
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        assert_eq!(ascii_chart(&[], 5), "(no data)\n");
+        let empty: Vec<f64> = vec![];
+        assert_eq!(ascii_chart(&[("e", &empty)], 5), "(no data)\n");
+    }
+
+    #[test]
+    fn flat_zero_series_no_panic() {
+        let z = vec![0.0; 10];
+        let c = ascii_chart(&[("zero", &z)], 4);
+        assert!(c.contains('*'));
+    }
+}

@@ -1,0 +1,102 @@
+//! Time abstraction.
+//!
+//! The engine never reads the system clock directly: the real server
+//! injects [`SystemClock`]; the discrete-event simulator injects a
+//! [`ManualClock`] it advances in virtual time. All engine timers (T_st,
+//! T_pi, T_val, T_home, T_coop) are expressed in clock milliseconds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic millisecond clock.
+pub trait Clock: Send + Sync {
+    /// Milliseconds since an arbitrary epoch; must be non-decreasing.
+    fn now_ms(&self) -> u64;
+}
+
+/// Wall-clock time from a process-local monotonic epoch.
+#[derive(Debug)]
+pub struct SystemClock {
+    epoch: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        SystemClock { epoch: Instant::now() }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+}
+
+/// A hand-advanced clock for simulation and tests. Cloning shares the
+/// underlying time cell.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    t: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A clock starting at 0 ms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the absolute time. Panics if moving backwards in debug builds.
+    pub fn set_ms(&self, t: u64) {
+        debug_assert!(t >= self.t.load(Ordering::Relaxed), "clock moved backwards");
+        self.t.store(t, Ordering::Relaxed);
+    }
+
+    /// Advance by `dt` milliseconds; returns the new time.
+    pub fn advance_ms(&self, dt: u64) -> u64 {
+        self.t.fetch_add(dt, Ordering::Relaxed) + dt
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.t.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now_ms();
+        let b = c.now_ms();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ms(), 0);
+        assert_eq!(c.advance_ms(100), 100);
+        c.set_ms(500);
+        assert_eq!(c.now_ms(), 500);
+    }
+
+    #[test]
+    fn manual_clock_clones_share_time() {
+        let a = ManualClock::new();
+        let b = a.clone();
+        a.advance_ms(42);
+        assert_eq!(b.now_ms(), 42);
+    }
+}

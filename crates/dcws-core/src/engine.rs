@@ -1,0 +1,627 @@
+//! The DCWS server engine — state and control plane.
+//!
+//! [`ServerEngine`] is *sans-IO*: it never touches sockets or the system
+//! clock. A host (the threaded TCP server in `dcws-net`, or the
+//! discrete-event simulator in `dcws-sim`) feeds it parsed requests and
+//! timestamps, performs the network actions it emits ([`TickOutput`]), and
+//! ships its responses. This one engine plays both roles of the paper's
+//! fully symmetric design: *home server* for the documents it was given via
+//! [`ServerEngine::publish`], and *co-op server* for documents other homes
+//! migrate to it.
+
+use crate::config::ServerConfig;
+use crate::naming::migrate_url;
+use crate::stats::EngineStats;
+use crate::store::DocStore;
+use dcws_graph::{
+    select_for_migration, DocKind, GlobalLoadTable, LoadInfo, LocalDocGraph, Location, RateWindow,
+    ServerId,
+};
+use dcws_http::{Headers, LoadReport, Request};
+use std::collections::{HashMap, HashSet};
+
+/// A migrated document held in the co-op role.
+#[derive(Debug, Clone)]
+pub(crate) struct CoopDoc {
+    pub bytes: Vec<u8>,
+    pub content_type: String,
+    /// Home's content version at pull time (for validation).
+    pub version: u64,
+    /// When the copy was (re)fetched or last validated, ms.
+    pub fetched_at: u64,
+    /// Home recalled the document: keep the bytes (crash insurance, §4.5)
+    /// but answer with a redirect home instead of serving.
+    pub revoked: bool,
+}
+
+/// Key for a co-op-held document: `(home server, original path)`.
+pub(crate) type CoopKey = (ServerId, String);
+
+/// Network actions the host must perform after a [`ServerEngine::tick`].
+#[derive(Debug, Default)]
+pub struct TickOutput {
+    /// Documents logically migrated this tick: `(doc, co-op)`.
+    pub migrated: Vec<(String, ServerId)>,
+    /// Migrations revoked this tick: `(doc, former co-op)`.
+    pub revoked: Vec<(String, ServerId)>,
+    /// Artificial pinger transfers to send: `(peer, request)` (§4.5).
+    pub pings: Vec<(ServerId, Request)>,
+    /// Co-op validation re-requests to send: `(home, request)` (§4.5).
+    pub validations: Vec<(ServerId, Request)>,
+    /// Eager-migration pushes to send (ablation): `(co-op, request)`.
+    pub pushes: Vec<(ServerId, Request)>,
+}
+
+impl TickOutput {
+    /// Whether the tick produced no work for the host.
+    pub fn is_empty(&self) -> bool {
+        self.migrated.is_empty()
+            && self.revoked.is_empty()
+            && self.pings.is_empty()
+            && self.validations.is_empty()
+            && self.pushes.is_empty()
+    }
+}
+
+/// The DCWS engine for one server.
+pub struct ServerEngine {
+    pub(crate) id: ServerId,
+    pub(crate) cfg: ServerConfig,
+    pub(crate) ldg: LocalDocGraph,
+    pub(crate) glt: GlobalLoadTable,
+    /// Permanent original copies of home documents (§3.2). Regeneration
+    /// always starts from these, so link rewrites never compound.
+    pub(crate) originals: Box<dyn DocStore>,
+    /// Regenerated current copies + version numbers for dirty home docs.
+    pub(crate) current: HashMap<String, (Vec<u8>, u64)>,
+    /// Cached pull copies (absolute-link variants) keyed by version, so
+    /// repeated pulls/validations of an unchanged document do not re-run
+    /// the §4.3 parse/reconstruct.
+    pub(crate) pull_cache: HashMap<String, (u64, Vec<u8>)>,
+    /// Content version per home document; bumped on publish/regenerate.
+    pub(crate) versions: HashMap<String, u64>,
+    /// Documents held in the co-op role.
+    pub(crate) coop_docs: HashMap<CoopKey, CoopDoc>,
+    /// Moved tombstones: a pull was answered with a redirect, so requests
+    /// for this key 301 straight to the current location until the
+    /// tombstone expires (T_val) and we re-check with the home.
+    pub(crate) coop_moved: HashMap<CoopKey, (dcws_http::Url, u64)>,
+    /// Hot-replication extension: extra co-ops per migrated document.
+    pub(crate) replicas: HashMap<String, Vec<ServerId>>,
+    pub(crate) window: RateWindow,
+    last_stat_ms: u64,
+    last_migration_ms: u64,
+    coop_last_migration: HashMap<ServerId, u64>,
+    last_ping_ms: HashMap<ServerId, u64>,
+    ping_failures: HashMap<ServerId, u32>,
+    pub(crate) dead_peers: HashSet<ServerId>,
+    pub(crate) stats: EngineStats,
+}
+
+impl ServerEngine {
+    /// Create an engine for server `id` with the given configuration and
+    /// original-document store (usually empty; fill via [`Self::publish`]).
+    pub fn new(id: ServerId, cfg: ServerConfig, originals: Box<dyn DocStore>) -> Self {
+        let window_ms = cfg.stat_interval_ms.max(1_000);
+        ServerEngine {
+            glt: GlobalLoadTable::new(id.clone()),
+            id,
+            ldg: LocalDocGraph::new(),
+            originals,
+            current: HashMap::new(),
+            pull_cache: HashMap::new(),
+            versions: HashMap::new(),
+            coop_docs: HashMap::new(),
+            coop_moved: HashMap::new(),
+            replicas: HashMap::new(),
+            window: RateWindow::new(window_ms, 10),
+            last_stat_ms: 0,
+            last_migration_ms: 0,
+            coop_last_migration: HashMap::new(),
+            last_ping_ms: HashMap::new(),
+            ping_failures: HashMap::new(),
+            dead_peers: HashSet::new(),
+            stats: EngineStats::default(),
+            cfg,
+        }
+    }
+
+    /// This server's identity.
+    pub fn id(&self) -> &ServerId {
+        &self.id
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Read access to the local document graph.
+    pub fn ldg(&self) -> &LocalDocGraph {
+        &self.ldg
+    }
+
+    /// Read access to the global load table.
+    pub fn glt(&self) -> &GlobalLoadTable {
+        &self.glt
+    }
+
+    /// Number of documents currently held in the co-op role (including
+    /// revoked copies retained as crash insurance).
+    pub fn coop_doc_count(&self) -> usize {
+        self.coop_docs.len()
+    }
+
+    /// Register a peer server in the group (static membership, as in the
+    /// paper's experiments).
+    pub fn add_peer(&mut self, peer: ServerId) {
+        if peer != self.id {
+            self.glt.add_peer(peer);
+        }
+    }
+
+    /// Publish a document on this (home) server: store the permanent
+    /// original, parse hyperlinks if HTML, and insert the LDG tuple. This
+    /// is the "scanning its disk and parsing the documents" initialization
+    /// of §3.3, and also the author-update path (§4.5 case 1):
+    /// republishing bumps the content version so co-op validation picks up
+    /// the change.
+    pub fn publish(&mut self, name: &str, bytes: Vec<u8>, kind: DocKind, entry_point: bool) {
+        let link_to = if kind == DocKind::Html {
+            self.extract_site_links(name, &bytes)
+        } else {
+            Vec::new()
+        };
+        let size = bytes.len() as u64;
+        self.originals.put(name, bytes);
+        self.current.remove(name);
+        self.pull_cache.remove(name);
+        *self.versions.entry(name.to_string()).or_insert(0) += 1;
+        let was_migrated = self
+            .ldg
+            .get(name)
+            .map(|e| e.location.clone())
+            .filter(|l| !l.is_home());
+        self.ldg.insert_doc(name, size, kind, link_to, entry_point);
+        // Republishing a migrated document: restore its migrated location;
+        // the version bump makes the co-op refresh at next validation.
+        if let Some(loc) = was_migrated {
+            if let Some(e) = self.ldg.get_mut(name) {
+                e.location = loc;
+            }
+        }
+    }
+
+    /// Resolve a document's outgoing references to site-local paths.
+    fn extract_site_links(&self, name: &str, bytes: &[u8]) -> Vec<String> {
+        let html = String::from_utf8_lossy(bytes);
+        let base = match dcws_http::Url::relative(name) {
+            Ok(u) => u,
+            Err(_) => return Vec::new(),
+        };
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for l in dcws_html::extract_links(&html) {
+            let Ok(u) = base.join(&l.url) else { continue };
+            // Absolute links to other hosts are external; absolute links to
+            // ourselves collapse to their path.
+            if let Some(host) = u.host() {
+                let target = ServerId::new(format!("{host}:{}", u.port()));
+                if target != self.id {
+                    continue;
+                }
+            }
+            let p = u.path().to_string();
+            if p != name && seen.insert(p.clone()) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// Ingest piggybacked load reports from any received message (§3.3).
+    /// Hearing from a dead-listed peer resurrects it.
+    pub fn ingest_reports(&mut self, headers: &Headers) {
+        for r in LoadReport::extract_all(headers) {
+            let sid = ServerId::new(r.server.clone());
+            if sid == self.id {
+                continue;
+            }
+            if self.glt.update(sid.clone(), LoadInfo { cps: r.cps, bps: r.bps, ts_ms: r.ts_ms })
+            {
+                self.dead_peers.remove(&sid);
+                self.ping_failures.remove(&sid);
+            }
+        }
+    }
+
+    /// Attach up to `piggyback_max` load reports (own entry first) to an
+    /// outgoing inter-server message.
+    pub fn attach_reports(&mut self, headers: &mut Headers, now_ms: u64) {
+        let (cps, bps) = self.window.rates(now_ms);
+        self.glt.set_self(cps, bps, now_ms);
+        let mut n = 0;
+        LoadReport { server: self.id.to_string(), cps, bps, ts_ms: now_ms }.attach(headers);
+        n += 1;
+        for (sid, info) in self.glt.snapshot() {
+            if n >= self.cfg.piggyback_max {
+                break;
+            }
+            if sid == self.id {
+                continue;
+            }
+            LoadReport {
+                server: sid.to_string(),
+                cps: info.cps,
+                bps: info.bps,
+                ts_ms: info.ts_ms,
+            }
+            .attach(headers);
+            n += 1;
+        }
+    }
+
+    /// Periodic control-plane work. Call at least every few hundred
+    /// simulated/real milliseconds; internal timers gate the actual work.
+    pub fn tick(&mut self, now_ms: u64) -> TickOutput {
+        let mut out = TickOutput::default();
+        // Statistics recalculation + migration, every T_st.
+        if now_ms.saturating_sub(self.last_stat_ms) >= self.cfg.stat_interval_ms {
+            self.last_stat_ms = now_ms;
+            self.ldg.rotate_hits();
+            let (cps, bps) = self.window.rates(now_ms);
+            self.glt.set_self(cps, bps, now_ms);
+            self.consider_remigration(now_ms, &mut out);
+            self.consider_migration(now_ms, &mut out);
+        }
+        // Pinger: artificial transfers toward stale peers, every T_pi.
+        for peer in self.glt.stale_peers(now_ms, self.cfg.pinger_interval_ms) {
+            if self.dead_peers.contains(&peer) {
+                continue;
+            }
+            let last = self.last_ping_ms.get(&peer).copied().unwrap_or(0);
+            if now_ms.saturating_sub(last) < self.cfg.pinger_interval_ms {
+                continue;
+            }
+            self.last_ping_ms.insert(peer.clone(), now_ms);
+            self.stats.pings_sent += 1;
+            let mut req = Request::head("/").with_header("X-DCWS-Ping", "1");
+            self.attach_reports(&mut req.headers, now_ms);
+            out.pings.push((peer, req));
+        }
+        // Co-op validation: re-request copies older than T_val.
+        let due: Vec<CoopKey> = self
+            .coop_docs
+            .iter()
+            .filter(|(_, d)| {
+                !d.revoked
+                    && now_ms.saturating_sub(d.fetched_at) >= self.cfg.validation_interval_ms
+            })
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in due {
+            let doc = self.coop_docs.get_mut(&key).expect("key from iteration");
+            // Re-arm so the request isn't re-emitted every tick while the
+            // response is in flight; a lost response retries next T_val.
+            // A per-document jitter de-synchronizes the re-arm: without
+            // it, every copy validated in the same tick stays in lockstep
+            // forever, and the periodic wave of validations can swamp the
+            // home server's socket queue.
+            let jitter = key
+                .1
+                .bytes()
+                .fold(0xcbf2_9ce4_8422_2325u64, |a, b| {
+                    (a ^ b as u64).wrapping_mul(0x100_0000_01b3)
+                })
+                % (self.cfg.validation_interval_ms / 4).max(1);
+            doc.fetched_at = now_ms.saturating_sub(jitter);
+            let version = doc.version;
+            let (home, path) = key.clone();
+            let mut req = Request::get(path.as_str())
+                .with_header("X-DCWS-Validate", &version.to_string())
+                .with_header("X-DCWS-Coop", self.id.as_str());
+            self.attach_reports(&mut req.headers, now_ms);
+            out.validations.push((home, req));
+        }
+        out
+    }
+
+    /// T_home: periodically reassess standing migrations. A document on a
+    /// dead co-op is revoked home; a document on a badly overloaded co-op
+    /// is **re-targeted** directly to the least-loaded server (the paper's
+    /// "abandon a migration and re-migrate the file to a different co-op
+    /// server"). At most one re-target per statistics tick — re-migration
+    /// dirties every linking document, so storms of them would melt the
+    /// home server in regeneration work.
+    fn consider_remigration(&mut self, now_ms: u64, out: &mut TickOutput) {
+        let metric = self.cfg.balance_metric;
+        let mut due: Vec<(String, ServerId, f64)> = self
+            .ldg
+            .all_migrated()
+            .into_iter()
+            .filter_map(|(name, coop)| {
+                let at = self.ldg.get(&name)?.migrated_at?;
+                if now_ms.saturating_sub(at) < self.cfg.remigration_interval_ms {
+                    return None;
+                }
+                let load = self.glt.get(&coop).map(|i| i.value(metric)).unwrap_or(0.0);
+                Some((name, coop, load))
+            })
+            .collect();
+        if due.is_empty() {
+            return;
+        }
+        // Worst-loaded co-op's documents first.
+        due.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        let mut exclude: Vec<ServerId> = self.dead_peers.iter().cloned().collect();
+        for (coop, t) in &self.coop_last_migration {
+            if now_ms.saturating_sub(*t) < self.cfg.coop_migration_interval_ms {
+                exclude.push(coop.clone());
+            }
+        }
+        let mut acted = false;
+        for (name, coop, coop_load) in due {
+            if self.dead_peers.contains(&coop) {
+                self.revoke_doc(&name, out);
+                continue;
+            }
+            let mut done = false;
+            if !acted {
+                let mut excl = exclude.clone();
+                excl.push(coop.clone());
+                if let Some(target) = self.glt.least_loaded(metric, &excl) {
+                    let target_load =
+                        self.glt.get(&target).map(|i| i.value(metric)).unwrap_or(0.0);
+                    if coop_load > 2.0 * self.cfg.overload_ratio * target_load.max(0.001) {
+                        self.ldg.migrate(&name, target.clone(), now_ms);
+                        self.coop_last_migration.insert(target.clone(), now_ms);
+                        self.stats.remigrations += 1;
+                        if self.cfg.eager_migration {
+                            out.pushes.push((target.clone(), self.make_push_request(&name, now_ms)));
+                        }
+                        out.migrated.push((name.clone(), target));
+                        out.revoked.push((name.clone(), coop.clone()));
+                        acted = true;
+                        done = true;
+                    }
+                }
+            }
+            if !done {
+                // Keep the migration; re-arm the T_home timer.
+                if let Some(e) = self.ldg.get_mut(&name) {
+                    e.migrated_at = Some(now_ms);
+                }
+            }
+        }
+    }
+
+    /// Revoke one migration: LDG back to Home, sources dirtied, stats.
+    fn revoke_doc(&mut self, name: &str, out: &mut TickOutput) {
+        let coop = match self.ldg.get(name).map(|e| e.location.clone()) {
+            Some(Location::Coop(c)) => c,
+            _ => return,
+        };
+        self.ldg.revoke(name);
+        self.replicas.remove(name);
+        self.stats.revocations += 1;
+        out.revoked.push((name.to_string(), coop));
+    }
+
+    /// The migration decision (§4.2): when overloaded relative to the
+    /// least-loaded peer, run Algorithm 1 and migrate one document —
+    /// respecting the one-per-T_st home rate and one-per-T_coop per-co-op
+    /// rate limits of Table 1.
+    fn consider_migration(&mut self, now_ms: u64, out: &mut TickOutput) {
+        if now_ms.saturating_sub(self.last_migration_ms) < self.cfg.stat_interval_ms
+            && self.last_migration_ms != 0
+        {
+            return;
+        }
+        let me = self.glt.self_info();
+        if me.cps < self.cfg.min_cps_to_migrate {
+            return;
+        }
+        let metric = self.cfg.balance_metric;
+        // Exclude dead peers and co-ops inside their T_coop window.
+        let mut exclude: Vec<ServerId> = self.dead_peers.iter().cloned().collect();
+        for (coop, t) in &self.coop_last_migration {
+            if now_ms.saturating_sub(*t) < self.cfg.coop_migration_interval_ms {
+                exclude.push(coop.clone());
+            }
+        }
+        let Some(target) = self.glt.least_loaded(metric, &exclude) else {
+            return;
+        };
+        let target_load = self.glt.get(&target).map(|i| i.value(metric)).unwrap_or(0.0);
+        if me.value(metric) <= self.cfg.overload_ratio * target_load {
+            return;
+        }
+        let selected = if self.cfg.naive_selection {
+            dcws_graph::select_hottest(&self.ldg)
+        } else {
+            select_for_migration(&self.ldg, self.cfg.selection_threshold)
+        };
+        let Some(doc) = selected else {
+            return;
+        };
+        let hits = self.ldg.get(&doc).map(|e| e.hits).unwrap_or(0);
+        self.ldg.migrate(&doc, target.clone(), now_ms);
+        self.coop_last_migration.insert(target.clone(), now_ms);
+        self.last_migration_ms = now_ms;
+        self.stats.migrations += 1;
+        if self.cfg.eager_migration {
+            out.pushes.push((target.clone(), self.make_push_request(&doc, now_ms)));
+        }
+        out.migrated.push((doc.clone(), target.clone()));
+
+        // Hot-replication extension (§6 future work): a document drawing a
+        // large fraction of our hits gets extra replicas at once.
+        if let Some(hr) = self.cfg.hot_replication.clone() {
+            let total: u64 = self.ldg.iter().map(|e| e.hits).sum();
+            if total > 0 && hits as f64 / total as f64 >= hr.hot_fraction {
+                let mut replicas = vec![target.clone()];
+                let mut excl = exclude.clone();
+                excl.push(target.clone());
+                while replicas.len() < hr.max_replicas {
+                    let Some(extra) = self.glt.least_loaded(metric, &excl) else { break };
+                    excl.push(extra.clone());
+                    self.coop_last_migration.insert(extra.clone(), now_ms);
+                    self.stats.replicas_created += 1;
+                    if self.cfg.eager_migration {
+                        out.pushes.push((extra.clone(), self.make_push_request(&doc, now_ms)));
+                    }
+                    out.migrated.push((doc.clone(), extra.clone()));
+                    replicas.push(extra);
+                }
+                if replicas.len() > 1 {
+                    self.replicas.insert(doc, replicas);
+                }
+            }
+        }
+    }
+
+    /// Which co-op serves `doc` for a link appearing in `source` — spreads
+    /// replica load deterministically by source document.
+    pub(crate) fn replica_for(&self, doc: &str, source_key: &str) -> Option<ServerId> {
+        match self.ldg.get(doc).map(|e| e.location.clone()) {
+            Some(Location::Coop(primary)) => match self.replicas.get(doc) {
+                Some(reps) if !reps.is_empty() => {
+                    let h = source_key
+                        .bytes()
+                        .fold(0xcbf2_9ce4_8422_2325u64, |a, b| {
+                            (a ^ b as u64).wrapping_mul(0x100_0000_01b3)
+                        });
+                    Some(reps[(h % reps.len() as u64) as usize].clone())
+                }
+                _ => Some(primary),
+            },
+            _ => None,
+        }
+    }
+
+    /// Build the eager-migration push carrying a document to a co-op.
+    fn make_push_request(&mut self, doc: &str, now_ms: u64) -> Request {
+        let (bytes, version, content_type) = self.pull_content(doc);
+        let mut req = Request {
+            method: dcws_http::Method::Post,
+            target: doc.to_string(),
+            version: dcws_http::Version::Http11,
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
+        .with_header("X-DCWS-Push", "1")
+        .with_header("X-DCWS-Home", self.id.as_str())
+        .with_header("X-DCWS-Version", &version.to_string())
+        .with_header("Content-Type", &content_type)
+        .with_body(bytes);
+        self.attach_reports(&mut req.headers, now_ms);
+        req
+    }
+
+    /// Build the lazy pull request a co-op sends to fetch a migrated
+    /// document from its home (§4.2 case 1).
+    pub fn make_pull_request(&mut self, path: &str, now_ms: u64) -> Request {
+        let mut req = Request::get(path)
+            .with_header("X-DCWS-Pull", "1")
+            .with_header("X-DCWS-Coop", self.id.as_str());
+        self.attach_reports(&mut req.headers, now_ms);
+        req
+    }
+
+    /// Record a ping outcome. After `ping_failure_limit` consecutive
+    /// failures the peer is declared dead: its documents are revoked and it
+    /// stops being a migration target until heard from again.
+    pub fn ping_result(&mut self, peer: &ServerId, ok: bool, headers: Option<&Headers>) -> Vec<String> {
+        if ok {
+            self.ping_failures.remove(peer);
+            if let Some(h) = headers {
+                self.ingest_reports(h);
+            }
+            return Vec::new();
+        }
+        let n = self.ping_failures.entry(peer.clone()).or_insert(0);
+        *n += 1;
+        if *n < self.cfg.ping_failure_limit {
+            return Vec::new();
+        }
+        self.declare_peer_dead(peer)
+    }
+
+    /// Declare a peer dead (§4.5 case 3): recall every document migrated
+    /// there. Returns the recalled document names.
+    pub fn declare_peer_dead(&mut self, peer: &ServerId) -> Vec<String> {
+        if self.dead_peers.insert(peer.clone()) {
+            self.stats.peers_declared_dead += 1;
+        }
+        let docs = self.ldg.migrated_to(peer);
+        for d in &docs {
+            self.ldg.revoke(d);
+            self.replicas.remove(d);
+            self.stats.revocations += 1;
+        }
+        docs
+    }
+
+    /// Migrated-document URL (naming convention of §3.4) for `doc` as seen
+    /// from `source_key` (replica spreading).
+    pub(crate) fn migrated_doc_url(&self, doc: &str, source_key: &str) -> Option<dcws_http::Url> {
+        let coop = self.replica_for(doc, source_key)?;
+        migrate_url(&coop, &self.id, doc).ok()
+    }
+
+    /// Export the standing migration state as `doc<TAB>coop` lines, for
+    /// persisting across a restart. Replica sets are exported as multiple
+    /// lines per document (primary first).
+    pub fn export_migrations(&self) -> String {
+        let mut out = String::new();
+        for (doc, coop) in self.ldg.all_migrated() {
+            match self.replicas.get(&doc) {
+                Some(reps) => {
+                    for r in reps {
+                        out.push_str(&format!("{doc}\t{r}\n"));
+                    }
+                }
+                None => out.push_str(&format!("{doc}\t{coop}\n")),
+            }
+        }
+        out
+    }
+
+    /// Restore migration state exported by [`Self::export_migrations`]
+    /// after the documents have been re-published (a warm restart:
+    /// without this, a restarted home forgets every migration and recalls
+    /// the whole site). Unknown documents and malformed lines are
+    /// skipped; sources are re-dirtied so regenerated pages point at the
+    /// co-ops again. Returns how many documents were restored.
+    pub fn restore_migrations(&mut self, exported: &str, now_ms: u64) -> usize {
+        let mut per_doc: HashMap<String, Vec<ServerId>> = HashMap::new();
+        let mut order: Vec<String> = Vec::new();
+        for line in exported.lines() {
+            let Some((doc, coop)) = line.split_once('\t') else { continue };
+            if doc.is_empty() || coop.is_empty() || !self.ldg.contains(doc) {
+                continue;
+            }
+            let entry = per_doc.entry(doc.to_string()).or_default();
+            if entry.is_empty() {
+                order.push(doc.to_string());
+            }
+            entry.push(ServerId::new(coop));
+        }
+        let mut restored = 0;
+        for doc in order {
+            let reps = per_doc.remove(&doc).expect("inserted above");
+            let primary = reps[0].clone();
+            self.ldg.migrate(&doc, primary, now_ms);
+            if reps.len() > 1 {
+                self.replicas.insert(doc, reps);
+            }
+            restored += 1;
+        }
+        restored
+    }
+}

@@ -1,0 +1,153 @@
+//! Document regeneration — §4.3 parsing and reconstruction.
+//!
+//! Regeneration always starts from the *permanent original* copy, so link
+//! rewrites never compound: each pass maps every site-local URL to its
+//! current correct form given the LDG. Two variants exist:
+//!
+//! * **home serving**: links to migrated targets become absolute
+//!   `~migrate` URLs at their co-op; links to home-resident targets stay
+//!   as originally written (relative).
+//! * **pull serving** (content shipped to a co-op): additionally, links to
+//!   home-resident targets become absolute URLs at the home server, since
+//!   the document will be served from a different host where relative
+//!   links would resolve wrongly.
+
+use crate::engine::ServerEngine;
+use dcws_graph::{DocKind, Location};
+use dcws_http::Url;
+
+/// How links to home-resident targets are written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LinkBase {
+    /// Serving from home: home targets keep their original (relative) form.
+    Relative,
+    /// Serving a copy that will live on another host: home targets become
+    /// absolute `http://home/...` URLs.
+    AbsoluteHome,
+}
+
+impl ServerEngine {
+    /// Current version of a home document (bumped on publish and on every
+    /// regeneration, so co-op validation detects both author updates and
+    /// link-rewrite changes).
+    pub fn doc_version(&self, name: &str) -> u64 {
+        self.versions.get(name).copied().unwrap_or(0)
+    }
+
+    /// The bytes to serve for home document `name`, regenerating first if
+    /// the Dirty bit is set (§4.3). Returns `(bytes, content_type)`.
+    /// Unknown documents return `None`.
+    pub(crate) fn home_content(&mut self, name: &str) -> Option<(Vec<u8>, String)> {
+        let entry = self.ldg.get(name)?;
+        let kind = entry.kind;
+        let dirty = entry.dirty;
+        let content_type = kind.content_type().to_string();
+        if kind != DocKind::Html {
+            return Some((self.originals.get(name)?, content_type));
+        }
+        if dirty {
+            let regenerated = self.regenerate(name, LinkBase::Relative)?;
+            let version = self.bump_version(name);
+            self.current.insert(name.to_string(), (regenerated, version));
+            if let Some(e) = self.ldg.get_mut(name) {
+                e.dirty = false;
+            }
+            self.stats.regenerations += 1;
+        }
+        match self.current.get(name) {
+            Some((bytes, _)) => Some((bytes.clone(), content_type)),
+            None => Some((self.originals.get(name)?, content_type)),
+        }
+    }
+
+    /// The bytes shipped to a co-op pulling `name` (or pushed eagerly):
+    /// always freshly regenerated with absolute home links. Returns
+    /// `(bytes, version, content_type)`.
+    ///
+    /// A *migrated* document whose `Dirty` bit is set (one of its link
+    /// targets moved after it was shipped) gets a version bump here, so
+    /// the co-op's next T_val validation sees a mismatch and refreshes its
+    /// copy instead of serving stale hyperlinks forever.
+    pub(crate) fn pull_content(&mut self, name: &str) -> (Vec<u8>, u64, String) {
+        let migrated_dirty = self
+            .ldg
+            .get(name)
+            .is_some_and(|e| e.dirty && !e.location.is_home());
+        if migrated_dirty {
+            self.bump_version(name);
+            if let Some(e) = self.ldg.get_mut(name) {
+                e.dirty = false;
+            }
+        }
+        let kind = self
+            .ldg
+            .get(name)
+            .map(|e| e.kind)
+            .unwrap_or(DocKind::Image);
+        let content_type = kind.content_type().to_string();
+        let version = self.doc_version(name);
+        let bytes = if kind == DocKind::Html {
+            match self.pull_cache.get(name) {
+                Some((v, cached)) if *v == version => cached.clone(),
+                _ => {
+                    // A real parse + reconstruct (§4.3) — counted so hosts
+                    // can charge its CPU cost — then cached per version.
+                    self.stats.regenerations += 1;
+                    let bytes = self
+                        .regenerate(name, LinkBase::AbsoluteHome)
+                        .or_else(|| self.originals.get(name))
+                        .unwrap_or_default();
+                    self.pull_cache
+                        .insert(name.to_string(), (version, bytes.clone()));
+                    bytes
+                }
+            }
+        } else {
+            self.originals.get(name).unwrap_or_default()
+        };
+        (bytes, version, content_type)
+    }
+
+    fn bump_version(&mut self, name: &str) -> u64 {
+        let v = self.versions.entry(name.to_string()).or_insert(0);
+        *v += 1;
+        *v
+    }
+
+    /// Parse the original, rewrite every site-local URL to its current
+    /// form, and serialize (the paper's parse-tree round trip).
+    fn regenerate(&self, name: &str, base_mode: LinkBase) -> Option<Vec<u8>> {
+        let original = self.originals.get(name)?;
+        let html = String::from_utf8_lossy(&original).into_owned();
+        let base = Url::relative(name).ok()?;
+        let (self_host, self_port) = self.id.host_port();
+        let (out, _) = dcws_html::rewrite_links(&html, |raw| {
+            let u = base.join(raw).ok()?;
+            // Only site-local references are ours to rewrite.
+            if let Some(host) = u.host() {
+                if host != self_host || u.port() != self_port {
+                    return None;
+                }
+            }
+            let path = u.path();
+            let entry = self.ldg.get(path)?;
+            match (&entry.location, base_mode) {
+                (Location::Coop(_), _) => {
+                    // Migrated: absolute ~migrate URL at its co-op
+                    // (replica-spread by source document).
+                    Some(self.migrated_doc_url(path, name)?.to_string())
+                }
+                (Location::Home, LinkBase::Relative) => {
+                    // Original relative form is already correct; but if the
+                    // author wrote an absolute self-URL or the original was
+                    // regenerated before, normalize back to the plain path.
+                    (raw != path).then(|| path.to_string())
+                }
+                (Location::Home, LinkBase::AbsoluteHome) => {
+                    Some(format!("http://{}{}", self.id, path))
+                }
+            }
+        });
+        Some(out.into_bytes())
+    }
+}

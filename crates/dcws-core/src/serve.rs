@@ -1,0 +1,403 @@
+//! Request handling — the data plane of §4.2–§4.4.
+
+use crate::engine::{CoopDoc, ServerEngine};
+use crate::naming::decode_migrate_path;
+use dcws_graph::{Location, ServerId};
+use dcws_http::{Request, Response, StatusCode, Url};
+
+/// Result of handing a request to the engine.
+#[derive(Debug)]
+pub enum Outcome {
+    /// A complete response to ship to the requester.
+    Response(Response),
+    /// Co-op miss (§4.2 case 1): the host must pull `path` from `home`
+    /// (via [`ServerEngine::make_pull_request`]), deliver the result to
+    /// [`ServerEngine::store_pulled`], then retry the original request.
+    FetchNeeded {
+        /// Home server to pull from.
+        home: ServerId,
+        /// Original document path on the home server.
+        path: String,
+    },
+}
+
+impl Outcome {
+    /// The response, if this outcome is one (test helper).
+    pub fn into_response(self) -> Option<Response> {
+        match self {
+            Outcome::Response(r) => Some(r),
+            Outcome::FetchNeeded { .. } => None,
+        }
+    }
+}
+
+fn is_inter_server(req: &Request) -> bool {
+    req.headers
+        .iter()
+        .any(|(n, _)| n.len() >= 7 && n[..7].eq_ignore_ascii_case("x-dcws-"))
+}
+
+impl ServerEngine {
+    /// Handle one parsed request at time `now_ms`.
+    ///
+    /// Queueing and graceful 503 drops happen in the transport (the socket
+    /// queue belongs to the host); by the time a request reaches the
+    /// engine it will be answered.
+    pub fn handle_request(&mut self, req: &Request, now_ms: u64) -> Outcome {
+        self.stats.requests += 1;
+        self.ingest_reports(&req.headers);
+
+        // Artificial pinger transfer (§4.5): headers only, both ways.
+        if req.headers.contains("X-DCWS-Ping") {
+            let mut resp = Response::new(StatusCode::Ok);
+            resp.headers
+                .set("Content-Length", "0")
+                .expect("static header");
+            self.attach_reports(&mut resp.headers, now_ms);
+            return Outcome::Response(resp);
+        }
+
+        // Eager-migration push (ablation): store the carried document.
+        if req.headers.contains("X-DCWS-Push") {
+            return Outcome::Response(self.accept_push(req, now_ms));
+        }
+
+        let path = match req.url() {
+            Ok(u) => u.path().to_string(),
+            Err(_) => {
+                self.stats.bad_requests += 1;
+                return Outcome::Response(Response::new(StatusCode::BadRequest));
+            }
+        };
+
+        let inter = is_inter_server(req);
+        let mut outcome = match decode_migrate_path(&path) {
+            Err(_) => {
+                self.stats.bad_requests += 1;
+                Outcome::Response(Response::new(StatusCode::BadRequest))
+            }
+            Ok(Some(t)) if t.home != self.id => self.serve_coop(t.home, t.path, now_ms),
+            Ok(Some(t)) => self.serve_home(&t.path, req, now_ms),
+            Ok(None) => self.serve_home(&path, req, now_ms),
+        };
+        if let Outcome::Response(resp) = &mut outcome {
+            self.window.record(now_ms, resp.body.len() as u64);
+            if inter {
+                self.attach_reports(&mut resp.headers, now_ms);
+            }
+        }
+        outcome
+    }
+
+    /// Serve in the co-op role: a `~migrate` URL for another home's doc.
+    fn serve_coop(&mut self, home: ServerId, path: String, now_ms: u64) -> Outcome {
+        let key = (home.clone(), path.clone());
+        // A fresh moved-tombstone answers immediately with the current
+        // location; an expired one triggers a re-check via pull.
+        if let Some((url, expires)) = self.coop_moved.get(&key) {
+            if now_ms < *expires {
+                self.stats.redirects += 1;
+                return Outcome::Response(Response::moved_permanently(&url.clone()));
+            }
+            self.coop_moved.remove(&key);
+        }
+        match self.coop_docs.get(&key) {
+            Some(doc) if doc.revoked => {
+                // Recalled copy. If home is known dead, best-effort serve
+                // the stale bytes (§4.5 case 4). Otherwise re-pull: if the
+                // home re-migrated the document to us meanwhile, the pull
+                // re-validates the copy; if not, the home's answer (a 301
+                // to wherever it lives now) is relayed to the client.
+                // Never blind-redirect home — the home may point right
+                // back here, and that loop would never break because
+                // revoked copies are excluded from T_val validation.
+                if self.dead_peers.contains(&home) {
+                    let (bytes, ct) = (doc.bytes.clone(), doc.content_type.clone());
+                    self.stats.served_coop += 1;
+                    self.stats.bytes_sent += bytes.len() as u64;
+                    return Outcome::Response(Response::ok(bytes, &ct));
+                }
+                Outcome::FetchNeeded { home, path }
+            }
+            Some(doc) => {
+                let (bytes, ct) = (doc.bytes.clone(), doc.content_type.clone());
+                self.stats.served_coop += 1;
+                self.stats.bytes_sent += bytes.len() as u64;
+                Outcome::Response(Response::ok(bytes, &ct))
+            }
+            None => Outcome::FetchNeeded { home, path },
+        }
+    }
+
+    /// Serve in the home role.
+    fn serve_home(&mut self, path: &str, req: &Request, _now_ms: u64) -> Outcome {
+        if !self.ldg.contains(path) {
+            self.stats.not_found += 1;
+            return Outcome::Response(Response::not_found());
+        }
+
+        let requester = req.headers.get("X-DCWS-Coop").map(ServerId::new);
+        // Co-op validation (§4.5 case 1): conditional re-request.
+        if let Some(v) = req.headers.get("X-DCWS-Validate") {
+            let v = v.to_string();
+            return Outcome::Response(self.answer_validation(path, &v, requester.as_ref()));
+        }
+        // Lazy-migration pull (§4.2): ship content with absolute links.
+        if req.headers.contains("X-DCWS-Pull") {
+            return Outcome::Response(self.answer_pull_checked(path, requester.as_ref()));
+        }
+
+        let location = self
+            .ldg
+            .get(path)
+            .map(|e| e.location.clone())
+            .expect("contains checked");
+        match location {
+            Location::Coop(_) => {
+                // §4.4: pre-migration address — redirect to the co-op.
+                self.stats.redirects += 1;
+                let url = self
+                    .migrated_doc_url(path, path)
+                    .expect("migrated doc has a co-op");
+                Outcome::Response(Response::moved_permanently(&url))
+            }
+            Location::Home => {
+                let Some((bytes, ct)) = self.home_content(path) else {
+                    // LDG/store inconsistency — treat as missing.
+                    self.stats.not_found += 1;
+                    return Outcome::Response(Response::not_found());
+                };
+                self.ldg.record_hit(path, bytes.len() as u64);
+                self.stats.served_home += 1;
+                self.stats.bytes_sent += bytes.len() as u64;
+                Outcome::Response(Response::ok(bytes, &ct))
+            }
+        }
+    }
+
+    /// Whether `requester` is (one of) the co-op(s) currently assigned to
+    /// host `path`. `None` (no identity header) is trusted for backward
+    /// compatibility.
+    fn is_current_coop(&self, path: &str, requester: Option<&ServerId>) -> bool {
+        let Some(requester) = requester else { return true };
+        match self.ldg.get(path).map(|e| &e.location) {
+            Some(Location::Coop(c)) => {
+                c == requester
+                    || self
+                        .replicas
+                        .get(path)
+                        .is_some_and(|r| r.contains(requester))
+            }
+            _ => false,
+        }
+    }
+
+    /// Answer a co-op validation: 304 when fresh, fresh content otherwise,
+    /// and a revocation notice when the migration was abandoned or moved
+    /// to a different co-op.
+    fn answer_validation(
+        &mut self,
+        path: &str,
+        peer_version: &str,
+        requester: Option<&ServerId>,
+    ) -> Response {
+        let peer_version: u64 = peer_version.trim().parse().unwrap_or(0);
+        let at_home = self
+            .ldg
+            .get(path)
+            .map(|e| e.location.is_home())
+            .unwrap_or(true);
+        if at_home || !self.is_current_coop(path, requester) {
+            // Revoked or re-targeted: tell this co-op to stand down.
+            let mut resp = Response::new(StatusCode::Ok);
+            resp.headers
+                .set("X-DCWS-Revoked", "1")
+                .expect("static header");
+            resp.headers
+                .set("Content-Length", "0")
+                .expect("static header");
+            self.stats.validations_refreshed += 1;
+            return resp;
+        }
+        let version = self.doc_version(path);
+        let dirty = self.ldg.get(path).is_some_and(|e| e.dirty);
+        if peer_version == version && !dirty {
+            self.stats.validations_not_modified += 1;
+            let mut resp = Response::not_modified();
+            resp.headers
+                .set("X-DCWS-Version", version.to_string())
+                .expect("numeric header");
+            return resp;
+        }
+        self.stats.validations_refreshed += 1;
+        self.answer_pull(path)
+    }
+
+    /// Answer a pull, but bounce pulls from a co-op that is no longer the
+    /// assigned host: `301` to wherever the document now lives, which the
+    /// stale co-op relays to its waiting clients.
+    fn answer_pull_checked(&mut self, path: &str, requester: Option<&ServerId>) -> Response {
+        let location = self.ldg.get(path).map(|e| e.location.clone());
+        match location {
+            Some(Location::Coop(_)) if self.is_current_coop(path, requester) => {
+                self.answer_pull(path)
+            }
+            Some(Location::Coop(_)) => {
+                // Re-targeted elsewhere: point at the current co-op.
+                self.stats.redirects += 1;
+                let url = self
+                    .migrated_doc_url(path, path)
+                    .expect("migrated doc has a co-op");
+                Response::moved_permanently(&url)
+            }
+            _ => {
+                // Back home (or never migrated): point at the home copy.
+                self.stats.redirects += 1;
+                let (h, p) = self.id.host_port();
+                let url = Url::absolute(h, p, path).expect("ldg names are valid paths");
+                Response::moved_permanently(&url)
+            }
+        }
+    }
+
+    /// Serve a pull: freshly regenerated content with absolute links.
+    fn answer_pull(&mut self, path: &str) -> Response {
+        let (bytes, version, ct) = self.pull_content(path);
+        self.stats.pulls_served += 1;
+        self.stats.bytes_sent += bytes.len() as u64;
+        Response::ok(bytes, &ct).with_header("X-DCWS-Version", &version.to_string())
+    }
+
+    /// Accept an eager-migration push into the co-op store.
+    fn accept_push(&mut self, req: &Request, now_ms: u64) -> Response {
+        let Some(home) = req.headers.get("X-DCWS-Home").map(ServerId::new) else {
+            self.stats.bad_requests += 1;
+            return Response::new(StatusCode::BadRequest);
+        };
+        let Ok(url) = req.url() else {
+            self.stats.bad_requests += 1;
+            return Response::new(StatusCode::BadRequest);
+        };
+        let version = req
+            .headers
+            .get("X-DCWS-Version")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let content_type = req
+            .headers
+            .get("Content-Type")
+            .unwrap_or("application/octet-stream")
+            .to_string();
+        self.coop_docs.insert(
+            (home, url.path().to_string()),
+            CoopDoc {
+                bytes: req.body.clone(),
+                content_type,
+                version,
+                fetched_at: now_ms,
+                revoked: false,
+            },
+        );
+        let mut resp = Response::new(StatusCode::Ok);
+        resp.headers
+            .set("Content-Length", "0")
+            .expect("static header");
+        resp
+    }
+
+    /// Store the result of a lazy pull from `home` (§4.2: "a copy is
+    /// stored on the co-op server's local disk for future purposes").
+    /// Returns whether the pull succeeded.
+    pub fn store_pulled(
+        &mut self,
+        home: &ServerId,
+        path: &str,
+        resp: &Response,
+        now_ms: u64,
+    ) -> bool {
+        self.ingest_reports(&resp.headers);
+        if resp.status != StatusCode::Ok {
+            return false;
+        }
+        let version = resp
+            .headers
+            .get("X-DCWS-Version")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let content_type = resp
+            .headers
+            .get("Content-Type")
+            .unwrap_or("application/octet-stream")
+            .to_string();
+        let key = (home.clone(), path.to_string());
+        self.coop_moved.remove(&key);
+        self.coop_docs.insert(
+            key,
+            CoopDoc {
+                bytes: resp.body.clone(),
+                content_type,
+                version,
+                fetched_at: now_ms,
+                revoked: false,
+            },
+        );
+        true
+    }
+
+    /// Digest a *rejected* pull: the home answered with a redirect because
+    /// the document lives elsewhere (re-targeted, or back home). Store a
+    /// moved-tombstone so subsequent requests 301 straight there instead
+    /// of pulling again; it expires after T_val so the assignment is
+    /// eventually re-checked.
+    pub fn pull_rejected(&mut self, home: &ServerId, path: &str, resp: &Response, now_ms: u64) {
+        self.ingest_reports(&resp.headers);
+        if !resp.status.is_redirect() {
+            return;
+        }
+        let Some(location) = resp.location() else { return };
+        let key = (home.clone(), path.to_string());
+        // The old copy, if any, is superseded.
+        self.coop_docs.remove(&key);
+        self.coop_moved
+            .insert(key, (location, now_ms + self.cfg.validation_interval_ms));
+    }
+
+    /// Digest a validation response from `home` for `path` (§4.5).
+    pub fn handle_validation_response(
+        &mut self,
+        home: &ServerId,
+        path: &str,
+        resp: &Response,
+        now_ms: u64,
+    ) {
+        self.ingest_reports(&resp.headers);
+        let key = (home.clone(), path.to_string());
+        let Some(doc) = self.coop_docs.get_mut(&key) else {
+            return;
+        };
+        match resp.status {
+            StatusCode::NotModified => {
+                doc.fetched_at = now_ms;
+            }
+            StatusCode::Ok if resp.headers.contains("X-DCWS-Revoked") => {
+                // Keep the bytes as crash insurance, stop serving them.
+                doc.revoked = true;
+                doc.fetched_at = now_ms;
+            }
+            StatusCode::Ok => {
+                doc.bytes = resp.body.clone();
+                doc.version = resp
+                    .headers
+                    .get("X-DCWS-Version")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(doc.version + 1);
+                if let Some(ct) = resp.headers.get("Content-Type") {
+                    doc.content_type = ct.to_string();
+                }
+                doc.fetched_at = now_ms;
+                doc.revoked = false;
+            }
+            _ => {} // transient failure: retry at next T_val
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Engine-level counters used by the experiments.
+
+/// Monotonic counters describing everything a server engine has done.
+///
+/// The Figure 8 time series, the §5.3 overhead numbers, and the ablation
+/// benches are all reductions over these counters (sampled per interval by
+/// the harness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct EngineStats {
+    /// Total requests handled (all outcomes).
+    pub requests: u64,
+    /// 200 responses for documents served at home.
+    pub served_home: u64,
+    /// 200 responses for migrated documents served in the co-op role.
+    pub served_coop: u64,
+    /// 301 redirects for post-migration requests arriving at home (§4.4).
+    pub redirects: u64,
+    /// 404 responses.
+    pub not_found: u64,
+    /// 400 responses.
+    pub bad_requests: u64,
+    /// Pull requests served to co-op servers (lazy physical migration).
+    pub pulls_served: u64,
+    /// Validation requests answered 304 Not Modified.
+    pub validations_not_modified: u64,
+    /// Validation requests answered with fresh content.
+    pub validations_refreshed: u64,
+    /// Documents re-parsed and regenerated with rewritten hyperlinks.
+    pub regenerations: u64,
+    /// Logical migrations performed.
+    pub migrations: u64,
+    /// Migrations revoked (imbalance, content change, or dead co-op).
+    pub revocations: u64,
+    /// Standing migrations re-targeted to a different co-op (T_home).
+    pub remigrations: u64,
+    /// Artificial pinger transfers emitted.
+    pub pings_sent: u64,
+    /// Peers declared dead after repeated ping failures.
+    pub peers_declared_dead: u64,
+    /// Total body bytes sent in 200 responses.
+    pub bytes_sent: u64,
+    /// Replica registrations performed by the hot-spot extension.
+    pub replicas_created: u64,
+}
+
+impl EngineStats {
+    /// Difference `self - earlier`, for per-interval sampling.
+    pub fn delta(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            requests: self.requests - earlier.requests,
+            served_home: self.served_home - earlier.served_home,
+            served_coop: self.served_coop - earlier.served_coop,
+            redirects: self.redirects - earlier.redirects,
+            not_found: self.not_found - earlier.not_found,
+            bad_requests: self.bad_requests - earlier.bad_requests,
+            pulls_served: self.pulls_served - earlier.pulls_served,
+            validations_not_modified: self.validations_not_modified
+                - earlier.validations_not_modified,
+            validations_refreshed: self.validations_refreshed - earlier.validations_refreshed,
+            regenerations: self.regenerations - earlier.regenerations,
+            migrations: self.migrations - earlier.migrations,
+            revocations: self.revocations - earlier.revocations,
+            remigrations: self.remigrations - earlier.remigrations,
+            pings_sent: self.pings_sent - earlier.pings_sent,
+            peers_declared_dead: self.peers_declared_dead - earlier.peers_declared_dead,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            replicas_created: self.replicas_created - earlier.replicas_created,
+        }
+    }
+
+    /// All 200-class serves (home + co-op roles).
+    pub fn served_total(&self) -> u64 {
+        self.served_home + self.served_coop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let a = EngineStats { requests: 10, served_home: 7, redirects: 2, ..Default::default() };
+        let b = EngineStats { requests: 25, served_home: 15, redirects: 5, ..Default::default() };
+        let d = b.delta(&a);
+        assert_eq!(d.requests, 15);
+        assert_eq!(d.served_home, 8);
+        assert_eq!(d.redirects, 3);
+        assert_eq!(d.not_found, 0);
+    }
+
+    #[test]
+    fn served_total_sums_roles() {
+        let s = EngineStats { served_home: 3, served_coop: 4, ..Default::default() };
+        assert_eq!(s.served_total(), 7);
+    }
+}

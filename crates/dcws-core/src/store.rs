@@ -1,0 +1,233 @@
+//! Document content storage.
+//!
+//! The home server keeps a *permanent copy of the original document* for
+//! "consistency and robustness" (§3.2), plus a regenerated current copy
+//! when hyperlinks have been rewritten. [`MemStore`] backs the simulator
+//! and tests; [`DiskStore`] backs the real TCP server, mirroring the
+//! prototype's behaviour of writing regenerated documents back to their
+//! HTML source files.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Key-value store of document bytes, keyed by canonical document name
+/// (`/path/doc.html`).
+pub trait DocStore: Send {
+    /// Fetch a document's bytes.
+    fn get(&self, name: &str) -> Option<Vec<u8>>;
+    /// Store (or replace) a document's bytes.
+    fn put(&mut self, name: &str, bytes: Vec<u8>);
+    /// Remove a document; returns whether it existed.
+    fn remove(&mut self, name: &str) -> bool;
+    /// Whether a document exists.
+    fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+    /// Number of stored documents.
+    fn len(&self) -> usize;
+    /// Whether the store is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// In-memory store; the paper assumes the graph and (here) documents fit
+/// in memory for the datasets at hand.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    map: HashMap<String, Vec<u8>>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DocStore for MemStore {
+    fn get(&self, name: &str) -> Option<Vec<u8>> {
+        self.map.get(name).cloned()
+    }
+    fn put(&mut self, name: &str, bytes: Vec<u8>) {
+        self.map.insert(name.to_string(), bytes);
+    }
+    fn remove(&mut self, name: &str) -> bool {
+        self.map.remove(name).is_some()
+    }
+    fn contains(&self, name: &str) -> bool {
+        self.map.contains_key(name)
+    }
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Filesystem-backed store rooted at a directory. Document names map to
+/// paths under the root; traversal outside the root is rejected.
+#[derive(Debug)]
+pub struct DiskStore {
+    root: PathBuf,
+}
+
+impl DiskStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> io::Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        Ok(DiskStore { root })
+    }
+
+    /// Root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Map a document name to a path under the root, rejecting names that
+    /// escape it (`..` segments) or smuggle NULs.
+    fn path_for(&self, name: &str) -> Option<PathBuf> {
+        if name.contains('\0') {
+            return None;
+        }
+        let rel = name.trim_start_matches('/');
+        if rel.is_empty() {
+            return None;
+        }
+        let mut p = self.root.clone();
+        for seg in rel.split('/') {
+            if seg.is_empty() || seg == "." || seg == ".." {
+                return None;
+            }
+            p.push(seg);
+        }
+        Some(p)
+    }
+}
+
+impl DocStore for DiskStore {
+    fn get(&self, name: &str) -> Option<Vec<u8>> {
+        std::fs::read(self.path_for(name)?).ok()
+    }
+
+    fn put(&mut self, name: &str, bytes: Vec<u8>) {
+        let Some(p) = self.path_for(name) else { return };
+        if let Some(parent) = p.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        // Write-rename for atomicity: a concurrent reader sees old or new,
+        // never a torn file.
+        let tmp = p.with_extension("tmp-dcws");
+        if std::fs::write(&tmp, &bytes).is_ok() {
+            let _ = std::fs::rename(&tmp, &p);
+        }
+    }
+
+    fn remove(&mut self, name: &str) -> bool {
+        self.path_for(name)
+            .map(|p| std::fs::remove_file(p).is_ok())
+            .unwrap_or(false)
+    }
+
+    fn len(&self) -> usize {
+        fn count(dir: &Path) -> usize {
+            std::fs::read_dir(dir)
+                .map(|rd| {
+                    rd.flatten()
+                        .map(|e| {
+                            let p = e.path();
+                            if p.is_dir() {
+                                count(&p)
+                            } else {
+                                1
+                            }
+                        })
+                        .sum()
+                })
+                .unwrap_or(0)
+        }
+        count(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_store_basics() {
+        let mut s = MemStore::new();
+        assert!(s.is_empty());
+        s.put("/a.html", b"hello".to_vec());
+        assert_eq!(s.get("/a.html").unwrap(), b"hello");
+        assert!(s.contains("/a.html"));
+        assert_eq!(s.len(), 1);
+        s.put("/a.html", b"world".to_vec());
+        assert_eq!(s.get("/a.html").unwrap(), b"world");
+        assert!(s.remove("/a.html"));
+        assert!(!s.remove("/a.html"));
+        assert!(s.get("/a.html").is_none());
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "dcws-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn disk_store_round_trip() {
+        let dir = tmp_dir("rt");
+        let mut s = DiskStore::open(&dir).unwrap();
+        s.put("/sub/dir/x.html", b"content".to_vec());
+        assert_eq!(s.get("/sub/dir/x.html").unwrap(), b"content");
+        assert_eq!(s.len(), 1);
+        assert!(s.remove("/sub/dir/x.html"));
+        assert!(s.get("/sub/dir/x.html").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_store_rejects_traversal() {
+        let dir = tmp_dir("trav");
+        let mut s = DiskStore::open(&dir).unwrap();
+        s.put("/../escape.html", b"evil".to_vec());
+        assert!(s.get("/../escape.html").is_none());
+        assert!(!dir.parent().unwrap().join("escape.html").exists());
+        s.put("/a/../../b.html", b"evil".to_vec());
+        assert_eq!(s.len(), 0);
+        assert!(!s.remove("/.."));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_store_rejects_empty_and_nul() {
+        let dir = tmp_dir("nul");
+        let mut s = DiskStore::open(&dir).unwrap();
+        s.put("/", b"x".to_vec());
+        s.put("", b"x".to_vec());
+        s.put("/a\0b", b"x".to_vec());
+        assert_eq!(s.len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_store_overwrite_is_atomic_rename() {
+        let dir = tmp_dir("atomic");
+        let mut s = DiskStore::open(&dir).unwrap();
+        s.put("/x.html", b"one".to_vec());
+        s.put("/x.html", b"two".to_vec());
+        assert_eq!(s.get("/x.html").unwrap(), b"two");
+        // No stray temp files left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp-dcws"))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,552 @@
+//! End-to-end engine tests: the full migration / redirect / pull /
+//! validation / revocation protocol between two or more engines, with no
+//! transport — requests and responses are handed across directly.
+
+use dcws_core::{MemStore, Outcome, ServerConfig, ServerEngine};
+use dcws_graph::{DocKind, Location, ServerId};
+use dcws_http::{Request, Response, StatusCode};
+
+const T_ST: u64 = 10_000;
+const T_VAL: u64 = 120_000;
+
+fn home_id() -> ServerId {
+    ServerId::new("home:8000")
+}
+fn coop_id() -> ServerId {
+    ServerId::new("coop1:8001")
+}
+
+/// A home engine with a tiny site: entry /index.html -> /d.html, /e.html;
+/// /d.html -> /e.html; one image embedded in /index.html.
+fn make_home(cfg: ServerConfig) -> ServerEngine {
+    let mut e = ServerEngine::new(home_id(), cfg, Box::new(MemStore::new()));
+    e.publish(
+        "/index.html",
+        br#"<html><body><a href="/d.html">D</a> <a href="/e.html">E</a> <img src="/i.gif"></body></html>"#.to_vec(),
+        DocKind::Html,
+        true,
+    );
+    e.publish(
+        "/d.html",
+        br#"<html><body><a href="/e.html">E</a> doc D</body></html>"#.to_vec(),
+        DocKind::Html,
+        false,
+    );
+    e.publish("/e.html", b"<html><body>doc E</body></html>".to_vec(), DocKind::Html, false);
+    e.publish("/i.gif", vec![0xAB; 64], DocKind::Image, false);
+    e
+}
+
+fn make_coop() -> ServerEngine {
+    ServerEngine::new(coop_id(), ServerConfig::paper_defaults(), Box::new(MemStore::new()))
+}
+
+fn get(engine: &mut ServerEngine, path: &str, now: u64) -> Response {
+    engine
+        .handle_request(&Request::get(path), now)
+        .into_response()
+        .expect("expected a direct response")
+}
+
+/// Drive enough traffic and a tick that the home decides to migrate.
+/// Returns the (doc, coop) pairs migrated.
+fn force_migration(home: &mut ServerEngine, now: u64) -> Vec<(String, ServerId)> {
+    home.add_peer(coop_id());
+    for _ in 0..80 {
+        get(home, "/d.html", now - 1000);
+    }
+    home.tick(now).migrated
+}
+
+#[test]
+fn serves_published_documents() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    let r = get(&mut home, "/index.html", 0);
+    assert_eq!(r.status, StatusCode::Ok);
+    assert!(String::from_utf8_lossy(&r.body).contains("/d.html"));
+    assert_eq!(r.headers.get("Content-Type"), Some("text/html"));
+
+    let r = get(&mut home, "/i.gif", 0);
+    assert_eq!(r.status, StatusCode::Ok);
+    assert_eq!(r.body, vec![0xAB; 64]);
+}
+
+#[test]
+fn unknown_document_is_404() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    assert_eq!(get(&mut home, "/nope.html", 0).status, StatusCode::NotFound);
+    assert_eq!(home.stats().not_found, 1);
+}
+
+#[test]
+fn malformed_target_is_400() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    let r = home
+        .handle_request(&Request::get("no-leading-slash"), 0)
+        .into_response()
+        .unwrap();
+    assert_eq!(r.status, StatusCode::BadRequest);
+}
+
+#[test]
+fn ldg_built_from_published_html() {
+    let home = make_home(ServerConfig::paper_defaults());
+    let idx = home.ldg().get("/index.html").unwrap();
+    assert!(idx.entry_point);
+    assert_eq!(idx.link_to.len(), 3, "two anchors + one image");
+    let d = home.ldg().get("/d.html").unwrap();
+    assert_eq!(d.link_to, vec!["/e.html".to_string()]);
+    let e = home.ldg().get("/e.html").unwrap();
+    let mut from = e.link_from.clone();
+    from.sort();
+    assert_eq!(from, vec!["/d.html".to_string(), "/index.html".to_string()]);
+    assert!(home.ldg().check_symmetry().is_none());
+}
+
+#[test]
+fn tick_migrates_under_load() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    let migrated = force_migration(&mut home, T_ST);
+    assert_eq!(migrated.len(), 1);
+    let (doc, coop) = &migrated[0];
+    assert_eq!(doc, "/d.html", "the hottest eligible doc");
+    assert_eq!(coop, &coop_id());
+    assert_eq!(home.stats().migrations, 1);
+    assert_eq!(
+        home.ldg().get("/d.html").unwrap().location,
+        Location::Coop(coop_id())
+    );
+}
+
+#[test]
+fn no_migration_without_load() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    home.add_peer(coop_id());
+    let out = home.tick(T_ST);
+    assert!(out.migrated.is_empty(), "idle server must not migrate");
+}
+
+#[test]
+fn no_migration_without_peers() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    for _ in 0..80 {
+        get(&mut home, "/d.html", 9_000);
+    }
+    assert!(home.tick(T_ST).migrated.is_empty());
+}
+
+#[test]
+fn migrated_doc_redirects_with_naming_convention() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    force_migration(&mut home, T_ST);
+    let r = get(&mut home, "/d.html", T_ST + 1);
+    assert_eq!(r.status, StatusCode::MovedPermanently);
+    assert_eq!(
+        r.headers.get("Location"),
+        Some("http://coop1:8001/~migrate/home/8000/d.html")
+    );
+    assert_eq!(home.stats().redirects, 1);
+}
+
+#[test]
+fn dirty_sources_regenerate_with_rewritten_links() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    force_migration(&mut home, T_ST);
+    // /index.html links to /d.html → dirty → regenerated on next request.
+    assert!(home.ldg().get("/index.html").unwrap().dirty);
+    let r = get(&mut home, "/index.html", T_ST + 1);
+    let body = String::from_utf8_lossy(&r.body).into_owned();
+    assert!(
+        body.contains(r#"href="http://coop1:8001/~migrate/home/8000/d.html""#),
+        "rewritten: {body}"
+    );
+    assert!(body.contains(r#"href="/e.html""#), "unmigrated link untouched");
+    assert!(!home.ldg().get("/index.html").unwrap().dirty);
+    assert_eq!(home.stats().regenerations, 1);
+    // Second request serves the cached regeneration.
+    get(&mut home, "/index.html", T_ST + 2);
+    assert_eq!(home.stats().regenerations, 1);
+}
+
+#[test]
+fn lazy_pull_flow_end_to_end() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    let mut coop = make_coop();
+    force_migration(&mut home, T_ST);
+    let now = T_ST + 5;
+
+    // Client follows the redirect to the co-op, which misses.
+    let migrate_path = "/~migrate/home/8000/d.html";
+    let outcome = coop.handle_request(&Request::get(migrate_path), now);
+    let Outcome::FetchNeeded { home: h, path } = outcome else {
+        panic!("expected FetchNeeded");
+    };
+    assert_eq!(h, home_id());
+    assert_eq!(path, "/d.html");
+
+    // Co-op pulls from home.
+    let pull = coop.make_pull_request(&path, now);
+    let pull_resp = home.handle_request(&pull, now).into_response().unwrap();
+    assert_eq!(pull_resp.status, StatusCode::Ok);
+    assert_eq!(home.stats().pulls_served, 1);
+    // Pulled content has absolute links (it will be served from the coop).
+    let body = String::from_utf8_lossy(&pull_resp.body).into_owned();
+    assert!(body.contains(r#"href="http://home:8000/e.html""#), "{body}");
+
+    assert!(coop.store_pulled(&h, &path, &pull_resp, now));
+    assert_eq!(coop.coop_doc_count(), 1);
+
+    // Retry now serves from the co-op copy.
+    let r = coop
+        .handle_request(&Request::get(migrate_path), now + 1)
+        .into_response()
+        .unwrap();
+    assert_eq!(r.status, StatusCode::Ok);
+    assert_eq!(r.body, pull_resp.body);
+    assert_eq!(coop.stats().served_coop, 1);
+
+    // Subsequent requests hit the local copy directly.
+    let r2 = coop
+        .handle_request(&Request::get(migrate_path), now + 2)
+        .into_response()
+        .unwrap();
+    assert_eq!(r2.status, StatusCode::Ok);
+}
+
+#[test]
+fn piggyback_gossip_updates_glt() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    let mut coop = make_coop();
+    force_migration(&mut home, T_ST);
+    // Co-op pulls; home's response carries piggybacked load reports.
+    let pull = coop.make_pull_request("/d.html", T_ST + 5);
+    // The pull request itself carries coop's (zero) load to home.
+    let resp = home.handle_request(&pull, T_ST + 5).into_response().unwrap();
+    assert!(home.glt().get(&coop_id()).is_some(), "home learned of coop via request");
+    coop.store_pulled(&home_id(), "/d.html", &resp, T_ST + 5);
+    let info = coop.glt().get(&home_id()).expect("coop learned home's load");
+    assert!(info.cps > 0.0, "home was busy: {}", info.cps);
+}
+
+#[test]
+fn validation_not_modified_when_fresh() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    let mut coop = make_coop();
+    force_migration(&mut home, T_ST);
+    let now = T_ST + 5;
+    let pull = coop.make_pull_request("/d.html", now);
+    let resp = home.handle_request(&pull, now).into_response().unwrap();
+    coop.store_pulled(&home_id(), "/d.html", &resp, now);
+
+    // T_val later, the co-op's tick emits a validation.
+    let later = now + T_VAL;
+    let out = coop.tick(later);
+    assert_eq!(out.validations.len(), 1);
+    let (to, req) = &out.validations[0];
+    assert_eq!(to, &home_id());
+    let vresp = home.handle_request(req, later).into_response().unwrap();
+    assert_eq!(vresp.status, StatusCode::NotModified);
+    coop.handle_validation_response(&home_id(), "/d.html", &vresp, later);
+    // No duplicate validation until another T_val passes.
+    assert!(coop.tick(later + 1000).validations.is_empty());
+}
+
+#[test]
+fn validation_refreshes_after_author_update() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    let mut coop = make_coop();
+    force_migration(&mut home, T_ST);
+    let now = T_ST + 5;
+    let pull = coop.make_pull_request("/d.html", now);
+    let resp = home.handle_request(&pull, now).into_response().unwrap();
+    coop.store_pulled(&home_id(), "/d.html", &resp, now);
+
+    // Author edits the document on the home server (§4.5 case 1).
+    home.publish(
+        "/d.html",
+        b"<html><body>doc D version 2</body></html>".to_vec(),
+        DocKind::Html,
+        false,
+    );
+    // It must stay migrated.
+    assert!(!home.ldg().get("/d.html").unwrap().location.is_home());
+
+    let later = now + T_VAL;
+    let out = coop.tick(later);
+    let (_, req) = &out.validations[0];
+    let vresp = home.handle_request(req, later).into_response().unwrap();
+    assert_eq!(vresp.status, StatusCode::Ok);
+    coop.handle_validation_response(&home_id(), "/d.html", &vresp, later);
+
+    let r = coop
+        .handle_request(&Request::get("/~migrate/home/8000/d.html"), later + 1)
+        .into_response()
+        .unwrap();
+    assert!(String::from_utf8_lossy(&r.body).contains("version 2"));
+}
+
+#[test]
+fn revocation_via_validation_then_redirect_home() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    let mut coop = make_coop();
+    force_migration(&mut home, T_ST);
+    let now = T_ST + 5;
+    let pull = coop.make_pull_request("/d.html", now);
+    let resp = home.handle_request(&pull, now).into_response().unwrap();
+    coop.store_pulled(&home_id(), "/d.html", &resp, now);
+
+    // Home declares the co-op dead (simulating recall) — or any revocation
+    // path; here we use peer death which recalls documents.
+    let recalled = home.declare_peer_dead(&coop_id());
+    assert_eq!(recalled, vec!["/d.html".to_string()]);
+    assert!(home.ldg().get("/d.html").unwrap().location.is_home());
+    assert_eq!(home.stats().revocations, 1);
+
+    // The co-op validates; home answers with a revocation notice.
+    let later = now + T_VAL;
+    let out = coop.tick(later);
+    let (_, req) = &out.validations[0];
+    let vresp = home.handle_request(req, later).into_response().unwrap();
+    assert_eq!(vresp.status, StatusCode::Ok);
+    assert!(vresp.headers.contains("X-DCWS-Revoked"));
+    coop.handle_validation_response(&home_id(), "/d.html", &vresp, later);
+
+    // A stale ~migrate URL triggers a re-check with the home, whose 301
+    // answer is remembered as a moved-tombstone and relayed.
+    let Outcome::FetchNeeded { home: h, path } =
+        coop.handle_request(&Request::get("/~migrate/home/8000/d.html"), later + 1)
+    else {
+        panic!("revoked copy must be re-checked with the home");
+    };
+    let pull = coop.make_pull_request(&path, later + 1);
+    let pull_resp = home.handle_request(&pull, later + 1).into_response().unwrap();
+    assert_eq!(pull_resp.status, StatusCode::MovedPermanently);
+    assert_eq!(pull_resp.headers.get("Location"), Some("http://home:8000/d.html"));
+    assert!(!coop.store_pulled(&h, &path, &pull_resp, later + 1));
+    coop.pull_rejected(&h, &path, &pull_resp, later + 1);
+
+    // Subsequent requests 301 straight home from the tombstone.
+    let r = coop
+        .handle_request(&Request::get("/~migrate/home/8000/d.html"), later + 2)
+        .into_response()
+        .unwrap();
+    assert_eq!(r.status, StatusCode::MovedPermanently);
+    assert_eq!(r.headers.get("Location"), Some("http://home:8000/d.html"));
+
+    // And home serves it directly again, with links restored.
+    let r = get(&mut home, "/d.html", later + 2);
+    assert_eq!(r.status, StatusCode::Ok);
+}
+
+#[test]
+fn revocation_dirties_sources_back() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    force_migration(&mut home, T_ST);
+    // Regenerate /index.html with the migrated link...
+    let r = get(&mut home, "/index.html", T_ST + 1);
+    assert!(String::from_utf8_lossy(&r.body).contains("~migrate"));
+    // ...then recall and check the link is restored to the original form.
+    home.declare_peer_dead(&coop_id());
+    let r = get(&mut home, "/index.html", T_ST + 2);
+    let body = String::from_utf8_lossy(&r.body).into_owned();
+    assert!(body.contains(r#"href="/d.html""#), "restored: {body}");
+    assert!(!body.contains("~migrate"));
+}
+
+#[test]
+fn pinger_emits_and_dead_peer_excluded_from_targets() {
+    let mut cfg = ServerConfig::paper_defaults();
+    cfg.ping_failure_limit = 2;
+    let mut home = make_home(cfg);
+    home.add_peer(coop_id());
+
+    // Peer info is stale (ts 0), so past T_pi the tick emits a ping.
+    let out = home.tick(25_000);
+    assert_eq!(out.pings.len(), 1);
+    assert_eq!(out.pings[0].0, coop_id());
+    assert!(out.pings[0].1.headers.contains("X-DCWS-Ping"));
+    assert_eq!(home.stats().pings_sent, 1);
+
+    // Two failures → declared dead.
+    assert!(home.ping_result(&coop_id(), false, None).is_empty());
+    home.ping_result(&coop_id(), false, None);
+    assert_eq!(home.stats().peers_declared_dead, 1);
+
+    // Dead peers are not migration targets.
+    for _ in 0..80 {
+        get(&mut home, "/d.html", 29_000);
+    }
+    assert!(home.tick(30_000).migrated.is_empty());
+}
+
+#[test]
+fn ping_response_resurrects_peer() {
+    let mut cfg = ServerConfig::paper_defaults();
+    cfg.ping_failure_limit = 1;
+    let mut home = make_home(cfg);
+    home.add_peer(coop_id());
+    home.ping_result(&coop_id(), false, None);
+    assert_eq!(home.stats().peers_declared_dead, 1);
+
+    // A fresh report from the peer (via any message) resurrects it.
+    let mut coop = make_coop();
+    let mut req = Request::get("/index.html");
+    coop.attach_reports(&mut req.headers, 50_000);
+    home.handle_request(&req, 50_000);
+    for _ in 0..80 {
+        get(&mut home, "/d.html", 59_000);
+    }
+    let out = home.tick(60_000);
+    assert_eq!(out.migrated.len(), 1, "resurrected peer is a target again");
+}
+
+#[test]
+fn ping_request_answered_with_piggyback() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    get(&mut home, "/index.html", 100);
+    let ping = Request::head("/").with_header("X-DCWS-Ping", "1");
+    let r = home.handle_request(&ping, 200).into_response().unwrap();
+    assert_eq!(r.status, StatusCode::Ok);
+    assert!(r.headers.get("X-DCWS-Load").is_some());
+}
+
+#[test]
+fn t_coop_rate_limits_migrations_to_same_coop() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    home.add_peer(coop_id());
+    for _ in 0..200 {
+        get(&mut home, "/d.html", 9_000);
+        get(&mut home, "/e.html", 9_000);
+    }
+    assert_eq!(home.tick(T_ST).migrated.len(), 1);
+    // 10 s later the home may migrate again, but the only co-op is inside
+    // its 60 s window → nothing happens.
+    for _ in 0..200 {
+        get(&mut home, "/e.html", 19_000);
+    }
+    assert!(home.tick(2 * T_ST).migrated.is_empty());
+    // After T_coop expires the next migration goes through.
+    for _ in 0..200 {
+        get(&mut home, "/e.html", 74_000);
+    }
+    let out = home.tick(80_000);
+    assert_eq!(out.migrated.len(), 1);
+}
+
+#[test]
+fn second_coop_allows_back_to_back_migrations() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    home.add_peer(coop_id());
+    home.add_peer(ServerId::new("coop2:8002"));
+    for _ in 0..200 {
+        get(&mut home, "/d.html", 9_000);
+        get(&mut home, "/e.html", 9_000);
+    }
+    let first = home.tick(T_ST).migrated;
+    assert_eq!(first.len(), 1);
+    for _ in 0..200 {
+        get(&mut home, "/e.html", 19_000);
+    }
+    let second = home.tick(2 * T_ST).migrated;
+    assert_eq!(second.len(), 1);
+    assert_ne!(first[0].1, second[0].1, "different co-ops");
+}
+
+#[test]
+fn eager_migration_pushes_content() {
+    let mut cfg = ServerConfig::paper_defaults();
+    cfg.eager_migration = true;
+    let mut home = make_home(cfg);
+    let mut coop = make_coop();
+    home.add_peer(coop_id());
+    for _ in 0..80 {
+        get(&mut home, "/d.html", 9_000);
+    }
+    let out = home.tick(T_ST);
+    assert_eq!(out.migrated.len(), 1);
+    assert_eq!(out.pushes.len(), 1);
+    let (to, push) = &out.pushes[0];
+    assert_eq!(to, &coop_id());
+    let r = coop.handle_request(push, T_ST).into_response().unwrap();
+    assert_eq!(r.status, StatusCode::Ok);
+    // No FetchNeeded: content is already there.
+    let r = coop
+        .handle_request(&Request::get("/~migrate/home/8000/d.html"), T_ST + 1)
+        .into_response()
+        .expect("push made the copy available");
+    assert_eq!(r.status, StatusCode::Ok);
+    assert!(String::from_utf8_lossy(&r.body).contains("doc D"));
+}
+
+#[test]
+fn hot_replication_creates_replicas() {
+    let mut cfg = ServerConfig::paper_defaults();
+    cfg.hot_replication = Some(dcws_core::HotReplication { hot_fraction: 0.5, max_replicas: 3 });
+    let mut home = make_home(cfg);
+    home.add_peer(ServerId::new("c1:1"));
+    home.add_peer(ServerId::new("c2:1"));
+    home.add_peer(ServerId::new("c3:1"));
+    // /d.html draws nearly all traffic → hot.
+    for _ in 0..300 {
+        get(&mut home, "/d.html", 9_000);
+    }
+    let out = home.tick(T_ST);
+    // One primary migration plus replicas, all for /d.html.
+    assert!(out.migrated.len() >= 2, "migrated: {:?}", out.migrated);
+    assert!(out.migrated.iter().all(|(d, _)| d == "/d.html"));
+    let coops: std::collections::HashSet<_> =
+        out.migrated.iter().map(|(_, c)| c.clone()).collect();
+    assert_eq!(coops.len(), out.migrated.len(), "distinct replica targets");
+    assert!(home.stats().replicas_created >= 1);
+}
+
+#[test]
+fn versions_stable_for_clean_serves() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    let v0 = home.doc_version("/index.html");
+    get(&mut home, "/index.html", 0);
+    get(&mut home, "/index.html", 1);
+    assert_eq!(home.doc_version("/index.html"), v0);
+    home.publish("/index.html", b"<p>new</p>".to_vec(), DocKind::Html, true);
+    assert!(home.doc_version("/index.html") > v0);
+}
+
+#[test]
+fn head_request_keeps_engine_behaviour() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    let r = home
+        .handle_request(&Request::head("/index.html"), 0)
+        .into_response()
+        .unwrap();
+    // Engine produces the full response; the transport strips the body for
+    // HEAD per RFC 2616.
+    assert_eq!(r.status, StatusCode::Ok);
+    assert!(!r.body.is_empty());
+    let wire = r.to_bytes_for(true);
+    assert!(!wire.ends_with(b"</html>"));
+}
+
+#[test]
+fn hits_recorded_and_rotated_by_tick() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    for _ in 0..5 {
+        get(&mut home, "/e.html", 500);
+    }
+    assert_eq!(home.ldg().get("/e.html").unwrap().hits, 0);
+    home.tick(T_ST);
+    assert_eq!(home.ldg().get("/e.html").unwrap().hits, 5);
+}
+
+#[test]
+fn stats_counters_consistent() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    get(&mut home, "/index.html", 0);
+    get(&mut home, "/nope.html", 1);
+    home.handle_request(&Request::get("bad"), 2);
+    let s = home.stats();
+    assert_eq!(s.requests, 3);
+    assert_eq!(s.served_home, 1);
+    assert_eq!(s.not_found, 1);
+    assert_eq!(s.bad_requests, 1);
+    assert!(s.bytes_sent > 0);
+}

@@ -1,0 +1,138 @@
+//! Property-based tests on the engine and the naming convention.
+
+use dcws_core::{decode_migrate_path, migrate_url, MemStore, ServerConfig, ServerEngine};
+use dcws_graph::{DocKind, ServerId};
+use dcws_http::Request;
+use proptest::prelude::*;
+
+fn path_strategy() -> impl Strategy<Value = String> {
+    // Segments start alphanumeric so `.`/`..` dot-segments (which URL
+    // normalization legitimately collapses) can't be generated.
+    proptest::string::string_regex("(/[a-z0-9][a-z0-9_.-]{0,9}){1,4}\\.html").unwrap()
+}
+
+fn host_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z][a-z0-9.-]{0,15}").unwrap()
+}
+
+proptest! {
+    #[test]
+    fn migrate_naming_round_trips(
+        coop_host in host_strategy(),
+        coop_port in 1u16..,
+        home_host in host_strategy(),
+        home_port in 1u16..,
+        path in path_strategy(),
+    ) {
+        let coop = ServerId::new(format!("{coop_host}:{coop_port}"));
+        let home = ServerId::new(format!("{home_host}:{home_port}"));
+        let url = migrate_url(&coop, &home, &path).unwrap();
+        let decoded = decode_migrate_path(url.path()).unwrap().expect("is a migrate path");
+        prop_assert_eq!(decoded.home, home);
+        prop_assert_eq!(decoded.path, path);
+        // And the URL points at the co-op.
+        prop_assert_eq!(url.host().unwrap(), coop_host.as_str());
+        prop_assert_eq!(url.port(), coop_port);
+    }
+
+    #[test]
+    fn decode_never_panics_on_arbitrary_paths(path in "/[ -~]{0,60}") {
+        let _ = decode_migrate_path(&path);
+    }
+
+    /// Build a random site, hammer random paths, tick, migrate, revoke —
+    /// the engine must never panic, and every *home-resident* document must
+    /// keep serving with success.
+    #[test]
+    fn engine_survives_random_traffic(
+        links in proptest::collection::vec(
+            proptest::collection::vec(0usize..12, 0..5), 3..12),
+        requests in proptest::collection::vec((0usize..14, 0u64..20_000), 0..60),
+        revoke_peer in any::<bool>(),
+    ) {
+        let n = links.len();
+        let name = |i: usize| format!("/doc{i}.html");
+        let mut engine = ServerEngine::new(
+            ServerId::new("h:80"),
+            ServerConfig { selection_threshold: 1, ..ServerConfig::paper_defaults() },
+            Box::new(MemStore::new()),
+        );
+        engine.add_peer(ServerId::new("c:81"));
+        for (i, ls) in links.iter().enumerate() {
+            let body: String = ls
+                .iter()
+                .filter(|&&t| t < n)
+                .map(|&t| format!("<a href=\"{}\">x</a>", name(t)))
+                .collect();
+            engine.publish(&name(i), format!("<html><body>{body}</body></html>").into_bytes(),
+                           DocKind::Html, i == 0);
+        }
+        let mut t_max = 0;
+        for (i, t) in requests {
+            t_max = t_max.max(t);
+            let out = engine.handle_request(&Request::get(name(i).as_str()), t);
+            let _ = out.into_response();
+        }
+        let tick_out = engine.tick(t_max + 10_000);
+        let _ = tick_out;
+        if revoke_peer {
+            engine.declare_peer_dead(&ServerId::new("c:81"));
+        }
+        // Everything home-resident still serves OK.
+        for i in 0..n {
+            if engine.ldg().get(&name(i)).is_some_and(|e| e.location.is_home()) {
+                let resp = engine
+                    .handle_request(&Request::get(name(i).as_str()), t_max + 20_000)
+                    .into_response()
+                    .expect("home doc serves directly");
+                prop_assert!(resp.status.is_success());
+            }
+        }
+        prop_assert!(engine.ldg().check_symmetry().is_none());
+    }
+
+    /// Migrate-then-revoke restores exactly the original bytes for every
+    /// document in a random site.
+    #[test]
+    fn revocation_restores_original_bytes(
+        links in proptest::collection::vec(
+            proptest::collection::vec(0usize..8, 1..4), 4..9),
+        hot in 1usize..8,
+    ) {
+        let n = links.len();
+        if hot >= n { return Ok(()); }
+        let name = |i: usize| format!("/p{i}.html");
+        let coop = ServerId::new("c:81");
+        let mut engine = ServerEngine::new(
+            ServerId::new("h:80"),
+            ServerConfig { selection_threshold: 1, ..ServerConfig::paper_defaults() },
+            Box::new(MemStore::new()),
+        );
+        engine.add_peer(coop.clone());
+        let mut originals = Vec::new();
+        for (i, ls) in links.iter().enumerate() {
+            let body: String = ls
+                .iter()
+                .filter(|&&t| t < n)
+                .map(|&t| format!("<a href=\"{}\">x</a>", name(t)))
+                .collect();
+            let bytes = format!("<html><body>{body}</body></html>").into_bytes();
+            originals.push(bytes.clone());
+            engine.publish(&name(i), bytes, DocKind::Html, i == 0);
+        }
+        // Hammer one doc inside the stats window, then tick to migrate.
+        for t in 0..50u64 {
+            engine.handle_request(&Request::get(name(hot).as_str()), 9_500 + t % 400);
+        }
+        engine.tick(10_000);
+        engine.declare_peer_dead(&coop);
+        for (i, original) in originals.iter().enumerate() {
+            let resp = engine
+                .handle_request(&Request::get(name(i).as_str()), 20_000)
+                .into_response()
+                .expect("all docs back home");
+            prop_assert!(resp.status.is_success());
+            prop_assert_eq!(&resp.body, original, "doc {} not restored", i);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! The Global Load Table (GLT) of §3.3.
+//!
+//! Each server keeps a *local* copy of the whole group's load, one
+//! `(Server, LoadMetric)` tuple per peer, refreshed best-effort from
+//! piggybacked `X-DCWS-Load` reports. Merging is last-writer-wins on the
+//! report timestamp, which makes it commutative and idempotent — gossip can
+//! arrive duplicated and out of order through any transfer path.
+
+use crate::metrics::BalanceMetric;
+use crate::ServerId;
+use std::collections::HashMap;
+
+/// One server's load measurement as stored in the GLT.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LoadInfo {
+    /// Connections per second over the measurement window.
+    pub cps: f64,
+    /// Bytes per second over the measurement window.
+    pub bps: f64,
+    /// Measurement timestamp in milliseconds.
+    pub ts_ms: u64,
+}
+
+impl LoadInfo {
+    /// The value used for balancing decisions under `metric`.
+    pub fn value(&self, metric: BalanceMetric) -> f64 {
+        match metric {
+            BalanceMetric::Cps => self.cps,
+            BalanceMetric::Bps => self.bps,
+        }
+    }
+}
+
+/// Best-effort global load table: this server's view of the group.
+#[derive(Debug, Clone)]
+pub struct GlobalLoadTable {
+    self_id: ServerId,
+    map: HashMap<ServerId, LoadInfo>,
+}
+
+impl GlobalLoadTable {
+    /// A table for server `self_id`, knowing only itself (at zero load).
+    pub fn new(self_id: ServerId) -> Self {
+        let mut map = HashMap::new();
+        map.insert(self_id.clone(), LoadInfo { cps: 0.0, bps: 0.0, ts_ms: 0 });
+        GlobalLoadTable { self_id, map }
+    }
+
+    /// This server's identity.
+    pub fn self_id(&self) -> &ServerId {
+        &self.self_id
+    }
+
+    /// Register a peer with no load information yet (joins at ts 0, so any
+    /// real report immediately supersedes it).
+    pub fn add_peer(&mut self, peer: ServerId) {
+        self.map
+            .entry(peer)
+            .or_insert(LoadInfo { cps: 0.0, bps: 0.0, ts_ms: 0 });
+    }
+
+    /// Remove a peer entirely (it was declared dead by the pinger).
+    pub fn remove_peer(&mut self, peer: &ServerId) {
+        if peer != &self.self_id {
+            self.map.remove(peer);
+        }
+    }
+
+    /// Merge one report: kept only if strictly newer than what we have
+    /// (last-writer-wins). Returns whether the table changed.
+    pub fn update(&mut self, server: ServerId, info: LoadInfo) -> bool {
+        match self.map.get(&server) {
+            Some(cur) if cur.ts_ms >= info.ts_ms => false,
+            _ => {
+                self.map.insert(server, info);
+                true
+            }
+        }
+    }
+
+    /// Overwrite our own entry with a fresh local measurement.
+    pub fn set_self(&mut self, cps: f64, bps: f64, ts_ms: u64) {
+        self.map
+            .insert(self.self_id.clone(), LoadInfo { cps, bps, ts_ms });
+    }
+
+    /// Our own current entry.
+    pub fn self_info(&self) -> LoadInfo {
+        self.map[&self.self_id]
+    }
+
+    /// Look up a server's info.
+    pub fn get(&self, server: &ServerId) -> Option<LoadInfo> {
+        self.map.get(server).copied()
+    }
+
+    /// All known servers (including self), sorted for determinism.
+    pub fn servers(&self) -> Vec<ServerId> {
+        let mut v: Vec<ServerId> = self.map.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of known servers including self.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether only this server is known.
+    pub fn is_empty(&self) -> bool {
+        self.map.len() <= 1
+    }
+
+    /// The least-loaded server under `metric`, excluding self and any
+    /// server in `exclude`. This is the §4.2 co-op selection: *"the server
+    /// with the lowest LoadMetric value is selected from the global load
+    /// table"*. Ties break on server id for determinism.
+    pub fn least_loaded(&self, metric: BalanceMetric, exclude: &[ServerId]) -> Option<ServerId> {
+        self.map
+            .iter()
+            .filter(|(s, _)| **s != self.self_id && !exclude.contains(s))
+            .min_by(|(s1, a), (s2, b)| {
+                a.value(metric)
+                    .partial_cmp(&b.value(metric))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| s1.cmp(s2))
+            })
+            .map(|(s, _)| s.clone())
+    }
+
+    /// Peers whose information is older than `max_age_ms` at `now_ms` —
+    /// candidates for an artificial pinger transfer (§4.5).
+    pub fn stale_peers(&self, now_ms: u64, max_age_ms: u64) -> Vec<ServerId> {
+        let mut v: Vec<ServerId> = self
+            .map
+            .iter()
+            .filter(|(s, i)| **s != self.self_id && now_ms.saturating_sub(i.ts_ms) > max_age_ms)
+            .map(|(s, _)| s.clone())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Snapshot of every entry, for piggybacking onto an outgoing transfer.
+    pub fn snapshot(&self) -> Vec<(ServerId, LoadInfo)> {
+        let mut v: Vec<(ServerId, LoadInfo)> =
+            self.map.iter().map(|(s, i)| (s.clone(), *i)).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(cps: f64, ts: u64) -> LoadInfo {
+        LoadInfo { cps, bps: cps * 1000.0, ts_ms: ts }
+    }
+
+    #[test]
+    fn new_table_knows_self() {
+        let t = GlobalLoadTable::new(ServerId::new("me:1"));
+        assert_eq!(t.len(), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.self_info().cps, 0.0);
+    }
+
+    #[test]
+    fn update_is_last_writer_wins() {
+        let mut t = GlobalLoadTable::new(ServerId::new("me:1"));
+        let p = ServerId::new("p:1");
+        assert!(t.update(p.clone(), info(5.0, 100)));
+        assert!(!t.update(p.clone(), info(9.0, 50)), "older report ignored");
+        assert_eq!(t.get(&p).unwrap().cps, 5.0);
+        assert!(t.update(p.clone(), info(2.0, 200)));
+        assert_eq!(t.get(&p).unwrap().cps, 2.0);
+    }
+
+    #[test]
+    fn update_same_ts_ignored_for_idempotence() {
+        let mut t = GlobalLoadTable::new(ServerId::new("me:1"));
+        let p = ServerId::new("p:1");
+        t.update(p.clone(), info(5.0, 100));
+        assert!(!t.update(p.clone(), info(7.0, 100)));
+        assert_eq!(t.get(&p).unwrap().cps, 5.0);
+    }
+
+    #[test]
+    fn least_loaded_excludes_self_and_list() {
+        let mut t = GlobalLoadTable::new(ServerId::new("me:1"));
+        t.set_self(0.0, 0.0, 10); // self has the lowest load but is excluded
+        t.update(ServerId::new("a:1"), info(5.0, 10));
+        t.update(ServerId::new("b:1"), info(3.0, 10));
+        t.update(ServerId::new("c:1"), info(9.0, 10));
+        assert_eq!(
+            t.least_loaded(BalanceMetric::Cps, &[]),
+            Some(ServerId::new("b:1"))
+        );
+        assert_eq!(
+            t.least_loaded(BalanceMetric::Cps, &[ServerId::new("b:1")]),
+            Some(ServerId::new("a:1"))
+        );
+    }
+
+    #[test]
+    fn least_loaded_tie_breaks_on_id() {
+        let mut t = GlobalLoadTable::new(ServerId::new("me:1"));
+        t.update(ServerId::new("b:1"), info(1.0, 10));
+        t.update(ServerId::new("a:1"), info(1.0, 10));
+        assert_eq!(
+            t.least_loaded(BalanceMetric::Cps, &[]),
+            Some(ServerId::new("a:1"))
+        );
+    }
+
+    #[test]
+    fn least_loaded_none_when_alone() {
+        let t = GlobalLoadTable::new(ServerId::new("me:1"));
+        assert_eq!(t.least_loaded(BalanceMetric::Cps, &[]), None);
+    }
+
+    #[test]
+    fn bps_metric_changes_choice() {
+        let mut t = GlobalLoadTable::new(ServerId::new("me:1"));
+        t.update(ServerId::new("a:1"), LoadInfo { cps: 1.0, bps: 9e6, ts_ms: 1 });
+        t.update(ServerId::new("b:1"), LoadInfo { cps: 9.0, bps: 1e3, ts_ms: 1 });
+        assert_eq!(
+            t.least_loaded(BalanceMetric::Cps, &[]),
+            Some(ServerId::new("a:1"))
+        );
+        assert_eq!(
+            t.least_loaded(BalanceMetric::Bps, &[]),
+            Some(ServerId::new("b:1"))
+        );
+    }
+
+    #[test]
+    fn stale_peers_detected() {
+        let mut t = GlobalLoadTable::new(ServerId::new("me:1"));
+        t.update(ServerId::new("old:1"), info(1.0, 1_000));
+        t.update(ServerId::new("new:1"), info(1.0, 9_000));
+        assert_eq!(
+            t.stale_peers(10_000, 5_000),
+            vec![ServerId::new("old:1")]
+        );
+        assert!(t.stale_peers(10_000, 60_000).is_empty());
+    }
+
+    #[test]
+    fn add_peer_then_report_supersedes() {
+        let mut t = GlobalLoadTable::new(ServerId::new("me:1"));
+        t.add_peer(ServerId::new("p:1"));
+        assert_eq!(t.get(&ServerId::new("p:1")).unwrap().ts_ms, 0);
+        assert!(t.update(ServerId::new("p:1"), info(4.0, 1)));
+        // add_peer never clobbers existing info.
+        t.add_peer(ServerId::new("p:1"));
+        assert_eq!(t.get(&ServerId::new("p:1")).unwrap().cps, 4.0);
+    }
+
+    #[test]
+    fn remove_peer_protects_self() {
+        let me = ServerId::new("me:1");
+        let mut t = GlobalLoadTable::new(me.clone());
+        t.add_peer(ServerId::new("p:1"));
+        t.remove_peer(&ServerId::new("p:1"));
+        assert_eq!(t.len(), 1);
+        t.remove_peer(&me);
+        assert_eq!(t.len(), 1, "self entry cannot be removed");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let mut t = GlobalLoadTable::new(ServerId::new("me:1"));
+        t.update(ServerId::new("b:1"), info(1.0, 1));
+        t.update(ServerId::new("a:1"), info(2.0, 1));
+        let snap = t.snapshot();
+        let ids: Vec<String> = snap.iter().map(|(s, _)| s.to_string()).collect();
+        assert_eq!(ids, vec!["a:1", "b:1", "me:1"]);
+    }
+}

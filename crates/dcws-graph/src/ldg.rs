@@ -1,0 +1,491 @@
+//! The Local Document Graph (LDG) of §3.3.
+//!
+//! Each server maintains one tuple per document it is the *home* for:
+//!
+//! ```text
+//! (Name, Location, Size, Hits, LinkTo, LinkFrom, Dirty)
+//! ```
+//!
+//! indexed by a hash table because the tuple is consulted on every request
+//! the server processes. `LinkFrom` is derived from the `LinkTo` lists at
+//! build time and maintained under mutation; the symmetry invariant
+//! (`x ∈ LinkTo(y) ⇔ y ∈ LinkFrom(x)` for in-graph documents) is enforced
+//! by construction and checked by property tests.
+
+use crate::ServerId;
+use std::collections::HashMap;
+
+/// Canonical document name: the absolute path on the home server,
+/// e.g. `/archive/msg0042.html`.
+pub type DocName = String;
+
+/// Where a document is currently being served from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Location {
+    /// On its home server (where it originated).
+    Home,
+    /// Migrated to the given co-op server.
+    Coop(ServerId),
+}
+
+impl Location {
+    /// Whether the document is at home.
+    pub fn is_home(&self) -> bool {
+        matches!(self, Location::Home)
+    }
+}
+
+/// Coarse document class; affects content type and client behaviour
+/// (embedded images are fetched automatically, HTML is navigated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DocKind {
+    /// An HTML page whose links may be rewritten.
+    Html,
+    /// An image or other opaque object (never reparsed).
+    Image,
+}
+
+impl DocKind {
+    /// The media type served for this kind.
+    pub fn content_type(&self) -> &'static str {
+        match self {
+            DocKind::Html => "text/html",
+            DocKind::Image => "application/octet-stream",
+        }
+    }
+}
+
+/// One LDG tuple (Figure 2 of the paper), plus the bookkeeping fields the
+/// prototype needs (entry-point flag, migration timestamp, windowed hits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocEntry {
+    /// Document name (also the hash key).
+    pub name: DocName,
+    /// Which server currently hosts the document.
+    pub location: Location,
+    /// Content size in bytes.
+    pub size: u64,
+    /// Hits in the last completed accounting window — the value Algorithm 1
+    /// compares against its threshold.
+    pub hits: u64,
+    /// Hits accumulating in the current window; promoted by
+    /// [`LocalDocGraph::rotate_hits`].
+    pub hits_current: u64,
+    /// Lifetime hit count (reporting only).
+    pub hits_total: u64,
+    /// Documents this document links to.
+    pub link_to: Vec<DocName>,
+    /// Documents that link to this document (derived).
+    pub link_from: Vec<DocName>,
+    /// Set when some `link_to` target migrated and this document must be
+    /// regenerated with rewritten hyperlinks before it is next served.
+    pub dirty: bool,
+    /// Well-known entry point: never migrated (Algorithm 1 step 2).
+    pub entry_point: bool,
+    /// Document class.
+    pub kind: DocKind,
+    /// When the current migration was decided (ms), for the T_home
+    /// re-migration timer. `None` while at home.
+    pub migrated_at: Option<u64>,
+}
+
+impl DocEntry {
+    /// Number of `link_from` documents that do **not** reside on this home
+    /// server (Algorithm 1 step 4 minimizes this to avoid cross-server
+    /// rewrite traffic). `ldg` supplies the locations.
+    pub fn remote_link_from(&self, ldg: &LocalDocGraph) -> usize {
+        self.link_from
+            .iter()
+            .filter(|n| ldg.get(n).is_some_and(|e| !e.location.is_home()))
+            .count()
+    }
+}
+
+/// The Local Document Graph: hash-indexed LDG tuples for one server.
+#[derive(Debug, Clone, Default)]
+pub struct LocalDocGraph {
+    docs: HashMap<DocName, DocEntry>,
+}
+
+impl LocalDocGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Insert a document and maintain `link_from` symmetry for both
+    /// directions. Links to documents not (yet) in the graph are kept in
+    /// `link_to` — the symmetric edge appears when/if the target is
+    /// inserted. Re-inserting an existing name replaces its tuple (content
+    /// update by the site author) while preserving hit history.
+    pub fn insert_doc(
+        &mut self,
+        name: impl Into<DocName>,
+        size: u64,
+        kind: DocKind,
+        link_to: Vec<DocName>,
+        entry_point: bool,
+    ) {
+        let name = name.into();
+        // If replacing, retract old outbound edges first.
+        let (hits, hits_current, hits_total) = match self.docs.remove(&name) {
+            Some(old) => {
+                for t in &old.link_to {
+                    if let Some(te) = self.docs.get_mut(t) {
+                        te.link_from.retain(|n| n != &name);
+                    }
+                }
+                (old.hits, old.hits_current, old.hits_total)
+            }
+            None => (0, 0, 0),
+        };
+        // Outbound edges: register us in each in-graph target's link_from.
+        for t in &link_to {
+            if let Some(te) = self.docs.get_mut(t) {
+                if !te.link_from.contains(&name) {
+                    te.link_from.push(name.clone());
+                }
+            }
+        }
+        // Inbound edges: anyone already pointing at this name, including a
+        // self-link from the document itself.
+        let mut link_from: Vec<DocName> = self
+            .docs
+            .values()
+            .filter(|e| e.link_to.contains(&name))
+            .map(|e| e.name.clone())
+            .collect();
+        if link_to.contains(&name) {
+            link_from.push(name.clone());
+        }
+        self.docs.insert(
+            name.clone(),
+            DocEntry {
+                name,
+                location: Location::Home,
+                size,
+                hits,
+                hits_current,
+                hits_total,
+                link_to,
+                link_from,
+                dirty: false,
+                entry_point,
+                kind,
+                migrated_at: None,
+            },
+        );
+    }
+
+    /// Remove a document, retracting its edges. Returns the removed tuple.
+    pub fn remove_doc(&mut self, name: &str) -> Option<DocEntry> {
+        let entry = self.docs.remove(name)?;
+        for t in &entry.link_to {
+            if let Some(te) = self.docs.get_mut(t) {
+                te.link_from.retain(|n| n != name);
+            }
+        }
+        for s in &entry.link_from {
+            if let Some(se) = self.docs.get_mut(s) {
+                se.link_to.retain(|n| n != name);
+            }
+        }
+        Some(entry)
+    }
+
+    /// Look up a tuple by name.
+    pub fn get(&self, name: &str) -> Option<&DocEntry> {
+        self.docs.get(name)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut DocEntry> {
+        self.docs.get_mut(name)
+    }
+
+    /// Whether `name` is in the graph.
+    pub fn contains(&self, name: &str) -> bool {
+        self.docs.contains_key(name)
+    }
+
+    /// Iterate all tuples (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &DocEntry> {
+        self.docs.values()
+    }
+
+    /// Record `bytes` served for a hit on `name`. Unknown names are
+    /// ignored (the caller already 404'd).
+    pub fn record_hit(&mut self, name: &str, _bytes: u64) {
+        if let Some(e) = self.docs.get_mut(name) {
+            e.hits_current += 1;
+            e.hits_total += 1;
+        }
+    }
+
+    /// Close the current accounting window: promote `hits_current` into
+    /// `hits` (the value Algorithm 1 reads) and start a fresh window.
+    /// Called every statistics-recalculation interval (T_st).
+    pub fn rotate_hits(&mut self) {
+        for e in self.docs.values_mut() {
+            e.hits = e.hits_current;
+            e.hits_current = 0;
+        }
+    }
+
+    /// Logically migrate `name` to `coop` (§4.2): update `Location`, stamp
+    /// the migration time, and set the `Dirty` bit on every document in its
+    /// `LinkFrom` list so they are regenerated with rewritten hyperlinks on
+    /// next request. Returns the dirtied document names (sorted, for
+    /// deterministic callers).
+    pub fn migrate(&mut self, name: &str, coop: ServerId, now_ms: u64) -> Vec<DocName> {
+        let Some(entry) = self.docs.get_mut(name) else {
+            return Vec::new();
+        };
+        entry.location = Location::Coop(coop);
+        entry.migrated_at = Some(now_ms);
+        let mut sources = entry.link_from.clone();
+        sources.sort();
+        for s in &sources {
+            if let Some(se) = self.docs.get_mut(s) {
+                se.dirty = true;
+            }
+        }
+        sources
+    }
+
+    /// Revoke a migration (§4.5): the document returns home and its
+    /// `LinkFrom` documents are dirtied again so links point back. Returns
+    /// the dirtied names.
+    pub fn revoke(&mut self, name: &str) -> Vec<DocName> {
+        let Some(entry) = self.docs.get_mut(name) else {
+            return Vec::new();
+        };
+        if entry.location.is_home() {
+            return Vec::new();
+        }
+        entry.location = Location::Home;
+        entry.migrated_at = None;
+        let mut sources = entry.link_from.clone();
+        sources.sort();
+        for s in &sources {
+            if let Some(se) = self.docs.get_mut(s) {
+                se.dirty = true;
+            }
+        }
+        sources
+    }
+
+    /// All documents currently migrated to `coop`.
+    pub fn migrated_to(&self, coop: &ServerId) -> Vec<DocName> {
+        let mut v: Vec<DocName> = self
+            .docs
+            .values()
+            .filter(|e| matches!(&e.location, Location::Coop(c) if c == coop))
+            .map(|e| e.name.clone())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// All documents not at home, with their co-op servers.
+    pub fn all_migrated(&self) -> Vec<(DocName, ServerId)> {
+        let mut v: Vec<(DocName, ServerId)> = self
+            .docs
+            .values()
+            .filter_map(|e| match &e.location {
+                Location::Coop(c) => Some((e.name.clone(), c.clone())),
+                Location::Home => None,
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Check the LinkTo/LinkFrom symmetry invariant; returns the first
+    /// violation found, if any. Used by tests.
+    pub fn check_symmetry(&self) -> Option<String> {
+        for e in self.docs.values() {
+            for t in &e.link_to {
+                if let Some(te) = self.docs.get(t) {
+                    if !te.link_from.contains(&e.name) {
+                        return Some(format!("{} -> {} missing back edge", e.name, t));
+                    }
+                }
+            }
+            for s in &e.link_from {
+                match self.docs.get(s) {
+                    Some(se) => {
+                        if !se.link_to.contains(&e.name) {
+                            return Some(format!("{} <- {} stale back edge", e.name, s));
+                        }
+                    }
+                    None => return Some(format!("{} <- {} dangling source", e.name, s)),
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> LocalDocGraph {
+        // The Figure 1/2 example: A->C, B->{D,E}, E->D.
+        let mut g = LocalDocGraph::new();
+        g.insert_doc("A", 100, DocKind::Html, vec!["C".into()], true);
+        g.insert_doc("B", 100, DocKind::Html, vec!["D".into(), "E".into()], true);
+        g.insert_doc("C", 100, DocKind::Html, vec![], false);
+        g.insert_doc("D", 100, DocKind::Html, vec![], false);
+        g.insert_doc("E", 100, DocKind::Html, vec!["D".into()], false);
+        g
+    }
+
+    #[test]
+    fn link_from_derived() {
+        let g = graph();
+        assert_eq!(g.get("C").unwrap().link_from, vec!["A".to_string()]);
+        let mut df = g.get("D").unwrap().link_from.clone();
+        df.sort();
+        assert_eq!(df, vec!["B".to_string(), "E".to_string()]);
+        assert!(g.get("A").unwrap().link_from.is_empty());
+        assert!(g.check_symmetry().is_none());
+    }
+
+    #[test]
+    fn forward_links_resolve_on_late_insert() {
+        let mut g = LocalDocGraph::new();
+        g.insert_doc("X", 1, DocKind::Html, vec!["Y".into()], false);
+        assert!(g.get("Y").is_none());
+        g.insert_doc("Y", 1, DocKind::Html, vec![], false);
+        assert_eq!(g.get("Y").unwrap().link_from, vec!["X".to_string()]);
+        assert!(g.check_symmetry().is_none());
+    }
+
+    #[test]
+    fn migrate_sets_dirty_on_sources_like_figure_2() {
+        let mut g = graph();
+        let dirtied = g.migrate("D", ServerId::new("#2"), 1000);
+        assert_eq!(dirtied, vec!["B".to_string(), "E".to_string()]);
+        assert!(g.get("B").unwrap().dirty);
+        assert!(g.get("E").unwrap().dirty);
+        assert!(!g.get("A").unwrap().dirty);
+        assert!(!g.get("D").unwrap().dirty, "the migrated doc itself is not dirty");
+        assert_eq!(
+            g.get("D").unwrap().location,
+            Location::Coop(ServerId::new("#2"))
+        );
+        assert_eq!(g.get("D").unwrap().migrated_at, Some(1000));
+    }
+
+    #[test]
+    fn revoke_restores_home_and_dirties() {
+        let mut g = graph();
+        g.migrate("D", ServerId::new("#2"), 0);
+        g.get_mut("B").unwrap().dirty = false;
+        g.get_mut("E").unwrap().dirty = false;
+        let dirtied = g.revoke("D");
+        assert_eq!(dirtied, vec!["B".to_string(), "E".to_string()]);
+        assert!(g.get("D").unwrap().location.is_home());
+        assert_eq!(g.get("D").unwrap().migrated_at, None);
+        // Revoking a home document is a no-op.
+        assert!(g.revoke("D").is_empty());
+    }
+
+    #[test]
+    fn hit_windows_rotate() {
+        let mut g = graph();
+        g.record_hit("C", 512);
+        g.record_hit("C", 512);
+        assert_eq!(g.get("C").unwrap().hits, 0, "window not closed yet");
+        g.rotate_hits();
+        assert_eq!(g.get("C").unwrap().hits, 2);
+        assert_eq!(g.get("C").unwrap().hits_total, 2);
+        g.rotate_hits();
+        assert_eq!(g.get("C").unwrap().hits, 0, "fresh window had no hits");
+        assert_eq!(g.get("C").unwrap().hits_total, 2);
+    }
+
+    #[test]
+    fn hit_on_unknown_doc_ignored() {
+        let mut g = graph();
+        g.record_hit("nope", 1);
+        assert!(g.check_symmetry().is_none());
+    }
+
+    #[test]
+    fn remote_link_from_counts() {
+        let mut g = graph();
+        assert_eq!(g.get("D").unwrap().remote_link_from(&g), 0);
+        g.migrate("E", ServerId::new("#2"), 0);
+        // Now E (a source of D) is remote.
+        assert_eq!(g.get("D").unwrap().remote_link_from(&g), 1);
+    }
+
+    #[test]
+    fn migrated_to_lists() {
+        let mut g = graph();
+        let s2 = ServerId::new("#2");
+        g.migrate("D", s2.clone(), 0);
+        g.migrate("E", s2.clone(), 0);
+        assert_eq!(g.migrated_to(&s2), vec!["D".to_string(), "E".to_string()]);
+        assert_eq!(
+            g.all_migrated(),
+            vec![("D".to_string(), s2.clone()), ("E".to_string(), s2)]
+        );
+    }
+
+    #[test]
+    fn reinsert_preserves_hits_and_updates_edges() {
+        let mut g = graph();
+        g.record_hit("E", 1);
+        g.rotate_hits();
+        // Author edits E to drop its link to D and link to C instead.
+        g.insert_doc("E", 200, DocKind::Html, vec!["C".into()], false);
+        assert_eq!(g.get("E").unwrap().hits, 1, "hit history preserved");
+        assert_eq!(g.get("E").unwrap().size, 200);
+        assert!(!g.get("D").unwrap().link_from.contains(&"E".to_string()));
+        let mut cf = g.get("C").unwrap().link_from.clone();
+        cf.sort();
+        assert_eq!(cf, vec!["A".to_string(), "E".to_string()]);
+        assert!(g.check_symmetry().is_none());
+    }
+
+    #[test]
+    fn remove_doc_retracts_edges() {
+        let mut g = graph();
+        g.remove_doc("D").unwrap();
+        assert!(!g.contains("D"));
+        assert!(!g.get("B").unwrap().link_to.contains(&"D".to_string()));
+        assert!(!g.get("E").unwrap().link_to.contains(&"D".to_string()));
+        assert!(g.check_symmetry().is_none());
+        assert!(g.remove_doc("D").is_none());
+    }
+
+    #[test]
+    fn migrate_unknown_doc_is_noop() {
+        let mut g = graph();
+        assert!(g.migrate("nope", ServerId::new("x"), 0).is_empty());
+    }
+
+    #[test]
+    fn self_link_is_tolerated() {
+        let mut g = LocalDocGraph::new();
+        g.insert_doc("S", 1, DocKind::Html, vec!["S".into()], false);
+        assert_eq!(g.get("S").unwrap().link_from, vec!["S".to_string()]);
+        assert!(g.check_symmetry().is_none());
+        let dirtied = g.migrate("S", ServerId::new("c"), 0);
+        assert_eq!(dirtied, vec!["S".to_string()]);
+    }
+}

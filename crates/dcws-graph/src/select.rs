@@ -1,0 +1,225 @@
+//! Algorithm 1 — Document Selection for Migration (§4.1, Figure 4).
+//!
+//! Given a home server's local document graph and a hit threshold `T`,
+//! select the document whose migration best balances load at least cost:
+//!
+//! 1. Candidates = every document in the graph (we restrict to documents
+//!    still *at home* — already-migrated documents are re-balanced via the
+//!    T_home revocation timer, §4.5).
+//! 2. Remove well-known entry points (they must stay home so users see a
+//!    consistent site view and redirects stay rare).
+//! 3. Remove documents with `Hits < T`; if that empties the set, restore
+//!    it and retry with `T` halved until something survives (migrating a
+//!    cold document "does not do much good for load balancing").
+//! 4. Among survivors keep those with the fewest `LinkFrom` sources *not*
+//!    on the home server — rewriting those sources costs cross-server
+//!    traffic.
+//! 5. Tie-break by fewest `LinkTo` targets, which keeps future step-4
+//!    costs low. (We add a final lexicographic tie-break so selection is
+//!    deterministic.)
+
+use crate::ldg::{DocName, LocalDocGraph};
+
+/// Run Algorithm 1. Returns the selected document, or `None` when nothing
+/// is eligible (empty graph, or everything is an entry point or already
+/// migrated).
+pub fn select_for_migration(ldg: &LocalDocGraph, threshold: u64) -> Option<DocName> {
+    // Steps 1–2: all home-resident, non-entry-point documents.
+    let candidates: Vec<&crate::ldg::DocEntry> = ldg
+        .iter()
+        .filter(|e| e.location.is_home() && !e.entry_point)
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+
+    // Step 3: threshold filter with geometric back-off.
+    let mut t = threshold;
+    let hot: Vec<&crate::ldg::DocEntry> = loop {
+        let survivors: Vec<_> = candidates
+            .iter()
+            .copied()
+            .filter(|e| e.hits >= t)
+            .collect();
+        if !survivors.is_empty() {
+            break survivors;
+        }
+        if t == 0 {
+            // hits >= 0 always holds, so this is unreachable; guard anyway.
+            break candidates.clone();
+        }
+        t /= 2;
+    };
+
+    // Step 4: minimal remote LinkFrom count.
+    let min_remote = hot
+        .iter()
+        .map(|e| e.remote_link_from(ldg))
+        .min()
+        .expect("hot is non-empty");
+    let step4: Vec<_> = hot
+        .into_iter()
+        .filter(|e| e.remote_link_from(ldg) == min_remote)
+        .collect();
+
+    // Step 5: minimal LinkTo count, then name for determinism.
+    step4
+        .into_iter()
+        .min_by(|a, b| {
+            a.link_to
+                .len()
+                .cmp(&b.link_to.len())
+                .then_with(|| a.name.cmp(&b.name))
+        })
+        .map(|e| e.name.clone())
+}
+
+/// Ablation baseline: ignore steps 4–5 and just pick the hottest eligible
+/// document (ties broken by name). Used to quantify how much the paper's
+/// link-aware selection saves in rewrite traffic and redirects.
+pub fn select_hottest(ldg: &LocalDocGraph) -> Option<DocName> {
+    ldg.iter()
+        .filter(|e| e.location.is_home() && !e.entry_point)
+        .max_by(|a, b| a.hits.cmp(&b.hits).then_with(|| b.name.cmp(&a.name)))
+        .map(|e| e.name.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ldg::DocKind;
+    use crate::ServerId;
+
+    /// Build the paper's Figure 1(a) server #1: A,B entry points; C(100),
+    /// D(200), E(50) internal; A->C, B->{D,E}, E->D.
+    fn figure1() -> LocalDocGraph {
+        let mut g = LocalDocGraph::new();
+        g.insert_doc("A", 100, DocKind::Html, vec!["C".into()], true);
+        g.insert_doc("B", 100, DocKind::Html, vec!["D".into(), "E".into()], true);
+        g.insert_doc("C", 100, DocKind::Html, vec![], false);
+        g.insert_doc("D", 100, DocKind::Html, vec![], false);
+        g.insert_doc("E", 100, DocKind::Html, vec!["D".into()], false);
+        for (name, hits) in [("C", 100u64), ("D", 200), ("E", 50)] {
+            for _ in 0..hits {
+                g.record_hit(name, 1);
+            }
+        }
+        g.rotate_hits();
+        g
+    }
+
+    #[test]
+    fn entry_points_never_selected() {
+        let g = figure1();
+        for t in [0, 1, 50, 1000] {
+            let pick = select_for_migration(&g, t).unwrap();
+            assert!(pick != "A" && pick != "B", "picked entry point {pick} at T={t}");
+        }
+    }
+
+    #[test]
+    fn threshold_filters_cold_documents() {
+        let g = figure1();
+        // T=150: only D (200 hits) survives step 3.
+        assert_eq!(select_for_migration(&g, 150).unwrap(), "D");
+    }
+
+    #[test]
+    fn threshold_backs_off_until_nonempty() {
+        let g = figure1();
+        // T=1000 removes everything; halving reaches 125 where D survives.
+        assert_eq!(select_for_migration(&g, 1000).unwrap(), "D");
+    }
+
+    #[test]
+    fn step4_prefers_fewest_remote_sources() {
+        let mut g = figure1();
+        // Migrate E; now D has one remote LinkFrom (E), C has none.
+        g.migrate("E", ServerId::new("#2"), 0);
+        // T=10: C (100) and D (200) both survive. C has 0 remote sources,
+        // D has 1 → C wins despite fewer hits.
+        assert_eq!(select_for_migration(&g, 10).unwrap(), "C");
+    }
+
+    #[test]
+    fn step5_tie_breaks_on_link_to() {
+        let mut g = LocalDocGraph::new();
+        g.insert_doc("idx", 1, DocKind::Html, vec!["p".into(), "q".into()], true);
+        // p links out to 2 docs, q to none; equal hits and remote sources.
+        g.insert_doc("p", 1, DocKind::Html, vec!["x".into(), "y".into()], false);
+        g.insert_doc("q", 1, DocKind::Html, vec![], false);
+        g.insert_doc("x", 1, DocKind::Html, vec![], false);
+        g.insert_doc("y", 1, DocKind::Html, vec![], false);
+        for d in ["p", "q"] {
+            for _ in 0..10 {
+                g.record_hit(d, 1);
+            }
+        }
+        g.rotate_hits();
+        // x and y have 0 hits; with T=5, only p and q survive step 3.
+        assert_eq!(select_for_migration(&g, 5).unwrap(), "q");
+    }
+
+    #[test]
+    fn already_migrated_not_reselected() {
+        let mut g = figure1();
+        g.migrate("D", ServerId::new("#2"), 0);
+        let pick = select_for_migration(&g, 1).unwrap();
+        assert_ne!(pick, "D");
+    }
+
+    #[test]
+    fn none_when_only_entry_points() {
+        let mut g = LocalDocGraph::new();
+        g.insert_doc("home", 1, DocKind::Html, vec![], true);
+        assert_eq!(select_for_migration(&g, 1), None);
+    }
+
+    #[test]
+    fn none_on_empty_graph() {
+        assert_eq!(select_for_migration(&LocalDocGraph::new(), 1), None);
+    }
+
+    #[test]
+    fn none_when_everything_migrated() {
+        let mut g = figure1();
+        for d in ["C", "D", "E"] {
+            g.migrate(d, ServerId::new("#2"), 0);
+        }
+        assert_eq!(select_for_migration(&g, 1), None);
+    }
+
+    #[test]
+    fn zero_hit_graph_still_selects() {
+        let mut g = LocalDocGraph::new();
+        g.insert_doc("idx", 1, DocKind::Html, vec!["cold".into()], true);
+        g.insert_doc("cold", 1, DocKind::Html, vec![], false);
+        // No hits at all: threshold back-off reaches 0 and accepts.
+        assert_eq!(select_for_migration(&g, 64).unwrap(), "cold");
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let g = figure1();
+        let a = select_for_migration(&g, 10);
+        let b = select_for_migration(&g, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hottest_baseline_ignores_link_structure() {
+        let mut g = figure1();
+        g.migrate("E", ServerId::new("#2"), 0);
+        // Algorithm 1 picks C here (fewest remote sources); the naive
+        // baseline still grabs D, the hottest.
+        assert_eq!(select_hottest(&g).unwrap(), "D");
+        assert_eq!(select_for_migration(&g, 10).unwrap(), "C");
+    }
+
+    #[test]
+    fn hottest_baseline_skips_entry_points_and_migrated() {
+        let mut g = figure1();
+        g.migrate("D", ServerId::new("#2"), 0);
+        assert_eq!(select_hottest(&g).unwrap(), "C");
+    }
+}

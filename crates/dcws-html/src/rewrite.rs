@@ -1,0 +1,150 @@
+//! In-place hyperlink rewriting — the heart of DCWS document
+//! reconstruction (§4.3).
+//!
+//! When a document's `Dirty` bit is set (one of its `LinkTo` targets
+//! migrated), the server re-parses the source, substitutes the affected
+//! URLs, and writes the regenerated document back. [`rewrite_links`] does
+//! the parse → substitute → serialize pipeline in one call; tags whose
+//! attributes didn't change are emitted from their original source bytes,
+//! so a no-op rewrite returns the document unchanged, byte for byte.
+
+use crate::links::classify;
+use crate::token::Token;
+use crate::tokenizer::tokenize;
+
+/// Rewrite every recognized URL-bearing attribute with `map`.
+///
+/// `map` receives the raw attribute value and returns `Some(new)` to
+/// substitute or `None` to leave it alone. Returns the regenerated document
+/// and the number of substitutions performed.
+pub fn rewrite_links(html: &str, mut map: impl FnMut(&str) -> Option<String>) -> (String, usize) {
+    let mut tokens = tokenize(html);
+    let mut replaced = 0;
+    for token in &mut tokens {
+        let Token::Tag(tag) = token else { continue };
+        if tag.is_end {
+            continue;
+        }
+        // Collect (index, new value) first to appease the borrow checker.
+        let mut updates: Vec<(usize, String)> = Vec::new();
+        for (i, attr) in tag.attrs.iter().enumerate() {
+            if classify(&tag.name, &attr.name).is_none() {
+                continue;
+            }
+            let Some(value) = attr.value.as_deref() else { continue };
+            if let Some(new) = map(value) {
+                if new != value {
+                    updates.push((i, new));
+                }
+            }
+        }
+        for (i, new) in updates {
+            tag.attrs[i].value = Some(new);
+            tag.modified = true;
+            replaced += 1;
+        }
+    }
+    (crate::serialize(&tokens), replaced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"<html><body>
+<a href="/d.html">doc D</a>
+<a href="/e.html">doc E</a>
+<img src="/btn.gif">
+<p>unrelated <b>text</b> with /d.html inline</p>
+</body></html>"#;
+
+    #[test]
+    fn rewrites_only_matching_urls() {
+        let (out, n) = rewrite_links(DOC, |u| {
+            (u == "/d.html").then(|| "http://coop:8001/~migrate/home/80/d.html".into())
+        });
+        assert_eq!(n, 1);
+        assert!(out.contains(r#"href="http://coop:8001/~migrate/home/80/d.html""#));
+        assert!(out.contains(r#"href="/e.html""#), "other links untouched");
+        assert!(out.contains("with /d.html inline"), "text content untouched");
+    }
+
+    #[test]
+    fn noop_rewrite_is_byte_identical() {
+        let (out, n) = rewrite_links(DOC, |_| None);
+        assert_eq!(n, 0);
+        assert_eq!(out, DOC);
+    }
+
+    #[test]
+    fn identity_mapping_counts_zero() {
+        // Returning the same string must not dirty the tag.
+        let (out, n) = rewrite_links(DOC, |u| Some(u.to_string()));
+        assert_eq!(n, 0);
+        assert_eq!(out, DOC);
+    }
+
+    #[test]
+    fn rewrites_images() {
+        let (out, n) = rewrite_links(DOC, |u| {
+            u.ends_with(".gif").then(|| format!("http://coop:9/{}", &u[1..]))
+        });
+        assert_eq!(n, 1);
+        assert!(out.contains(r#"src="http://coop:9/btn.gif""#));
+    }
+
+    #[test]
+    fn rewrite_back_restores_structure() {
+        // Migrate then revoke: rewriting back yields the semantic original.
+        let (migrated, _) = rewrite_links(DOC, |u| {
+            (u == "/d.html").then(|| "http://coop:8001/~migrate/h/80/d.html".into())
+        });
+        let (restored, n) = rewrite_links(&migrated, |u| {
+            (u == "http://coop:8001/~migrate/h/80/d.html").then(|| "/d.html".into())
+        });
+        assert_eq!(n, 1);
+        assert_eq!(restored, DOC);
+    }
+
+    #[test]
+    fn multiple_attrs_one_tag() {
+        let html = r#"<a href="/x"><img src="/x"></a>"#;
+        let (out, n) = rewrite_links(html, |_| Some("/y".into()));
+        assert_eq!(n, 2);
+        assert_eq!(out, r#"<a href="/y"><img src="/y"></a>"#);
+    }
+
+    #[test]
+    fn preserves_quote_style_on_rewrite() {
+        let html = "<a href='/x'>t</a>";
+        let (out, _) = rewrite_links(html, |_| Some("/y".into()));
+        assert_eq!(out, "<a href='/y'>t</a>");
+    }
+
+    #[test]
+    fn unquoted_rewrite_keeps_unquoted() {
+        let html = "<img src=/x.gif>";
+        let (out, _) = rewrite_links(html, |_| Some("/y.gif".into()));
+        assert_eq!(out, "<img src=/y.gif>");
+    }
+
+    #[test]
+    fn non_url_attrs_never_passed_to_map() {
+        let html = r#"<a href="/x" class="big" onclick="go()">t</a>"#;
+        let mut seen = Vec::new();
+        rewrite_links(html, |u| {
+            seen.push(u.to_string());
+            None
+        });
+        assert_eq!(seen, ["/x"]);
+    }
+
+    #[test]
+    fn malformed_html_survives_rewrite() {
+        let html = "before <a href=\"/x\">ok</a> <b>unclosed <a href=";
+        let (out, n) = rewrite_links(html, |_| Some("/y".into()));
+        assert_eq!(n, 1);
+        assert!(out.contains("href=\"/y\""));
+        assert!(out.ends_with("<a href="), "trailing junk preserved");
+    }
+}

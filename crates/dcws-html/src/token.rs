@@ -1,0 +1,291 @@
+//! HTML token types.
+//!
+//! Every token remembers its original source text (`raw`), so a document
+//! whose tokens are never modified serializes back byte-for-byte. Only tags
+//! whose attributes were rewritten are regenerated from structure.
+
+/// Quoting style of an attribute value in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quote {
+    /// `name="value"`
+    Double,
+    /// `name='value'`
+    Single,
+    /// `name=value`
+    None,
+}
+
+/// One attribute inside a tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attr {
+    /// Attribute name exactly as written in the source.
+    pub raw_name: String,
+    /// Lowercased name for matching.
+    pub name: String,
+    /// Attribute value, `None` for boolean attributes like `checked`.
+    pub value: Option<String>,
+    /// Source quoting style (used when regenerating the tag).
+    pub quote: Quote,
+}
+
+impl Attr {
+    /// Build an attribute with a double-quoted value.
+    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+        let raw_name = name.into();
+        Attr {
+            name: raw_name.to_ascii_lowercase(),
+            raw_name,
+            value: Some(value.into()),
+            quote: Quote::Double,
+        }
+    }
+
+    fn write_to(&self, out: &mut String) {
+        out.push_str(&self.raw_name);
+        if let Some(v) = &self.value {
+            out.push('=');
+            // Choose a quoting style that can represent the value. Rewritten
+            // URLs never contain quotes, but be defensive.
+            let quote = match self.quote {
+                Quote::None if v.is_empty()
+                    || v.contains(|c: char| c.is_ascii_whitespace() || c == '>' || c == '"' || c == '\'') =>
+                {
+                    Quote::Double
+                }
+                Quote::Double if v.contains('"') => Quote::Single,
+                Quote::Single if v.contains('\'') => Quote::Double,
+                q => q,
+            };
+            match quote {
+                Quote::Double => {
+                    out.push('"');
+                    out.push_str(v);
+                    out.push('"');
+                }
+                Quote::Single => {
+                    out.push('\'');
+                    out.push_str(v);
+                    out.push('\'');
+                }
+                Quote::None => out.push_str(v),
+            }
+        }
+    }
+}
+
+/// A start or end tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tag {
+    /// Original source text including the angle brackets.
+    pub raw: String,
+    /// Tag name exactly as written.
+    pub raw_name: String,
+    /// Lowercased tag name for matching.
+    pub name: String,
+    /// `true` for `</name>` end tags.
+    pub is_end: bool,
+    /// `true` for `<name ... />` self-closing syntax.
+    pub self_closing: bool,
+    /// Attributes (empty for end tags).
+    pub attrs: Vec<Attr>,
+    /// Set when an attribute was rewritten; forces regeneration.
+    pub modified: bool,
+}
+
+impl Tag {
+    /// First value of attribute `name` (lowercase), if present.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|a| a.name == name)
+            .and_then(|a| a.value.as_deref())
+    }
+
+    /// Set attribute `name` to `value`, marking the tag modified.
+    /// Returns `true` if the attribute existed.
+    pub fn set_attr(&mut self, name: &str, value: impl Into<String>) -> bool {
+        if let Some(a) = self.attrs.iter_mut().find(|a| a.name == name) {
+            a.value = Some(value.into());
+            self.modified = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Serialize: original bytes if untouched, regenerated otherwise.
+    pub fn write_to(&self, out: &mut String) {
+        if !self.modified {
+            out.push_str(&self.raw);
+            return;
+        }
+        out.push('<');
+        if self.is_end {
+            out.push('/');
+        }
+        out.push_str(&self.raw_name);
+        for a in &self.attrs {
+            out.push(' ');
+            a.write_to(out);
+        }
+        if self.self_closing {
+            out.push_str(" /");
+        }
+        out.push('>');
+    }
+}
+
+/// One lexical token of an HTML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Character data outside of tags (raw, entities not decoded).
+    Text(String),
+    /// A comment, including the `<!--` … `-->` delimiters.
+    Comment(String),
+    /// A markup declaration (`<!DOCTYPE …>`) or processing instruction
+    /// (`<? … >`), raw.
+    Decl(String),
+    /// A start or end tag.
+    Tag(Tag),
+}
+
+impl Token {
+    /// Append this token's serialization to `out`.
+    pub fn write_to(&self, out: &mut String) {
+        match self {
+            Token::Text(s) | Token::Comment(s) | Token::Decl(s) => out.push_str(s),
+            Token::Tag(t) => t.write_to(out),
+        }
+    }
+
+    /// The tag, if this token is one.
+    pub fn as_tag(&self) -> Option<&Tag> {
+        match self {
+            Token::Tag(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag_with(attrs: Vec<Attr>) -> Tag {
+        Tag {
+            raw: String::new(),
+            raw_name: "a".into(),
+            name: "a".into(),
+            is_end: false,
+            self_closing: false,
+            attrs,
+            modified: true,
+        }
+    }
+
+    #[test]
+    fn attr_lookup_is_lowercase() {
+        let t = tag_with(vec![Attr {
+            raw_name: "HREF".into(),
+            name: "href".into(),
+            value: Some("/x".into()),
+            quote: Quote::Double,
+        }]);
+        assert_eq!(t.attr("href"), Some("/x"));
+        assert_eq!(t.attr("HREF"), None, "lookup key must be lowercase");
+    }
+
+    #[test]
+    fn set_attr_marks_modified() {
+        let mut t = tag_with(vec![Attr::new("href", "/old")]);
+        t.modified = false;
+        assert!(t.set_attr("href", "/new"));
+        assert!(t.modified);
+        assert_eq!(t.attr("href"), Some("/new"));
+        assert!(!t.set_attr("missing", "x"));
+    }
+
+    #[test]
+    fn modified_tag_regenerates() {
+        let mut t = tag_with(vec![Attr::new("href", "/new")]);
+        t.raw = "<a href=\"/old\">".into();
+        let mut s = String::new();
+        t.write_to(&mut s);
+        assert_eq!(s, "<a href=\"/new\">");
+    }
+
+    #[test]
+    fn unmodified_tag_emits_raw() {
+        let mut t = tag_with(vec![]);
+        t.modified = false;
+        t.raw = "<A  Href = '/x' >".into();
+        let mut s = String::new();
+        t.write_to(&mut s);
+        assert_eq!(s, "<A  Href = '/x' >");
+    }
+
+    #[test]
+    fn quote_style_preserved_and_escaped() {
+        let mut a = Attr::new("href", "/x");
+        a.quote = Quote::Single;
+        let mut s = String::new();
+        a.write_to(&mut s);
+        assert_eq!(s, "href='/x'");
+
+        // Value containing a single quote flips to double quoting.
+        let mut a = Attr::new("alt", "it's");
+        a.quote = Quote::Single;
+        let mut s = String::new();
+        a.write_to(&mut s);
+        assert_eq!(s, "alt=\"it's\"");
+    }
+
+    #[test]
+    fn unquoted_value_with_space_gets_quoted() {
+        let mut a = Attr::new("alt", "two words");
+        a.quote = Quote::None;
+        let mut s = String::new();
+        a.write_to(&mut s);
+        assert_eq!(s, "alt=\"two words\"");
+    }
+
+    #[test]
+    fn boolean_attr_serializes_bare() {
+        let a = Attr {
+            raw_name: "checked".into(),
+            name: "checked".into(),
+            value: None,
+            quote: Quote::None,
+        };
+        let mut s = String::new();
+        a.write_to(&mut s);
+        assert_eq!(s, "checked");
+    }
+
+    #[test]
+    fn self_closing_regeneration() {
+        let mut t = tag_with(vec![Attr::new("src", "/i.gif")]);
+        t.raw_name = "img".into();
+        t.name = "img".into();
+        t.self_closing = true;
+        let mut s = String::new();
+        t.write_to(&mut s);
+        assert_eq!(s, "<img src=\"/i.gif\" />");
+    }
+
+    #[test]
+    fn end_tag_regeneration() {
+        let t = Tag {
+            raw: String::new(),
+            raw_name: "a".into(),
+            name: "a".into(),
+            is_end: true,
+            self_closing: false,
+            attrs: vec![],
+            modified: true,
+        };
+        let mut s = String::new();
+        t.write_to(&mut s);
+        assert_eq!(s, "</a>");
+    }
+}

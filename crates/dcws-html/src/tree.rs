@@ -1,0 +1,261 @@
+//! The "simple parse tree" of §4.3.
+//!
+//! DCWS only needs the tree for structural queries (frame templates, link
+//! context); hyperlink rewriting operates on the token stream directly for
+//! speed. The tree is built with HTML's void-element rules and tolerates
+//! misnested end tags the way 1990s browsers did: an unmatched end tag is
+//! dropped, a mismatched one closes intermediate elements.
+
+use crate::token::{Tag, Token};
+use crate::tokenizer::tokenize;
+
+/// Elements that never have children or end tags.
+const VOID_ELEMENTS: &[&str] = &[
+    "area", "base", "basefont", "br", "col", "embed", "frame", "hr", "img",
+    "input", "isindex", "link", "meta", "param", "source", "track", "wbr",
+];
+
+/// Whether `name` is an HTML void element.
+pub fn is_void_element(name: &str) -> bool {
+    VOID_ELEMENTS.contains(&name)
+}
+
+/// A node in the parse tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// An element with its start tag and children.
+    Element {
+        /// The start tag, including attributes.
+        tag: Tag,
+        /// Child nodes in document order.
+        children: Vec<Node>,
+    },
+    /// Character data.
+    Text(String),
+    /// A comment (raw, with delimiters).
+    Comment(String),
+    /// A declaration or processing instruction (raw).
+    Decl(String),
+}
+
+impl Node {
+    /// Element name, if this is an element.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            Node::Element { tag, .. } => Some(&tag.name),
+            _ => None,
+        }
+    }
+
+    /// Attribute lookup on an element.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        match self {
+            Node::Element { tag, .. } => tag.attr(name),
+            _ => None,
+        }
+    }
+
+    /// Children slice (empty for non-elements).
+    pub fn children(&self) -> &[Node] {
+        match self {
+            Node::Element { children, .. } => children,
+            _ => &[],
+        }
+    }
+
+    /// Depth-first pre-order walk.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Node)) {
+        f(self);
+        for c in self.children() {
+            c.walk(f);
+        }
+    }
+
+    /// Concatenated text content of this subtree.
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        self.walk(&mut |n| {
+            if let Node::Text(t) = n {
+                out.push_str(t);
+            }
+        });
+        out
+    }
+}
+
+/// A parsed document: a forest of top-level nodes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Document {
+    /// Top-level nodes.
+    pub nodes: Vec<Node>,
+}
+
+impl Document {
+    /// All elements named `name` (lowercase), document order.
+    pub fn elements<'a>(&'a self, name: &'a str) -> Vec<&'a Node> {
+        let mut out = Vec::new();
+        for n in &self.nodes {
+            n.walk(&mut |m| {
+                if m.name() == Some(name) {
+                    out.push(m);
+                }
+            });
+        }
+        out
+    }
+
+    /// Total number of element nodes.
+    pub fn element_count(&self) -> usize {
+        let mut n = 0;
+        for node in &self.nodes {
+            node.walk(&mut |m| {
+                if matches!(m, Node::Element { .. }) {
+                    n += 1;
+                }
+            });
+        }
+        n
+    }
+}
+
+/// Parse HTML source into a tree.
+pub fn parse_tree(input: &str) -> Document {
+    // Stack frame: (tag, children accumulated so far).
+    let mut stack: Vec<(Tag, Vec<Node>)> = Vec::new();
+    let mut top: Vec<Node> = Vec::new();
+
+    fn push(stack: &mut [(Tag, Vec<Node>)], top: &mut Vec<Node>, node: Node) {
+        match stack.last_mut() {
+            Some((_, children)) => children.push(node),
+            None => top.push(node),
+        }
+    }
+
+    for token in tokenize(input) {
+        match token {
+            Token::Text(t) => push(&mut stack, &mut top, Node::Text(t)),
+            Token::Comment(c) => push(&mut stack, &mut top, Node::Comment(c)),
+            Token::Decl(d) => push(&mut stack, &mut top, Node::Decl(d)),
+            Token::Tag(tag) if !tag.is_end => {
+                if tag.self_closing || is_void_element(&tag.name) {
+                    push(&mut stack, &mut top, Node::Element { tag, children: Vec::new() });
+                } else {
+                    stack.push((tag, Vec::new()));
+                }
+            }
+            Token::Tag(end) => {
+                // Find the innermost open element with this name; an
+                // unmatched end tag is dropped, like browsers do.
+                if let Some(idx) = stack.iter().rposition(|(t, _)| t.name == end.name) {
+                    // Close everything above it implicitly, then it.
+                    while stack.len() > idx + 1 {
+                        let (tag, children) = stack.pop().expect("len checked");
+                        push(&mut stack, &mut top, Node::Element { tag, children });
+                    }
+                    let (tag, children) = stack.pop().expect("idx in range");
+                    push(&mut stack, &mut top, Node::Element { tag, children });
+                }
+            }
+        }
+    }
+    // EOF closes whatever is still open.
+    while let Some((tag, children)) = stack.pop() {
+        push(&mut stack, &mut top, Node::Element { tag, children });
+    }
+    Document { nodes: top }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structure() {
+        let d = parse_tree("<html><body><p>hi</p></body></html>");
+        assert_eq!(d.nodes.len(), 1);
+        let html = &d.nodes[0];
+        assert_eq!(html.name(), Some("html"));
+        let body = &html.children()[0];
+        assert_eq!(body.name(), Some("body"));
+        let p = &body.children()[0];
+        assert_eq!(p.name(), Some("p"));
+        assert_eq!(p.text_content(), "hi");
+    }
+
+    #[test]
+    fn void_elements_do_not_nest() {
+        let d = parse_tree("<p><img src=a.gif><br>text</p>");
+        let p = &d.nodes[0];
+        assert_eq!(p.children().len(), 3);
+        assert_eq!(p.children()[0].name(), Some("img"));
+        assert_eq!(p.children()[1].name(), Some("br"));
+        assert!(matches!(&p.children()[2], Node::Text(t) if t == "text"));
+    }
+
+    #[test]
+    fn self_closing_does_not_nest() {
+        let d = parse_tree("<x/><y>in</y>");
+        assert_eq!(d.nodes.len(), 2);
+        assert!(d.nodes[0].children().is_empty());
+    }
+
+    #[test]
+    fn unmatched_end_tag_dropped() {
+        let d = parse_tree("a</div>b");
+        assert_eq!(d.nodes.len(), 2);
+        assert!(matches!(&d.nodes[0], Node::Text(t) if t == "a"));
+        assert!(matches!(&d.nodes[1], Node::Text(t) if t == "b"));
+    }
+
+    #[test]
+    fn misnested_closes_intermediates() {
+        // <b> is implicitly closed when </div> arrives.
+        let d = parse_tree("<div><b>bold</div>after");
+        let div = &d.nodes[0];
+        assert_eq!(div.name(), Some("div"));
+        let b = &div.children()[0];
+        assert_eq!(b.name(), Some("b"));
+        assert_eq!(b.text_content(), "bold");
+        assert!(matches!(&d.nodes[1], Node::Text(t) if t == "after"));
+    }
+
+    #[test]
+    fn eof_closes_open_elements() {
+        let d = parse_tree("<html><body>unclosed");
+        assert_eq!(d.nodes.len(), 1);
+        assert_eq!(d.nodes[0].name(), Some("html"));
+    }
+
+    #[test]
+    fn elements_query() {
+        let d = parse_tree("<body><a href=1></a><div><a href=2></a></div></body>");
+        let anchors = d.elements("a");
+        assert_eq!(anchors.len(), 2);
+        assert_eq!(anchors[0].attr("href"), Some("1"));
+        assert_eq!(anchors[1].attr("href"), Some("2"));
+    }
+
+    #[test]
+    fn frameset_tree() {
+        let d = parse_tree(
+            r#"<frameset rows="10%,90%"><frame src="/top.html"><frame src="/main.html"></frameset>"#,
+        );
+        let frames = d.elements("frame");
+        assert_eq!(frames.len(), 2);
+        assert_eq!(d.nodes[0].children().len(), 2);
+    }
+
+    #[test]
+    fn element_count() {
+        let d = parse_tree("<a><b></b></a><c></c>");
+        assert_eq!(d.element_count(), 3);
+    }
+
+    #[test]
+    fn comments_and_decls_in_tree() {
+        let d = parse_tree("<!DOCTYPE html><!-- c --><p>x</p>");
+        assert!(matches!(&d.nodes[0], Node::Decl(_)));
+        assert!(matches!(&d.nodes[1], Node::Comment(_)));
+        assert_eq!(d.nodes[2].name(), Some("p"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Error types for HTTP parsing and serialization.
+
+use std::fmt;
+
+/// Result alias used throughout `dcws-http`.
+pub type Result<T> = std::result::Result<T, HttpError>;
+
+/// Everything that can go wrong while parsing or building an HTTP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request line could not be parsed.
+    BadRequestLine(String),
+    /// The status line could not be parsed.
+    BadStatusLine(String),
+    /// An unknown or unsupported HTTP version token.
+    BadVersion(String),
+    /// An unknown request method token.
+    BadMethod(String),
+    /// A status code outside `100..=599` or non-numeric.
+    BadStatusCode(String),
+    /// A header line without a `:` separator, or with an invalid name.
+    BadHeader(String),
+    /// The `Content-Length` header is present but not a valid integer.
+    BadContentLength(String),
+    /// A URL failed to parse.
+    BadUrl(String),
+    /// The message exceeds a configured size limit.
+    TooLarge {
+        /// What overflowed ("head" or "body").
+        what: &'static str,
+        /// The configured limit in bytes.
+        limit: usize,
+    },
+    /// A `X-DCWS-Load` piggyback header was malformed.
+    BadPiggyback(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::BadRequestLine(l) => write!(f, "malformed request line: {l:?}"),
+            HttpError::BadStatusLine(l) => write!(f, "malformed status line: {l:?}"),
+            HttpError::BadVersion(v) => write!(f, "unsupported HTTP version: {v:?}"),
+            HttpError::BadMethod(m) => write!(f, "unknown HTTP method: {m:?}"),
+            HttpError::BadStatusCode(c) => write!(f, "invalid status code: {c:?}"),
+            HttpError::BadHeader(h) => write!(f, "malformed header line: {h:?}"),
+            HttpError::BadContentLength(v) => write!(f, "invalid Content-Length: {v:?}"),
+            HttpError::BadUrl(u) => write!(f, "malformed URL: {u:?}"),
+            HttpError::TooLarge { what, limit } => {
+                write!(f, "HTTP {what} exceeds limit of {limit} bytes")
+            }
+            HttpError::BadPiggyback(v) => write!(f, "malformed X-DCWS-Load header: {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = HttpError::BadRequestLine("GETX".into());
+        assert!(e.to_string().contains("GETX"));
+        let e = HttpError::TooLarge { what: "head", limit: 64 };
+        assert!(e.to_string().contains("64"));
+        assert!(e.to_string().contains("head"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            HttpError::BadMethod("FOO".into()),
+            HttpError::BadMethod("FOO".into())
+        );
+        assert_ne!(
+            HttpError::BadMethod("FOO".into()),
+            HttpError::BadMethod("BAR".into())
+        );
+    }
+}

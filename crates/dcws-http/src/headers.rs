@@ -1,0 +1,224 @@
+//! Ordered, case-insensitive HTTP header map.
+
+use crate::error::{HttpError, Result};
+
+/// An ordered multimap of HTTP headers with case-insensitive name lookup.
+///
+/// Order is preserved because the DCWS piggyback mechanism may emit several
+/// `X-DCWS-Load` entries per message (one per known server) and the gossip
+/// merge is order-sensitive only for deterministic tests; RFC 2616 requires
+/// preserving the relative order of same-named fields.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+fn name_eq(a: &str, b: &str) -> bool {
+    a.eq_ignore_ascii_case(b)
+}
+
+/// Returns true if `name` is a valid RFC 2616 token.
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.bytes().all(|b| {
+            b.is_ascii_alphanumeric()
+                || matches!(
+                    b,
+                    b'!' | b'#' | b'$' | b'%' | b'&' | b'\'' | b'*' | b'+' | b'-' | b'.'
+                        | b'^' | b'_' | b'`' | b'|' | b'~'
+                )
+        })
+}
+
+/// Returns true if `value` contains no CR/LF (header injection guard).
+fn valid_value(value: &str) -> bool {
+    !value.bytes().any(|b| b == b'\r' || b == b'\n')
+}
+
+impl Headers {
+    /// Create an empty header map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of header fields (counting duplicates).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map holds no fields.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Append a field, validating name and value.
+    ///
+    /// Returns an error for invalid header names or values containing
+    /// CR/LF (which would permit response-splitting attacks).
+    pub fn insert(&mut self, name: impl Into<String>, value: impl Into<String>) -> Result<()> {
+        let name = name.into();
+        let value = value.into();
+        if !valid_name(&name) {
+            return Err(HttpError::BadHeader(name));
+        }
+        if !valid_value(&value) {
+            return Err(HttpError::BadHeader(format!("{name}: {value}")));
+        }
+        self.entries.push((name, value));
+        Ok(())
+    }
+
+    /// Replace all fields named `name` with a single field.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) -> Result<()> {
+        let name = name.into();
+        self.remove(&name);
+        self.insert(name, value)
+    }
+
+    /// First value for `name`, if any (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| name_eq(n, name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `name`, in insertion order.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(n, _)| name_eq(n, name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Remove every field named `name`; returns how many were removed.
+    pub fn remove(&mut self, name: &str) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(n, _)| !name_eq(n, name));
+        before - self.entries.len()
+    }
+
+    /// Whether a field named `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Iterate `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Parsed `Content-Length`, if present.
+    pub fn content_length(&self) -> Result<Option<usize>> {
+        match self.get("Content-Length") {
+            None => Ok(None),
+            Some(v) => v
+                .trim()
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| HttpError::BadContentLength(v.to_string())),
+        }
+    }
+
+    /// Serialize all fields as `Name: value\r\n` lines.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        for (n, v) in &self.entries {
+            out.extend_from_slice(n.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(v.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Headers {
+    type Item = (&'a str, &'a str);
+    type IntoIter = Box<dyn Iterator<Item = (&'a str, &'a str)> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get_case_insensitive() {
+        let mut h = Headers::new();
+        h.insert("Content-Type", "text/html").unwrap();
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+        assert_eq!(h.get("X-Missing"), None);
+    }
+
+    #[test]
+    fn duplicates_preserved_in_order() {
+        let mut h = Headers::new();
+        h.insert("X-DCWS-Load", "a").unwrap();
+        h.insert("X-DCWS-Load", "b").unwrap();
+        let vals: Vec<_> = h.get_all("x-dcws-load").collect();
+        assert_eq!(vals, ["a", "b"]);
+        assert_eq!(h.get("X-DCWS-Load"), Some("a"));
+    }
+
+    #[test]
+    fn set_replaces_all() {
+        let mut h = Headers::new();
+        h.insert("X", "1").unwrap();
+        h.insert("x", "2").unwrap();
+        h.set("X", "3").unwrap();
+        assert_eq!(h.get_all("X").collect::<Vec<_>>(), ["3"]);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn remove_counts() {
+        let mut h = Headers::new();
+        h.insert("A", "1").unwrap();
+        h.insert("a", "2").unwrap();
+        h.insert("B", "3").unwrap();
+        assert_eq!(h.remove("A"), 2);
+        assert_eq!(h.len(), 1);
+        assert!(h.contains("B"));
+    }
+
+    #[test]
+    fn rejects_invalid_names() {
+        let mut h = Headers::new();
+        assert!(h.insert("", "v").is_err());
+        assert!(h.insert("Bad Name", "v").is_err());
+        assert!(h.insert("Bad:Name", "v").is_err());
+        assert!(h.insert("Héader", "v").is_err());
+    }
+
+    #[test]
+    fn rejects_crlf_injection() {
+        let mut h = Headers::new();
+        assert!(h.insert("X", "ok\r\nEvil: yes").is_err());
+        assert!(h.insert("X", "ok\nEvil").is_err());
+        assert!(h.insert("X", "plain value with spaces").is_ok());
+    }
+
+    #[test]
+    fn content_length_parsing() {
+        let mut h = Headers::new();
+        assert_eq!(h.content_length().unwrap(), None);
+        h.insert("Content-Length", "42").unwrap();
+        assert_eq!(h.content_length().unwrap(), Some(42));
+        h.set("Content-Length", " 7 ").unwrap();
+        assert_eq!(h.content_length().unwrap(), Some(7));
+        h.set("Content-Length", "abc").unwrap();
+        assert!(h.content_length().is_err());
+    }
+
+    #[test]
+    fn serialization_format() {
+        let mut h = Headers::new();
+        h.insert("Host", "example.com").unwrap();
+        h.insert("X-Test", "1").unwrap();
+        let mut out = Vec::new();
+        h.write_to(&mut out);
+        assert_eq!(out, b"Host: example.com\r\nX-Test: 1\r\n");
+    }
+}

@@ -1,0 +1,308 @@
+//! Incremental HTTP/1.x message parsing.
+//!
+//! [`parse_request`] / [`parse_response`] operate on a byte buffer that may
+//! hold a partial message (more bytes still in flight on the socket): they
+//! return `Ok(None)` until a complete message is buffered, then
+//! `Ok(Some(Parsed))` with the number of bytes consumed so pipelined
+//! messages can follow in the same buffer.
+
+use crate::error::{HttpError, Result};
+use crate::headers::Headers;
+use crate::method::Method;
+use crate::request::Request;
+use crate::response::Response;
+use crate::status::StatusCode;
+use crate::Version;
+
+/// Maximum size of the head (start line + headers) we accept, to bound
+/// memory on malicious input.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Maximum entity body we accept. The Sequoia dataset tops out at 2.8 MB
+/// images; 16 MB leaves generous headroom.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// A successfully parsed message plus how many buffer bytes it consumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parsed<T> {
+    /// The parsed message.
+    pub message: T,
+    /// Bytes consumed from the front of the input buffer.
+    pub consumed: usize,
+}
+
+/// Find the end of the head (`\r\n\r\n`), returning the index just past it.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// Split the head into lines, parse header fields into `Headers`.
+fn parse_header_lines(lines: std::str::Lines<'_>) -> Result<Headers> {
+    let mut headers = Headers::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadHeader(line.to_string()))?;
+        headers.insert(name.trim_end(), value.trim())?;
+    }
+    Ok(headers)
+}
+
+/// Common head handling: locate head end, decode to UTF-8-ish text.
+fn head_text(buf: &[u8]) -> Result<Option<(String, usize)>> {
+    let head_end = match find_head_end(buf) {
+        Some(e) => e,
+        None => {
+            if buf.len() > MAX_HEAD_BYTES {
+                return Err(HttpError::TooLarge { what: "head", limit: MAX_HEAD_BYTES });
+            }
+            return Ok(None);
+        }
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(HttpError::TooLarge { what: "head", limit: MAX_HEAD_BYTES });
+    }
+    // HTTP heads are ASCII; lossy decoding maps stray bytes to U+FFFD which
+    // then fail token validation downstream.
+    let text = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    Ok(Some((text, head_end)))
+}
+
+/// Extract a body of `len` bytes following the head, if fully buffered.
+fn take_body(buf: &[u8], head_end: usize, len: usize) -> Result<Option<Vec<u8>>> {
+    if len > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge { what: "body", limit: MAX_BODY_BYTES });
+    }
+    if buf.len() < head_end + len {
+        return Ok(None);
+    }
+    Ok(Some(buf[head_end..head_end + len].to_vec()))
+}
+
+/// Try to parse a complete request from the front of `buf`.
+///
+/// Returns `Ok(None)` when more bytes are needed.
+pub fn parse_request(buf: &[u8]) -> Result<Option<Parsed<Request>>> {
+    let (text, head_end) = match head_text(buf)? {
+        Some(t) => t,
+        None => return Ok(None),
+    };
+    let mut lines = text.lines();
+    let start = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequestLine(String::new()))?;
+    let mut parts = start.split(' ');
+    let (m, t, v) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(HttpError::BadRequestLine(start.to_string())),
+    };
+    if t.is_empty() {
+        return Err(HttpError::BadRequestLine(start.to_string()));
+    }
+    let method = Method::parse(m)?;
+    let version = Version::parse(v)?;
+    let headers = parse_header_lines(lines)?;
+    let body_len = headers.content_length()?.unwrap_or(0);
+    let body = match take_body(buf, head_end, body_len)? {
+        Some(b) => b,
+        None => return Ok(None),
+    };
+    Ok(Some(Parsed {
+        message: Request { method, target: t.to_string(), version, headers, body },
+        consumed: head_end + body_len,
+    }))
+}
+
+/// Try to parse a complete response from the front of `buf`.
+///
+/// `request_method` affects body framing: responses to `HEAD` have no body
+/// regardless of `Content-Length`. Responses lacking `Content-Length` are
+/// treated as having an empty body (DCWS always sets the header; this
+/// avoids read-until-close framing, which the simulator cannot express).
+pub fn parse_response(buf: &[u8], request_method: Method) -> Result<Option<Parsed<Response>>> {
+    let (text, head_end) = match head_text(buf)? {
+        Some(t) => t,
+        None => return Ok(None),
+    };
+    let mut lines = text.lines();
+    let start = lines
+        .next()
+        .ok_or_else(|| HttpError::BadStatusLine(String::new()))?;
+    // Status line: HTTP-Version SP Status-Code SP Reason-Phrase (reason may
+    // contain spaces or be empty).
+    let mut parts = start.splitn(3, ' ');
+    let (v, c) = match (parts.next(), parts.next()) {
+        (Some(v), Some(c)) => (v, c),
+        _ => return Err(HttpError::BadStatusLine(start.to_string())),
+    };
+    let version = Version::parse(v)?;
+    let code: u16 = c
+        .parse()
+        .map_err(|_| HttpError::BadStatusCode(c.to_string()))?;
+    let status = StatusCode::from_code(code)?;
+    let headers = parse_header_lines(lines)?;
+    let body_len = if request_method == Method::Head || status.bodyless() {
+        0
+    } else {
+        headers.content_length()?.unwrap_or(0)
+    };
+    let body = match take_body(buf, head_end, body_len)? {
+        Some(b) => b,
+        None => return Ok(None),
+    };
+    Ok(Some(Parsed {
+        message: Response { version, status, headers, body },
+        consumed: head_end + body_len,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let r = Request::get("/a/b.html")
+            .with_header("Host", "example.com")
+            .with_header("X-DCWS-Load", "server=h:80; cps=12.5; bps=99; ts=3");
+        let wire = r.to_bytes();
+        let p = parse_request(&wire).unwrap().unwrap();
+        assert_eq!(p.message, r);
+        assert_eq!(p.consumed, wire.len());
+    }
+
+    #[test]
+    fn request_with_body_round_trip() {
+        let r = Request::get("/post").with_body(b"k=v&x=y".to_vec());
+        let wire = r.to_bytes();
+        let p = parse_request(&wire).unwrap().unwrap();
+        assert_eq!(p.message.body, b"k=v&x=y");
+    }
+
+    #[test]
+    fn incremental_request_needs_more() {
+        let wire = Request::get("/x").with_header("Host", "h").to_bytes();
+        for cut in 1..wire.len() {
+            assert_eq!(parse_request(&wire[..cut]).unwrap(), None, "cut={cut}");
+        }
+        assert!(parse_request(&wire).unwrap().is_some());
+    }
+
+    #[test]
+    fn incremental_body_needs_more() {
+        let wire = Request::get("/x").with_body(vec![7u8; 100]).to_bytes();
+        assert!(parse_request(&wire[..wire.len() - 1]).unwrap().is_none());
+        assert!(parse_request(&wire).unwrap().is_some());
+    }
+
+    #[test]
+    fn pipelined_requests_consume_correctly() {
+        let a = Request::get("/a").to_bytes();
+        let b = Request::get("/b").to_bytes();
+        let mut buf = a.clone();
+        buf.extend_from_slice(&b);
+        let p1 = parse_request(&buf).unwrap().unwrap();
+        assert_eq!(p1.message.target, "/a");
+        let p2 = parse_request(&buf[p1.consumed..]).unwrap().unwrap();
+        assert_eq!(p2.message.target, "/b");
+        assert_eq!(p1.consumed + p2.consumed, buf.len());
+    }
+
+    #[test]
+    fn bad_request_line_rejected() {
+        assert!(parse_request(b"GET /x\r\n\r\n").is_err());
+        assert!(parse_request(b"GET  /x HTTP/1.1\r\n\r\n").is_err());
+        assert!(parse_request(b"FROB /x HTTP/1.1\r\n\r\n").is_err());
+        assert!(parse_request(b"GET /x HTTP/3.0\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn header_without_colon_rejected() {
+        assert!(parse_request(b"GET /x HTTP/1.1\r\nBadHeader\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn oversized_head_rejected_even_incomplete() {
+        let big = vec![b'a'; MAX_HEAD_BYTES + 1];
+        assert!(matches!(
+            parse_request(&big),
+            Err(HttpError::TooLarge { what: "head", .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let wire = format!(
+            "GET /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse_request(wire.as_bytes()),
+            Err(HttpError::TooLarge { what: "body", .. })
+        ));
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let r = Response::ok(b"body!".to_vec(), "text/html").with_header("X-Extra", "1");
+        let wire = r.to_bytes();
+        let p = parse_response(&wire, Method::Get).unwrap().unwrap();
+        assert_eq!(p.message, r);
+        assert_eq!(p.consumed, wire.len());
+    }
+
+    #[test]
+    fn head_response_has_no_body() {
+        let r = Response::ok(b"0123456789".to_vec(), "text/plain");
+        let wire = r.to_bytes_for(true);
+        let p = parse_response(&wire, Method::Head).unwrap().unwrap();
+        assert!(p.message.body.is_empty());
+        assert_eq!(p.message.headers.get("Content-Length"), Some("10"));
+        assert_eq!(p.consumed, wire.len());
+    }
+
+    #[test]
+    fn not_modified_has_no_body_even_with_length() {
+        // A buggy peer might send Content-Length with 304; framing must not
+        // wait for a body that will never come.
+        let wire = b"HTTP/1.1 304 Not Modified\r\nContent-Length: 10\r\n\r\n";
+        let p = parse_response(wire, Method::Get).unwrap().unwrap();
+        assert_eq!(p.message.status, StatusCode::NotModified);
+        assert!(p.message.body.is_empty());
+    }
+
+    #[test]
+    fn reason_phrase_with_spaces() {
+        let wire = b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\n\r\n";
+        let p = parse_response(wire, Method::Get).unwrap().unwrap();
+        assert_eq!(p.message.status, StatusCode::ServiceUnavailable);
+    }
+
+    #[test]
+    fn empty_reason_phrase_accepted() {
+        let wire = b"HTTP/1.1 200 \r\nContent-Length: 0\r\n\r\n";
+        let p = parse_response(wire, Method::Get).unwrap().unwrap();
+        assert_eq!(p.message.status, StatusCode::Ok);
+    }
+
+    #[test]
+    fn bad_status_code_rejected() {
+        assert!(parse_response(b"HTTP/1.1 xyz OK\r\n\r\n", Method::Get).is_err());
+        assert!(parse_response(b"HTTP/1.1 999 Odd\r\n\r\n", Method::Get).is_err());
+    }
+
+    #[test]
+    fn bad_content_length_rejected() {
+        assert!(parse_request(b"GET /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn header_name_trailing_space_trimmed() {
+        let wire = b"GET /x HTTP/1.1\r\nHost : h\r\n\r\n";
+        let p = parse_request(wire).unwrap().unwrap();
+        assert_eq!(p.message.headers.get("Host"), Some("h"));
+    }
+}

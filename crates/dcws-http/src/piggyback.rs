@@ -1,0 +1,186 @@
+//! The `X-DCWS-Load` piggyback extension header (§3.3).
+//!
+//! DCWS servers gossip their load by attaching extension headers to HTTP
+//! transfers that are happening anyway (migration pulls, validations,
+//! redirect chatter). Per RFC 2616 §7.1, unknown extension headers are
+//! ignored by servers that don't understand them, so the mechanism is fully
+//! compatible with stock HTTP software.
+//!
+//! A message may carry several `X-DCWS-Load` headers — the sender includes
+//! its own fresh measurement plus its view of other servers, letting load
+//! information propagate transitively through the server group.
+//!
+//! Wire format (one header per report):
+//!
+//! ```text
+//! X-DCWS-Load: server=host:port; cps=123.4; bps=56789.0; ts=1234567
+//! ```
+//!
+//! `ts` is the sender's measurement timestamp in milliseconds of the
+//! cluster-wide clock; receivers keep the report with the largest `ts` per
+//! server (best-effort, last-writer-wins).
+
+use crate::error::{HttpError, Result};
+use crate::headers::Headers;
+
+/// Header name used for piggybacked load reports.
+pub const PIGGYBACK_HEADER: &str = "X-DCWS-Load";
+
+/// One server's load measurement, as carried in an `X-DCWS-Load` header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// The measured server's identity, `host:port`.
+    pub server: String,
+    /// Connections per second over the measurement window.
+    pub cps: f64,
+    /// Bytes per second over the measurement window.
+    pub bps: f64,
+    /// Measurement timestamp, milliseconds.
+    pub ts_ms: u64,
+}
+
+impl LoadReport {
+    /// Encode as the header value.
+    pub fn encode(&self) -> String {
+        format!(
+            "server={}; cps={:.3}; bps={:.3}; ts={}",
+            self.server, self.cps, self.bps, self.ts_ms
+        )
+    }
+
+    /// Decode from a header value.
+    pub fn decode(value: &str) -> Result<Self> {
+        let mut server = None;
+        let mut cps = None;
+        let mut bps = None;
+        let mut ts = None;
+        for part in value.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| HttpError::BadPiggyback(value.to_string()))?;
+            match k.trim() {
+                "server" => server = Some(v.trim().to_string()),
+                "cps" => {
+                    cps = Some(v.trim().parse::<f64>().map_err(|_| {
+                        HttpError::BadPiggyback(value.to_string())
+                    })?)
+                }
+                "bps" => {
+                    bps = Some(v.trim().parse::<f64>().map_err(|_| {
+                        HttpError::BadPiggyback(value.to_string())
+                    })?)
+                }
+                "ts" => {
+                    ts = Some(v.trim().parse::<u64>().map_err(|_| {
+                        HttpError::BadPiggyback(value.to_string())
+                    })?)
+                }
+                // Forward compatibility: ignore unknown keys.
+                _ => {}
+            }
+        }
+        match (server, cps, bps, ts) {
+            (Some(server), Some(cps), Some(bps), Some(ts_ms))
+                if cps.is_finite() && bps.is_finite() && cps >= 0.0 && bps >= 0.0 =>
+            {
+                Ok(LoadReport { server, cps, bps, ts_ms })
+            }
+            _ => Err(HttpError::BadPiggyback(value.to_string())),
+        }
+    }
+
+    /// Attach this report to a header map.
+    pub fn attach(&self, headers: &mut Headers) {
+        headers
+            .insert(PIGGYBACK_HEADER, self.encode())
+            .expect("encoded report is a valid header value");
+    }
+
+    /// Extract every well-formed report from a header map, silently
+    /// skipping malformed ones (best-effort gossip must not fail a
+    /// request).
+    pub fn extract_all(headers: &Headers) -> Vec<LoadReport> {
+        headers
+            .get_all(PIGGYBACK_HEADER)
+            .filter_map(|v| LoadReport::decode(v).ok())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LoadReport {
+        LoadReport { server: "h1:8001".into(), cps: 123.456, bps: 9_876_543.25, ts_ms: 42_000 }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let r = sample();
+        let d = LoadReport::decode(&r.encode()).unwrap();
+        assert_eq!(d.server, r.server);
+        assert!((d.cps - r.cps).abs() < 1e-3);
+        assert!((d.bps - r.bps).abs() < 1e-3);
+        assert_eq!(d.ts_ms, r.ts_ms);
+    }
+
+    #[test]
+    fn decode_tolerates_whitespace_and_unknown_keys() {
+        let d = LoadReport::decode(" server = h:1 ;  cps=1.0;bps=2.0; ts=3 ; future=xyz ").unwrap();
+        assert_eq!(d.server, "h:1");
+        assert_eq!(d.ts_ms, 3);
+    }
+
+    #[test]
+    fn decode_rejects_missing_fields() {
+        assert!(LoadReport::decode("server=h:1; cps=1.0; bps=2.0").is_err());
+        assert!(LoadReport::decode("cps=1.0; bps=2.0; ts=1").is_err());
+        assert!(LoadReport::decode("").is_err());
+    }
+
+    #[test]
+    fn decode_rejects_non_numeric() {
+        assert!(LoadReport::decode("server=h; cps=x; bps=2.0; ts=1").is_err());
+        assert!(LoadReport::decode("server=h; cps=1; bps=2; ts=1.5").is_err());
+    }
+
+    #[test]
+    fn decode_rejects_negative_or_nonfinite() {
+        assert!(LoadReport::decode("server=h; cps=-1; bps=2; ts=1").is_err());
+        assert!(LoadReport::decode("server=h; cps=NaN; bps=2; ts=1").is_err());
+        assert!(LoadReport::decode("server=h; cps=inf; bps=2; ts=1").is_err());
+    }
+
+    #[test]
+    fn attach_and_extract_multiple() {
+        let mut h = Headers::new();
+        let a = sample();
+        let mut b = sample();
+        b.server = "h2:8002".into();
+        a.attach(&mut h);
+        b.attach(&mut h);
+        let out = LoadReport::extract_all(&h);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].server, "h1:8001");
+        assert_eq!(out[1].server, "h2:8002");
+    }
+
+    #[test]
+    fn extract_skips_malformed_entries() {
+        let mut h = Headers::new();
+        sample().attach(&mut h);
+        h.insert(PIGGYBACK_HEADER, "garbage").unwrap();
+        let out = LoadReport::extract_all(&h);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn extract_from_empty_headers() {
+        assert!(LoadReport::extract_all(&Headers::new()).is_empty());
+    }
+}

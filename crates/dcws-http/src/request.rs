@@ -1,0 +1,123 @@
+//! HTTP request message.
+
+use crate::headers::Headers;
+use crate::method::Method;
+use crate::url::Url;
+use crate::Version;
+
+/// An HTTP request.
+///
+/// The target is kept as the raw string from the request line; use
+/// [`Request::url`] to parse it. DCWS needs the raw form because the
+/// `~migrate` naming convention (§3.4) is decoded from path text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Request target exactly as it appeared on the request line.
+    pub target: String,
+    /// Protocol version.
+    pub version: Version,
+    /// Header fields.
+    pub headers: Headers,
+    /// Entity body (empty for GET/HEAD in practice).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A `GET` request for `target`.
+    pub fn get(target: impl Into<String>) -> Self {
+        Request {
+            method: Method::Get,
+            target: target.into(),
+            version: Version::Http11,
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `HEAD` request for `target` (pinger traffic).
+    pub fn head(target: impl Into<String>) -> Self {
+        Request { method: Method::Head, ..Request::get(target) }
+    }
+
+    /// Builder-style header insertion. Panics on invalid header syntax, so
+    /// reserve it for compile-time-known names/values.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers
+            .insert(name, value)
+            .expect("with_header requires statically valid header");
+        self
+    }
+
+    /// Builder-style body attachment; sets `Content-Length`.
+    pub fn with_body(mut self, body: Vec<u8>) -> Self {
+        self.headers
+            .set("Content-Length", body.len().to_string())
+            .expect("Content-Length is a valid header");
+        self.body = body;
+        self
+    }
+
+    /// Parse the target as a [`Url`].
+    pub fn url(&self) -> crate::Result<Url> {
+        Url::parse(&self.target)
+    }
+
+    /// Serialize to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.body.len());
+        out.extend_from_slice(self.method.as_str().as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.target.as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.version.as_str().as_bytes());
+        out.extend_from_slice(b"\r\n");
+        self.headers.write_to(&mut out);
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_builder() {
+        let r = Request::get("/x.html");
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.target, "/x.html");
+        assert_eq!(r.version, Version::Http11);
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn serialization_layout() {
+        let r = Request::get("/a").with_header("Host", "h");
+        let wire = r.to_bytes();
+        assert_eq!(wire, b"GET /a HTTP/1.1\r\nHost: h\r\n\r\n");
+    }
+
+    #[test]
+    fn body_sets_content_length() {
+        let r = Request::get("/a").with_body(b"xyz".to_vec());
+        assert_eq!(r.headers.get("Content-Length"), Some("3"));
+        assert!(r.to_bytes().ends_with(b"\r\nxyz"));
+    }
+
+    #[test]
+    fn url_parses_target() {
+        let r = Request::get("http://h:99/p.html");
+        let u = r.url().unwrap();
+        assert_eq!(u.host(), Some("h"));
+        assert_eq!(u.port(), 99);
+    }
+
+    #[test]
+    fn head_builder() {
+        let r = Request::head("/ping");
+        assert_eq!(r.method, Method::Head);
+    }
+}

@@ -1,0 +1,183 @@
+//! HTTP response message.
+
+use crate::headers::Headers;
+use crate::status::StatusCode;
+use crate::url::Url;
+use crate::Version;
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Protocol version.
+    pub version: Version,
+    /// Status code.
+    pub status: StatusCode,
+    /// Header fields.
+    pub headers: Headers,
+    /// Entity body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A bare response with the given status and no body.
+    pub fn new(status: StatusCode) -> Self {
+        Response {
+            version: Version::Http11,
+            status,
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `200 OK` carrying `body` with the given media type.
+    pub fn ok(body: Vec<u8>, content_type: &str) -> Self {
+        Response::new(StatusCode::Ok).with_body(body, content_type)
+    }
+
+    /// A `301 Moved Permanently` pointing at `location` — the DCWS
+    /// post-migration redirect (§4.4). The body is a tiny human-readable
+    /// notice, as the prototype produced.
+    pub fn moved_permanently(location: &Url) -> Self {
+        let loc = location.to_string();
+        let body = format!(
+            "<html><head><title>301 Moved</title></head>\
+             <body>The document has moved <a href=\"{loc}\">here</a>.</body></html>"
+        );
+        let mut r = Response::new(StatusCode::MovedPermanently)
+            .with_body(body.into_bytes(), "text/html");
+        r.headers.set("Location", loc).expect("url is a valid header value");
+        r
+    }
+
+    /// A `503 Service Unavailable` — the graceful drop response emitted when
+    /// the socket queue exceeds its limit (§5.2). `Retry-After` hints the
+    /// exponential back-off the benchmark clients implement.
+    pub fn service_unavailable(retry_after_secs: u32) -> Self {
+        let mut r = Response::new(StatusCode::ServiceUnavailable);
+        r.headers
+            .set("Retry-After", retry_after_secs.to_string())
+            .expect("valid header");
+        r
+    }
+
+    /// A `404 Not Found`.
+    pub fn not_found() -> Self {
+        Response::new(StatusCode::NotFound)
+            .with_body(b"<html><body>404 Not Found</body></html>".to_vec(), "text/html")
+    }
+
+    /// A `304 Not Modified` — co-op revalidation hit (§4.5).
+    pub fn not_modified() -> Self {
+        Response::new(StatusCode::NotModified)
+    }
+
+    /// Builder-style body attachment; sets `Content-Length` and
+    /// `Content-Type`.
+    pub fn with_body(mut self, body: Vec<u8>, content_type: &str) -> Self {
+        self.headers
+            .set("Content-Length", body.len().to_string())
+            .expect("valid header");
+        self.headers
+            .set("Content-Type", content_type)
+            .expect("caller supplies valid media type");
+        self.body = body;
+        self
+    }
+
+    /// Builder-style header insertion. Panics on invalid header syntax.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers
+            .insert(name, value)
+            .expect("with_header requires statically valid header");
+        self
+    }
+
+    /// The `Location` header parsed as a URL, if present and valid.
+    pub fn location(&self) -> Option<Url> {
+        self.headers.get("Location").and_then(|l| Url::parse(l).ok())
+    }
+
+    /// Serialize to wire bytes. When `head` is true the body is omitted
+    /// (response to a `HEAD` request) but `Content-Length` still reflects
+    /// the entity size, per RFC 2616.
+    pub fn to_bytes_for(&self, head: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + if head { 0 } else { self.body.len() });
+        out.extend_from_slice(self.version.as_str().as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.status.code().to_string().as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.status.reason().as_bytes());
+        out.extend_from_slice(b"\r\n");
+        self.headers.write_to(&mut out);
+        out.extend_from_slice(b"\r\n");
+        if !head && !self.status.bodyless() {
+            out.extend_from_slice(&self.body);
+        }
+        out
+    }
+
+    /// Serialize to wire bytes including the body.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_for(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_sets_length_and_type() {
+        let r = Response::ok(b"abc".to_vec(), "text/plain");
+        assert_eq!(r.headers.get("Content-Length"), Some("3"));
+        assert_eq!(r.headers.get("Content-Type"), Some("text/plain"));
+        assert!(r.status.is_success());
+    }
+
+    #[test]
+    fn redirect_carries_location() {
+        let u = Url::parse("http://coop:8001/~migrate/home/80/x.html").unwrap();
+        let r = Response::moved_permanently(&u);
+        assert_eq!(r.status, StatusCode::MovedPermanently);
+        assert_eq!(r.location().unwrap(), u);
+        assert!(String::from_utf8_lossy(&r.body).contains("moved"));
+    }
+
+    #[test]
+    fn unavailable_sets_retry_after() {
+        let r = Response::service_unavailable(1);
+        assert_eq!(r.status, StatusCode::ServiceUnavailable);
+        assert_eq!(r.headers.get("Retry-After"), Some("1"));
+    }
+
+    #[test]
+    fn wire_layout() {
+        let r = Response::ok(b"hi".to_vec(), "text/plain");
+        let wire = r.to_bytes();
+        let s = String::from_utf8(wire).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.ends_with("\r\n\r\nhi"));
+    }
+
+    #[test]
+    fn head_omits_body_but_keeps_length() {
+        let r = Response::ok(b"0123456789".to_vec(), "text/plain");
+        let wire = r.to_bytes_for(true);
+        let s = String::from_utf8(wire).unwrap();
+        assert!(s.contains("Content-Length: 10"));
+        assert!(s.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn not_modified_never_serializes_body() {
+        let mut r = Response::not_modified();
+        r.body = b"should not appear".to_vec();
+        let s = String::from_utf8(r.to_bytes()).unwrap();
+        assert!(!s.contains("appear"));
+    }
+
+    #[test]
+    fn not_found_is_404() {
+        assert_eq!(Response::not_found().status.code(), 404);
+    }
+}

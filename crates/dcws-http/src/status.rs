@@ -1,0 +1,156 @@
+//! HTTP status codes.
+
+use crate::error::{HttpError, Result};
+
+/// The status codes the DCWS protocol actually emits, plus a catch-all.
+///
+/// The paper leans on three of these: `301 Moved Permanently` to redirect
+/// clients holding pre-migration URLs (§4.4), `304 Not Modified` for co-op
+/// revalidation of unchanged documents (§4.5), and `503 Service Unavailable`
+/// for graceful request dropping when the socket queue overflows (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatusCode {
+    /// 200 — the document follows.
+    Ok,
+    /// 301 — the document migrated; `Location` holds the new URL.
+    MovedPermanently,
+    /// 304 — co-op revalidation found the copy still fresh.
+    NotModified,
+    /// 400 — the request could not be parsed.
+    BadRequest,
+    /// 404 — no such document in the local document graph.
+    NotFound,
+    /// 500 — internal failure.
+    InternalServerError,
+    /// 503 — socket queue overflow; client should back off exponentially.
+    ServiceUnavailable,
+    /// Any other valid code (100..=599) we don't special-case.
+    Other(u16),
+}
+
+impl StatusCode {
+    /// Numeric value of the code.
+    pub fn code(&self) -> u16 {
+        match self {
+            StatusCode::Ok => 200,
+            StatusCode::MovedPermanently => 301,
+            StatusCode::NotModified => 304,
+            StatusCode::BadRequest => 400,
+            StatusCode::NotFound => 404,
+            StatusCode::InternalServerError => 500,
+            StatusCode::ServiceUnavailable => 503,
+            StatusCode::Other(c) => *c,
+        }
+    }
+
+    /// Canonical reason phrase.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            StatusCode::Ok => "OK",
+            StatusCode::MovedPermanently => "Moved Permanently",
+            StatusCode::NotModified => "Not Modified",
+            StatusCode::BadRequest => "Bad Request",
+            StatusCode::NotFound => "Not Found",
+            StatusCode::InternalServerError => "Internal Server Error",
+            StatusCode::ServiceUnavailable => "Service Unavailable",
+            StatusCode::Other(_) => "Unknown",
+        }
+    }
+
+    /// Build from a numeric code, normalizing known values.
+    pub fn from_code(code: u16) -> Result<Self> {
+        if !(100..=599).contains(&code) {
+            return Err(HttpError::BadStatusCode(code.to_string()));
+        }
+        Ok(match code {
+            200 => StatusCode::Ok,
+            301 => StatusCode::MovedPermanently,
+            304 => StatusCode::NotModified,
+            400 => StatusCode::BadRequest,
+            404 => StatusCode::NotFound,
+            500 => StatusCode::InternalServerError,
+            503 => StatusCode::ServiceUnavailable,
+            other => StatusCode::Other(other),
+        })
+    }
+
+    /// Whether the code signals success (2xx).
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.code())
+    }
+
+    /// Whether the code signals a redirect (3xx).
+    pub fn is_redirect(&self) -> bool {
+        (300..400).contains(&self.code())
+    }
+
+    /// Whether responses with this code never carry a body (RFC 2616 §4.3).
+    pub fn bodyless(&self) -> bool {
+        let c = self.code();
+        c == 204 || c == 304 || (100..200).contains(&c)
+    }
+}
+
+impl std::fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.code(), self.reason())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_codes_normalize() {
+        assert_eq!(StatusCode::from_code(200).unwrap(), StatusCode::Ok);
+        assert_eq!(
+            StatusCode::from_code(301).unwrap(),
+            StatusCode::MovedPermanently
+        );
+        assert_eq!(
+            StatusCode::from_code(503).unwrap(),
+            StatusCode::ServiceUnavailable
+        );
+    }
+
+    #[test]
+    fn unknown_codes_preserved() {
+        assert_eq!(StatusCode::from_code(418).unwrap(), StatusCode::Other(418));
+        assert_eq!(StatusCode::Other(418).code(), 418);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(StatusCode::from_code(99).is_err());
+        assert!(StatusCode::from_code(600).is_err());
+        assert!(StatusCode::from_code(0).is_err());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(StatusCode::Ok.is_success());
+        assert!(!StatusCode::Ok.is_redirect());
+        assert!(StatusCode::MovedPermanently.is_redirect());
+        assert!(StatusCode::NotModified.is_redirect());
+        assert!(!StatusCode::ServiceUnavailable.is_success());
+    }
+
+    #[test]
+    fn bodyless_codes() {
+        assert!(StatusCode::NotModified.bodyless());
+        assert!(StatusCode::Other(204).bodyless());
+        assert!(StatusCode::Other(100).bodyless());
+        assert!(!StatusCode::Ok.bodyless());
+        assert!(!StatusCode::MovedPermanently.bodyless());
+    }
+
+    #[test]
+    fn display_includes_reason() {
+        assert_eq!(StatusCode::Ok.to_string(), "200 OK");
+        assert_eq!(
+            StatusCode::ServiceUnavailable.to_string(),
+            "503 Service Unavailable"
+        );
+    }
+}

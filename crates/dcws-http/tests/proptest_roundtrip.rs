@@ -1,0 +1,86 @@
+//! Property-based tests: HTTP serialize ∘ parse is the identity.
+
+use dcws_http::{parse_request, parse_response, Method, Request, Response, StatusCode};
+use proptest::prelude::*;
+
+/// Header-safe value: printable ASCII without CR/LF, trimmed (parser trims
+/// optional whitespace around values).
+fn header_value() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[!-~][ -~]{0,30}[!-~]|[!-~]?").unwrap()
+}
+
+fn header_name() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z][A-Za-z0-9-]{0,20}").unwrap()
+}
+
+fn target() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("/[a-zA-Z0-9_./~-]{0,40}").unwrap()
+}
+
+proptest! {
+    #[test]
+    fn request_round_trips(
+        t in target(),
+        names in proptest::collection::vec(header_name(), 0..5),
+        values in proptest::collection::vec(header_value(), 0..5),
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+        use_body in any::<bool>(),
+    ) {
+        let mut req = Request::get(t);
+        for (n, v) in names.iter().zip(values.iter()) {
+            // Skip names that collide with framing headers.
+            if n.eq_ignore_ascii_case("content-length") { continue; }
+            req.headers.insert(n.clone(), v.clone()).unwrap();
+        }
+        if use_body {
+            req = req.with_body(body);
+        }
+        let wire = req.to_bytes();
+        let parsed = parse_request(&wire).unwrap().expect("complete message");
+        prop_assert_eq!(parsed.message, req);
+        prop_assert_eq!(parsed.consumed, wire.len());
+    }
+
+    #[test]
+    fn request_parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = parse_request(&bytes);
+    }
+
+    #[test]
+    fn response_parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = parse_response(&bytes, Method::Get);
+    }
+
+    #[test]
+    fn response_round_trips(
+        code in prop_oneof![Just(200u16), Just(301), Just(404), Just(503), 200u16..599],
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let status = StatusCode::from_code(code).unwrap();
+        let resp = if status.bodyless() {
+            Response::new(status)
+        } else {
+            Response::new(status).with_body(body, "application/octet-stream")
+        };
+        let wire = resp.to_bytes();
+        let parsed = parse_response(&wire, Method::Get).unwrap().expect("complete");
+        prop_assert_eq!(parsed.message, resp);
+        prop_assert_eq!(parsed.consumed, wire.len());
+    }
+
+    #[test]
+    fn incremental_parse_prefix_is_none_or_consistent(
+        t in target(),
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let req = Request::get(t).with_body(body);
+        let wire = req.to_bytes();
+        let cut = ((wire.len() as f64) * cut_frac) as usize;
+        // A strict prefix either needs more bytes or errors on a size limit
+        // — it must never yield a *different* complete message.
+        if let Ok(Some(p)) = parse_request(&wire[..cut]) {
+            prop_assert_eq!(p.message, req);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! `dcws-walk` — the paper's custom client benchmark (Algorithm 2, Fig. 5)
+//! as a real load generator over TCP.
+//!
+//! ```bash
+//! dcws-walk --entry http://127.0.0.1:8000/index.html \
+//!           --clients 8 --duration 30 [--max-steps 25] [--seed 42]
+//! ```
+//!
+//! Each client thread repeats: reset its cache, jump to a random entry
+//! point, walk `random(1..max-steps)` hyperlinks (fetching embedded images
+//! through four helper threads, following 301s, exponentially backing off
+//! on 503), and reports aggregate CPS/BPS — the §5.3 measures.
+
+use dcws_graph::ServerId;
+use dcws_http::{Request, StatusCode, Url};
+use dcws_net::fetch_from;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Clone)]
+struct Shared {
+    completed: Arc<AtomicU64>,
+    bytes: Arc<AtomicU64>,
+    drops: Arc<AtomicU64>,
+    redirects: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+}
+
+struct Args {
+    entries: Vec<Url>,
+    clients: usize,
+    duration: Duration,
+    max_steps: u32,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut entries = Vec::new();
+    let mut clients = 4usize;
+    let mut duration = Duration::from_secs(30);
+    let mut max_steps = 25u32;
+    let mut seed = 42u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = || it.next().ok_or(format!("{a} needs a value"));
+        match a.as_str() {
+            "--entry" => entries.push(
+                Url::parse(&val()?).map_err(|e| format!("bad --entry: {e}"))?,
+            ),
+            "--clients" => clients = val()?.parse().map_err(|e| format!("bad --clients: {e}"))?,
+            "--duration" => {
+                duration = Duration::from_secs(
+                    val()?.parse().map_err(|e| format!("bad --duration: {e}"))?,
+                )
+            }
+            "--max-steps" => {
+                max_steps = val()?.parse().map_err(|e| format!("bad --max-steps: {e}"))?
+            }
+            "--seed" => seed = val()?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--help" | "-h" => {
+                return Err("usage: dcws-walk --entry URL [--entry URL]... \
+                            [--clients N] [--duration SECS] [--max-steps N] [--seed N]"
+                    .into())
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    if entries.is_empty() {
+        return Err("at least one --entry URL is required (try --help)".into());
+    }
+    Ok(Args { entries, clients, duration, max_steps, seed })
+}
+
+/// Minimal xorshift RNG so the binary needs no extra dependencies.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// GET with redirect-following and 503 back-off; returns the final
+/// response and URL, or `None` when the walk should give up on this URL.
+fn get(url: &Url, shared: &Shared) -> Option<(dcws_http::Response, Url)> {
+    let mut current = url.clone();
+    let mut backoff = 1u64;
+    for _ in 0..12 {
+        if shared.stop.load(Ordering::Relaxed) {
+            return None;
+        }
+        let host = current.host()?;
+        let server = ServerId::new(format!("{host}:{}", current.port()));
+        let resp = fetch_from(&server, &Request::get(current.path())).ok()?;
+        match resp.status {
+            StatusCode::ServiceUnavailable => {
+                // §5.2 exponential back-off: 1 s, 2 s, 4 s, ...
+                shared.drops.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_secs(backoff));
+                backoff = (backoff * 2).min(64);
+            }
+            StatusCode::MovedPermanently => {
+                shared.redirects.fetch_add(1, Ordering::Relaxed);
+                current = resp.location()?;
+            }
+            StatusCode::Ok => {
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .bytes
+                    .fetch_add(resp.body.len() as u64, Ordering::Relaxed);
+                return Some((resp, current));
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn client_loop(entries: Vec<Url>, max_steps: u32, seed: u64, shared: Shared) {
+    let mut rng = Rng(seed | 1);
+    while !shared.stop.load(Ordering::Relaxed) {
+        // New session: fresh cache, random entry point, random length.
+        let mut cache: HashSet<String> = HashSet::new();
+        let mut current = entries[rng.below(entries.len() as u64) as usize].clone();
+        let steps = 1 + rng.below(max_steps as u64) as u32;
+        for _ in 0..steps {
+            if shared.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let key = current.to_string();
+            let (anchors, embeds): (Vec<Url>, Vec<Url>) = if cache.contains(&key) {
+                (Vec::new(), Vec::new()) // cached: no fetch, dead end for simplicity
+            } else {
+                let Some((resp, final_url)) = get(&current, &shared) else { break };
+                cache.insert(key);
+                cache.insert(final_url.to_string());
+                let is_html = resp
+                    .headers
+                    .get("Content-Type")
+                    .is_some_and(|c| c.starts_with("text/html"));
+                if !is_html {
+                    break; // opaque document: dead end
+                }
+                let html = String::from_utf8_lossy(&resp.body);
+                let mut anchors = Vec::new();
+                let mut embeds = Vec::new();
+                for l in dcws_html::extract_links(&html) {
+                    if let Ok(u) = final_url.join(&l.url) {
+                        match l.kind {
+                            dcws_html::LinkKind::Hyperlink => anchors.push(u),
+                            dcws_html::LinkKind::Embedded => embeds.push(u),
+                        }
+                    }
+                }
+                (anchors, embeds)
+            };
+            // Fetch uncached embedded images with 4 parallel helpers.
+            let todo: Vec<Url> = embeds
+                .into_iter()
+                .filter(|u| !cache.contains(&u.to_string()))
+                .collect();
+            for u in &todo {
+                cache.insert(u.to_string());
+            }
+            std::thread::scope(|scope| {
+                for chunk in todo.chunks(todo.len().div_ceil(4).max(1)) {
+                    let shared = shared.clone();
+                    scope.spawn(move || {
+                        for u in chunk {
+                            let _ = get(u, &shared);
+                        }
+                    });
+                }
+            });
+            // Pick the next hyperlink at random.
+            if anchors.is_empty() {
+                break;
+            }
+            current = anchors[rng.below(anchors.len() as u64) as usize].clone();
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let shared = Shared {
+        completed: Arc::new(AtomicU64::new(0)),
+        bytes: Arc::new(AtomicU64::new(0)),
+        drops: Arc::new(AtomicU64::new(0)),
+        redirects: Arc::new(AtomicU64::new(0)),
+        stop: Arc::new(AtomicBool::new(false)),
+    };
+    println!(
+        "dcws-walk: {} clients, {} entry point(s), up to {} steps/session, {:?}",
+        args.clients,
+        args.entries.len(),
+        args.max_steps,
+        args.duration
+    );
+    let mut handles = Vec::new();
+    for i in 0..args.clients {
+        let entries = args.entries.clone();
+        let shared = shared.clone();
+        let seed = args.seed ^ (0x9e37_79b9 * (i as u64 + 1));
+        let max_steps = args.max_steps;
+        handles.push(std::thread::spawn(move || {
+            client_loop(entries, max_steps, seed, shared)
+        }));
+    }
+
+    let start = Instant::now();
+    let (mut last_c, mut last_b) = (0u64, 0u64);
+    while start.elapsed() < args.duration {
+        std::thread::sleep(Duration::from_secs(5).min(args.duration));
+        let c = shared.completed.load(Ordering::Relaxed);
+        let b = shared.bytes.load(Ordering::Relaxed);
+        println!(
+            "t={:>4.0}s  cps={:>8.1}  bps={:>12.0}  drops={}  redirects={}",
+            start.elapsed().as_secs_f64(),
+            (c - last_c) as f64 / 5.0,
+            (b - last_b) as f64 / 5.0,
+            shared.drops.load(Ordering::Relaxed),
+            shared.redirects.load(Ordering::Relaxed),
+        );
+        (last_c, last_b) = (c, b);
+    }
+    shared.stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "total: {} transfers ({:.1} CPS), {} bytes ({:.0} BPS), {} drops, {} redirects",
+        shared.completed.load(Ordering::Relaxed),
+        shared.completed.load(Ordering::Relaxed) as f64 / secs,
+        shared.bytes.load(Ordering::Relaxed),
+        shared.bytes.load(Ordering::Relaxed) as f64 / secs,
+        shared.drops.load(Ordering::Relaxed),
+        shared.redirects.load(Ordering::Relaxed),
+    );
+}

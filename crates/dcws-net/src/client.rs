@@ -1,0 +1,135 @@
+//! A small blocking HTTP client for inter-server transfers and examples.
+
+use crate::conn::{read_response, READ_TIMEOUT};
+use dcws_graph::ServerId;
+use dcws_http::{Request, Response, Url};
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Send `req` to `server` (connect, one request, one response, close).
+pub fn fetch_from(server: &ServerId, req: &Request) -> io::Result<Response> {
+    fetch_from_timeout(server, req, READ_TIMEOUT)
+}
+
+/// [`fetch_from`] with an explicit timeout (connect and read).
+pub fn fetch_from_timeout(
+    server: &ServerId,
+    req: &Request,
+    timeout: Duration,
+) -> io::Result<Response> {
+    let (host, port) = server.host_port();
+    let mut stream = TcpStream::connect((host, port))?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_nodelay(true)?;
+    stream.write_all(&req.to_bytes())?;
+    read_response(&mut stream, req.method)
+}
+
+/// GET an absolute URL, following up to `max_redirects` `301`s — the
+/// client-side behaviour DCWS relies on for stale pre-migration links
+/// (§4.4). Returns the final response and the URL it came from.
+pub fn fetch(url: &Url, max_redirects: usize) -> io::Result<(Response, Url)> {
+    let mut current = url.clone();
+    for _ in 0..=max_redirects {
+        let host = current.host().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "fetch requires an absolute URL")
+        })?;
+        let server = ServerId::new(format!("{host}:{}", current.port()));
+        let req = Request::get(current.path())
+            .with_header("Host", &server.to_string());
+        let resp = fetch_from(&server, &req)?;
+        if resp.status.is_redirect() {
+            if let Some(loc) = resp.location() {
+                current = if loc.is_absolute() {
+                    loc
+                } else {
+                    current.join(&loc.to_string()).map_err(|e| {
+                        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+                    })?
+                };
+                continue;
+            }
+        }
+        return Ok((resp, current));
+    }
+    Err(io::Error::other(
+        format!("redirect limit exceeded fetching {url}"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcws_http::{Method, StatusCode};
+    use std::net::TcpListener;
+
+    fn one_shot_server(resp: Response) -> ServerId {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let req = crate::conn::read_request(&mut s).unwrap().unwrap();
+            crate::conn::write_response(&mut s, &resp, req.method).unwrap();
+        });
+        ServerId::new(format!("127.0.0.1:{}", addr.port()))
+    }
+
+    #[test]
+    fn fetch_from_round_trips() {
+        let server = one_shot_server(Response::ok(b"payload".to_vec(), "text/plain"));
+        let resp = fetch_from(&server, &Request::get("/any")).unwrap();
+        assert_eq!(resp.status, StatusCode::Ok);
+        assert_eq!(resp.body, b"payload");
+    }
+
+    #[test]
+    fn fetch_follows_redirect() {
+        let final_server = one_shot_server(Response::ok(b"end".to_vec(), "text/plain"));
+        let (h, p) = final_server.host_port();
+        let target = Url::absolute(h, p, "/final.html").unwrap();
+        let first = one_shot_server(Response::moved_permanently(&target));
+        let (fh, fp) = first.host_port();
+        let start = Url::absolute(fh, fp, "/old.html").unwrap();
+        let (resp, from) = fetch(&start, 3).unwrap();
+        assert_eq!(resp.body, b"end");
+        assert_eq!(from, target);
+    }
+
+    #[test]
+    fn fetch_redirect_limit() {
+        // A server that redirects to itself forever.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let self_url = Url::absolute("127.0.0.1", addr.port(), "/loop.html").unwrap();
+        let self_url2 = self_url.clone();
+        std::thread::spawn(move || {
+            for _ in 0..10 {
+                let Ok((mut s, _)) = listener.accept() else { return };
+                if let Ok(Some(req)) = crate::conn::read_request(&mut s) {
+                    let _ = crate::conn::write_response(
+                        &mut s,
+                        &Response::moved_permanently(&self_url2),
+                        req.method,
+                    );
+                }
+            }
+        });
+        assert!(fetch(&self_url, 3).is_err());
+    }
+
+    #[test]
+    fn fetch_requires_absolute_url() {
+        let u = Url::relative("/x.html").unwrap();
+        assert!(fetch(&u, 1).is_err());
+    }
+
+    #[test]
+    fn head_request_over_client() {
+        let server = one_shot_server(Response::ok(b"0123".to_vec(), "text/plain"));
+        let resp = fetch_from(&server, &Request::head("/any")).unwrap();
+        assert!(resp.body.is_empty());
+        assert_eq!(resp.headers.get("Content-Length"), Some("4"));
+        let _ = Method::Head;
+    }
+}

@@ -1,0 +1,130 @@
+//! Blocking socket helpers: read one message, write one message.
+
+use dcws_http::{parse_request, parse_response, Method, Request, Response};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Default per-socket read timeout.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Read one complete HTTP request from a stream.
+///
+/// Returns `Ok(None)` on clean EOF before any bytes (peer closed an idle
+/// connection); `Err` on timeouts, resets, or protocol errors.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        match parse_request(&buf) {
+            Ok(Some(parsed)) => return Ok(Some(parsed.message)),
+            Ok(None) => {}
+            Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return if buf.is_empty() {
+                Ok(None)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-request",
+                ))
+            };
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Read one complete HTTP response (framing depends on the request
+/// method — `HEAD` responses carry no body).
+pub fn read_response(stream: &mut TcpStream, method: Method) -> io::Result<Response> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match parse_response(&buf, method) {
+            Ok(Some(parsed)) => return Ok(parsed.message),
+            Ok(None) => {}
+            Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Write a response, omitting the body for `HEAD` requests, and flush.
+pub fn write_response(
+    stream: &mut TcpStream,
+    resp: &Response,
+    request_method: Method,
+) -> io::Result<()> {
+    let wire = resp.to_bytes_for(request_method == Method::Head);
+    stream.write_all(&wire)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcws_http::StatusCode;
+    use std::net::TcpListener;
+
+    /// Round-trip a request and response over a real socket pair.
+    #[test]
+    fn socket_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            s.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+            let req = read_request(&mut s).unwrap().unwrap();
+            assert_eq!(req.target, "/x.html");
+            let resp = Response::ok(b"hello".to_vec(), "text/plain");
+            write_response(&mut s, &resp, req.method).unwrap();
+        });
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+        c.write_all(&Request::get("/x.html").to_bytes()).unwrap();
+        let resp = read_response(&mut c, Method::Get).unwrap();
+        assert_eq!(resp.status, StatusCode::Ok);
+        assert_eq!(resp.body, b"hello");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn head_round_trip_strips_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let req = read_request(&mut s).unwrap().unwrap();
+            let resp = Response::ok(b"body-bytes".to_vec(), "text/plain");
+            write_response(&mut s, &resp, req.method).unwrap();
+        });
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(&Request::head("/x").to_bytes()).unwrap();
+        let resp = read_response(&mut c, Method::Head).unwrap();
+        assert!(resp.body.is_empty());
+        assert_eq!(resp.headers.get("Content-Length"), Some("10"));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn clean_eof_returns_none() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            read_request(&mut s)
+        });
+        let c = TcpStream::connect(addr).unwrap();
+        drop(c); // close immediately
+        assert!(server.join().unwrap().unwrap().is_none());
+    }
+}

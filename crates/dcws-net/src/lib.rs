@@ -1,0 +1,33 @@
+//! Real TCP transport for DCWS — the §5.1 prototype architecture on
+//! `std::thread`.
+//!
+//! A [`DcwsServer`] runs the same thread roles as the 1998 prototype:
+//!
+//! * **front-end thread** (N_fe = 1): accepts connections and enqueues
+//!   them on a bounded queue of length L_sq; when the queue is full the
+//!   connection is dropped *gracefully* with a `503` and a `Retry-After`
+//!   hint, exactly the §5.2 drop behaviour;
+//! * **worker threads** (N_wk = 12 by default): parse one request, hand it
+//!   to the shared [`ServerEngine`](dcws_core::ServerEngine), perform any
+//!   lazy pull it asks for, and write the response;
+//! * **pinger/statistics thread** (N_pi = 1): drives
+//!   [`ServerEngine::tick`](dcws_core::ServerEngine::tick) — statistics
+//!   recalculation, migration decisions, artificial ping transfers,
+//!   co-op revalidation — and performs the resulting inter-server HTTP
+//!   traffic.
+//!
+//! The multithreaded (rather than pool-of-processes) design is the
+//! paper's: workers and the statistics module share the Local Document
+//! Graph and Global Load Table through one lock.
+//!
+//! [`client`] provides the small blocking HTTP client used for
+//! inter-server transfers and by the examples.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod conn;
+pub mod server;
+
+pub use client::{fetch, fetch_from};
+pub use server::DcwsServer;

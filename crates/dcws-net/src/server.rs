@@ -1,0 +1,260 @@
+//! The threaded DCWS server: front-end, worker pool, pinger (§5.1).
+
+use crate::client::fetch_from_timeout;
+use crate::conn::{read_request, write_response, READ_TIMEOUT};
+use dcws_core::{Outcome, ServerEngine};
+use dcws_graph::ServerId;
+use dcws_http::{Response, StatusCode};
+use parking_lot::Mutex;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Retry-After hint (seconds) on graceful 503 drops; the benchmark
+/// client's exponential back-off starts at one second (§5.2).
+const RETRY_AFTER_SECS: u32 = 1;
+
+/// A running DCWS server; dropping the handle shuts it down.
+pub struct DcwsServer {
+    addr: SocketAddr,
+    engine: Arc<Mutex<ServerEngine>>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl DcwsServer {
+    /// Bind `engine` to `bind_addr` (e.g. `"127.0.0.1:0"` for an ephemeral
+    /// port) and start the front-end, worker, and pinger threads. The
+    /// pinger wakes every `control_interval` to drive the engine's timers.
+    pub fn spawn(
+        engine: ServerEngine,
+        bind_addr: &str,
+        control_interval: Duration,
+    ) -> std::io::Result<DcwsServer> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let queue_len = engine.config().socket_queue_len;
+        let n_workers = engine.config().n_workers;
+        let engine = Arc::new(Mutex::new(engine));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let dropped = Arc::new(AtomicU64::new(0));
+        let epoch = Instant::now();
+        let (tx, rx) = crossbeam::channel::bounded::<TcpStream>(queue_len);
+
+        let mut threads = Vec::new();
+
+        // Front-end thread: accept + enqueue, 503 on overflow (§5.2).
+        {
+            let shutdown = shutdown.clone();
+            let dropped = dropped.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("dcws-frontend".into())
+                    .spawn(move || {
+                        for stream in listener.incoming() {
+                            if shutdown.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let Ok(stream) = stream else { continue };
+                            if let Err(crossbeam::channel::TrySendError::Full(mut s)) =
+                                tx.try_send(stream)
+                            {
+                                dropped.fetch_add(1, Ordering::Relaxed);
+                                let resp = Response::service_unavailable(RETRY_AFTER_SECS);
+                                let _ = s.write_all(&resp.to_bytes());
+                            }
+                        }
+                    })
+                    .expect("spawn front-end"),
+            );
+        }
+
+        // Worker threads.
+        for i in 0..n_workers {
+            let rx = rx.clone();
+            let engine = engine.clone();
+            let shutdown = shutdown.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("dcws-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(mut stream) = rx.recv() {
+                            if shutdown.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+                            let _ = stream.set_nodelay(true);
+                            let now = epoch.elapsed().as_millis() as u64;
+                            let _ = serve_connection(&engine, &mut stream, now);
+                        }
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+
+        // Pinger / statistics thread.
+        {
+            let engine = engine.clone();
+            let shutdown = shutdown.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("dcws-pinger".into())
+                    .spawn(move || {
+                        while !shutdown.load(Ordering::Relaxed) {
+                            std::thread::sleep(control_interval);
+                            let now = epoch.elapsed().as_millis() as u64;
+                            let out = engine.lock().tick(now);
+                            run_tick_actions(&engine, out, now);
+                        }
+                    })
+                    .expect("spawn pinger"),
+            );
+        }
+
+        Ok(DcwsServer { addr, engine, shutdown, threads, dropped })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This server's group identity (`host:port` of the bound address).
+    pub fn server_id(&self) -> ServerId {
+        ServerId::new(format!("{}:{}", self.addr.ip(), self.addr.port()))
+    }
+
+    /// Shared engine handle (lock to publish documents or read stats).
+    pub fn engine(&self) -> &Arc<Mutex<ServerEngine>> {
+        &self.engine
+    }
+
+    /// Connections dropped with 503 by the front end so far.
+    pub fn dropped_connections(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Stop all threads and wait for them.
+    pub fn shutdown(mut self) {
+        self.stop();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    fn stop(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Unblock the acceptor.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for DcwsServer {
+    fn drop(&mut self) {
+        self.stop();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Handle one connection: serve requests until the peer closes, asks to
+/// close, or speaks HTTP/1.0 (persistent connections are the HTTP/1.1
+/// default; the benchmark clients open one connection per transfer, as
+/// the paper's CPS metric assumes, but real browsers keep alive).
+fn serve_connection(
+    engine: &Arc<Mutex<ServerEngine>>,
+    stream: &mut TcpStream,
+    now: u64,
+) -> std::io::Result<()> {
+    loop {
+        let req = match read_request(stream) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Unparseable request: answer 400 instead of slamming the
+                // connection shut, then close (framing is unrecoverable).
+                let resp = Response::new(StatusCode::BadRequest);
+                let _ = write_response(stream, &resp, dcws_http::Method::Get);
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let keep_alive = req.version == dcws_http::Version::Http11
+            && !req
+                .headers
+                .get("Connection")
+                .is_some_and(|c| c.eq_ignore_ascii_case("close"));
+        let method = req.method;
+        let resp = serve_one(engine, req, now)?;
+        write_response(stream, &resp, method)?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+/// Produce the response for one request, performing any lazy pull.
+fn serve_one(
+    engine: &Arc<Mutex<ServerEngine>>,
+    req: dcws_http::Request,
+    now: u64,
+) -> std::io::Result<Response> {
+    let outcome = engine.lock().handle_request(&req, now);
+    let resp = match outcome {
+        Outcome::Response(r) => r,
+        Outcome::FetchNeeded { home, path } => {
+            // Lazy physical migration (§4.2): pull from home, store, retry.
+            let pull = engine.lock().make_pull_request(&path, now);
+            match fetch_from_timeout(&home, &pull, READ_TIMEOUT) {
+                Ok(pull_resp) => {
+                    let mut eng = engine.lock();
+                    if eng.store_pulled(&home, &path, &pull_resp, now) {
+                        match eng.handle_request(&req, now) {
+                            Outcome::Response(r) => r,
+                            Outcome::FetchNeeded { .. } => {
+                                Response::new(StatusCode::InternalServerError)
+                            }
+                        }
+                    } else {
+                        // Home declined (301 to the current host, 404, …):
+                        // remember redirects, relay the answer as-is.
+                        eng.pull_rejected(&home, &path, &pull_resp, now);
+                        pull_resp
+                    }
+                }
+                // Home unreachable and we hold no copy: shed the request.
+                Err(_) => Response::service_unavailable(RETRY_AFTER_SECS),
+            }
+        }
+    };
+    Ok(resp)
+}
+
+/// Perform the network side of a tick: pings, validations, eager pushes.
+fn run_tick_actions(engine: &Arc<Mutex<ServerEngine>>, out: dcws_core::TickOutput, now: u64) {
+    for (peer, req) in out.pings {
+        let result = fetch_from_timeout(&peer, &req, Duration::from_secs(2));
+        let mut eng = engine.lock();
+        match result {
+            Ok(resp) => {
+                eng.ping_result(&peer, true, Some(&resp.headers));
+            }
+            Err(_) => {
+                eng.ping_result(&peer, false, None);
+            }
+        }
+    }
+    for (home, req) in out.validations {
+        let path = req.target.clone();
+        if let Ok(resp) = fetch_from_timeout(&home, &req, READ_TIMEOUT) {
+            engine.lock().handle_validation_response(&home, &path, &resp, now);
+        }
+    }
+    for (coop, req) in out.pushes {
+        let _ = fetch_from_timeout(&coop, &req, READ_TIMEOUT);
+    }
+}

@@ -1,0 +1,264 @@
+//! End-to-end tests over real TCP sockets: two cooperating servers on
+//! localhost perform the full migrate → redirect → pull → serve cycle.
+
+use dcws_core::{MemStore, ServerConfig, ServerEngine};
+use dcws_graph::{DocKind, Location, ServerId};
+use dcws_http::{Request, StatusCode, Url};
+use dcws_net::{fetch, fetch_from, DcwsServer};
+use std::time::{Duration, Instant};
+
+/// Fast timers so the test completes in a couple of seconds.
+fn fast_config() -> ServerConfig {
+    ServerConfig {
+        stat_interval_ms: 100,
+        pinger_interval_ms: 300,
+        validation_interval_ms: 500,
+        remigration_interval_ms: 5_000,
+        coop_migration_interval_ms: 100,
+        selection_threshold: 5,
+        ..ServerConfig::paper_defaults()
+    }
+}
+
+fn engine(id: &ServerId, cfg: ServerConfig) -> ServerEngine {
+    ServerEngine::new(id.clone(), cfg, Box::new(MemStore::new()))
+}
+
+fn spawn(engine: ServerEngine) -> DcwsServer {
+    DcwsServer::spawn(engine, "127.0.0.1:0", Duration::from_millis(25)).unwrap()
+}
+
+/// Wait until `pred` holds or the timeout elapses.
+fn wait_for(timeout: Duration, mut pred: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < timeout {
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    false
+}
+
+#[test]
+fn static_serving_over_tcp() {
+    let placeholder = ServerId::new("placeholder:0");
+    let mut e = engine(&placeholder, fast_config());
+    e.publish("/hello.html", b"<p>hi</p>".to_vec(), DocKind::Html, true);
+    let server = spawn(e);
+    let resp = fetch_from(&server.server_id(), &Request::get("/hello.html")).unwrap();
+    assert_eq!(resp.status, StatusCode::Ok);
+    assert_eq!(resp.body, b"<p>hi</p>");
+    let resp = fetch_from(&server.server_id(), &Request::get("/missing.html")).unwrap();
+    assert_eq!(resp.status, StatusCode::NotFound);
+    server.shutdown();
+}
+
+#[test]
+fn migration_redirect_and_pull_over_tcp() {
+    // The engine id must match the reachable address, so reserve two
+    // ephemeral ports by binding and immediately reusing them.
+    let l1 = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let p_home = l1.local_addr().unwrap().port();
+    let l2 = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let p_coop = l2.local_addr().unwrap().port();
+    drop((l1, l2));
+
+    let home_id = ServerId::new(format!("127.0.0.1:{p_home}"));
+    let coop_id2 = ServerId::new(format!("127.0.0.1:{p_coop}"));
+
+    let mut home_engine = engine(&home_id, fast_config());
+    home_engine.publish(
+        "/index.html",
+        br#"<a href="/d.html">D</a>"#.to_vec(),
+        DocKind::Html,
+        true,
+    );
+    home_engine.publish(
+        "/d.html",
+        br#"<html><body><a href="/index.html">back</a> payload-D</body></html>"#.to_vec(),
+        DocKind::Html,
+        false,
+    );
+    home_engine.add_peer(coop_id2.clone());
+
+    let coop = DcwsServer::spawn(
+        engine(&coop_id2, fast_config()),
+        &coop_id2.to_string(),
+        Duration::from_millis(25),
+    )
+    .unwrap();
+    let home = DcwsServer::spawn(home_engine, &home_id.to_string(), Duration::from_millis(25))
+        .unwrap();
+
+    // Hammer the home server so it decides to migrate /d.html.
+    for _ in 0..60 {
+        let r = fetch_from(&home_id, &Request::get("/d.html")).unwrap();
+        assert!(r.status.is_success() || r.status.is_redirect());
+    }
+    let migrated = wait_for(Duration::from_secs(5), || {
+        home.engine()
+            .lock()
+            .ldg()
+            .get("/d.html")
+            .map(|e| matches!(e.location, Location::Coop(_)))
+            .unwrap_or(false)
+    });
+    assert!(migrated, "home never migrated /d.html");
+
+    // A fresh request to the old URL follows the 301 to the co-op, which
+    // lazily pulls the content from home and serves it.
+    let url = Url::absolute("127.0.0.1", p_home, "/d.html").unwrap();
+    let (resp, final_url) = fetch(&url, 3).unwrap();
+    assert_eq!(resp.status, StatusCode::Ok);
+    assert!(String::from_utf8_lossy(&resp.body).contains("payload-D"));
+    assert_eq!(final_url.port(), p_coop, "served by the co-op");
+    assert!(final_url.path().starts_with("/~migrate/"));
+    assert!(coop.engine().lock().stats().served_coop >= 1);
+    assert!(home.engine().lock().stats().pulls_served >= 1);
+
+    // The home's entry page now carries the rewritten hyperlink.
+    let idx = fetch_from(&home_id, &Request::get("/index.html")).unwrap();
+    assert!(String::from_utf8_lossy(&idx.body).contains("/~migrate/127.0.0.1/"));
+
+    // Piggybacked gossip flowed back: home knows the co-op's load.
+    assert!(home.engine().lock().glt().get(&coop_id2).is_some());
+
+    home.shutdown();
+    coop.shutdown();
+}
+
+#[test]
+fn graceful_503_when_socket_queue_full() {
+    let mut cfg = fast_config();
+    cfg.n_workers = 1;
+    cfg.socket_queue_len = 1;
+    let id = ServerId::new("placeholder:0");
+    let mut e = engine(&id, cfg);
+    e.publish("/x.html", b"x".to_vec(), DocKind::Html, true);
+    let server = spawn(e);
+    let addr = server.addr();
+
+    // Occupy the single worker and the single queue slot with idle
+    // connections that never send a request.
+    let _hold1 = std::net::TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let _hold2 = std::net::TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Subsequent connections must be dropped gracefully with 503.
+    let got_503 = wait_for(Duration::from_secs(3), || {
+        use std::io::Read;
+        let Ok(mut s) = std::net::TcpStream::connect(addr) else { return false };
+        s.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+        let mut buf = Vec::new();
+        let _ = s.read_to_end(&mut buf);
+        String::from_utf8_lossy(&buf).starts_with("HTTP/1.1 503")
+    });
+    assert!(got_503, "expected a graceful 503 drop");
+    assert!(server.dropped_connections() >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn pinger_declares_dead_coop_and_recalls_documents() {
+    let mut cfg = fast_config();
+    cfg.ping_failure_limit = 2;
+    cfg.pinger_interval_ms = 100;
+
+    let l1 = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let p_home = l1.local_addr().unwrap().port();
+    let l2 = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let p_coop = l2.local_addr().unwrap().port();
+    drop((l1, l2));
+    let home_id = ServerId::new(format!("127.0.0.1:{p_home}"));
+    let coop_id = ServerId::new(format!("127.0.0.1:{p_coop}"));
+
+    let mut home_engine = engine(&home_id, cfg.clone());
+    home_engine.publish("/index.html", br#"<a href="/d.html">D</a>"#.to_vec(), DocKind::Html, true);
+    home_engine.publish("/d.html", b"<p>D</p>".to_vec(), DocKind::Html, false);
+    home_engine.add_peer(coop_id.clone());
+
+    let coop = DcwsServer::spawn(engine(&coop_id, cfg.clone()), &coop_id.to_string(), Duration::from_millis(25)).unwrap();
+    let home = DcwsServer::spawn(home_engine, &home_id.to_string(), Duration::from_millis(25)).unwrap();
+
+    for _ in 0..60 {
+        let _ = fetch_from(&home_id, &Request::get("/d.html"));
+    }
+    assert!(wait_for(Duration::from_secs(5), || {
+        home.engine().lock().stats().migrations >= 1
+    }));
+
+    // Kill the co-op; the home's pinger must notice and recall /d.html.
+    coop.shutdown();
+    let recalled = wait_for(Duration::from_secs(10), || {
+        home.engine()
+            .lock()
+            .ldg()
+            .get("/d.html")
+            .map(|e| e.location.is_home())
+            .unwrap_or(false)
+    });
+    assert!(recalled, "documents not recalled after co-op death");
+    assert!(home.engine().lock().stats().peers_declared_dead >= 1);
+
+    // Home serves the document directly again.
+    let r = fetch_from(&home_id, &Request::get("/d.html")).unwrap();
+    assert_eq!(r.status, StatusCode::Ok);
+    home.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_per_connection() {
+    use dcws_net::conn::{read_response, READ_TIMEOUT};
+    use std::io::Write;
+
+    let mut e = engine(&ServerId::new("placeholder:0"), fast_config());
+    e.publish("/a.html", b"<p>a</p>".to_vec(), DocKind::Html, true);
+    e.publish("/b.html", b"<p>b</p>".to_vec(), DocKind::Html, false);
+    let server = spawn(e);
+
+    let mut s = std::net::TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+    // Two HTTP/1.1 requests on the same connection.
+    s.write_all(&Request::get("/a.html").to_bytes()).unwrap();
+    let r1 = read_response(&mut s, dcws_http::Method::Get).unwrap();
+    assert_eq!(r1.body, b"<p>a</p>");
+    s.write_all(&Request::get("/b.html").to_bytes()).unwrap();
+    let r2 = read_response(&mut s, dcws_http::Method::Get).unwrap();
+    assert_eq!(r2.body, b"<p>b</p>");
+
+    // Connection: close is honored — the server closes after responding.
+    s.write_all(
+        &Request::get("/a.html")
+            .with_header("Connection", "close")
+            .to_bytes(),
+    )
+    .unwrap();
+    let r3 = read_response(&mut s, dcws_http::Method::Get).unwrap();
+    assert_eq!(r3.status, StatusCode::Ok);
+    use std::io::Read;
+    let mut rest = Vec::new();
+    let n = s.read_to_end(&mut rest).unwrap();
+    assert_eq!(n, 0, "server should close after Connection: close");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_request_gets_400() {
+    use std::io::{Read, Write};
+    let mut e = engine(&ServerId::new("placeholder:0"), fast_config());
+    e.publish("/x.html", b"x".to_vec(), DocKind::Html, true);
+    let server = spawn(e);
+    let mut s = std::net::TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(3))).unwrap();
+    s.write_all(b"NONSENSE GARBAGE\r\n\r\n").unwrap();
+    let mut buf = Vec::new();
+    let _ = s.read_to_end(&mut buf);
+    assert!(
+        String::from_utf8_lossy(&buf).starts_with("HTTP/1.1 400"),
+        "got: {:?}",
+        String::from_utf8_lossy(&buf)
+    );
+    server.shutdown();
+}

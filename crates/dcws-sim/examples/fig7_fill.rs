@@ -1,0 +1,26 @@
+//! Back-fill harness for individual Figure 7 cells:
+//! `fig7_fill <dataset> <servers> [duration_ms] [accel]` prints one
+//! CSV-compatible row (see `dcws-bench --bin fig7` for the full sweep).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ds = args.get(1).map(|s| s.as_str()).unwrap_or("sequoia");
+    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let dur: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(420_000);
+    let accel: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let mut cfg = dcws_sim::SimConfig::paper(
+        dcws_workloads::Dataset::by_name(ds, 1).expect("known dataset"),
+        n,
+        400,
+    )
+    .accelerate(accel);
+    cfg.duration_ms = dur;
+    cfg.sample_interval_ms = 10_000;
+    let r = dcws_sim::run_sim(cfg);
+    println!(
+        "  {ds:<8} servers={n:<2} cps={:>7.0} bps={:>11.0} migr={:<4} imb={:.2}",
+        r.steady_cps(),
+        r.steady_bps(),
+        r.migrations,
+        r.final_load_imbalance()
+    );
+}

@@ -1,0 +1,135 @@
+//! Simulation configuration.
+
+use crate::cost::CostModel;
+use crate::trace::Trace;
+use dcws_baselines::Strategy;
+use dcws_core::ServerConfig;
+use dcws_workloads::Dataset;
+
+/// Client-benchmark parameters (Algorithm 2, Figure 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientModel {
+    /// Maximum random walk length per session: `no_steps ← random(1..max)`.
+    pub max_steps: u32,
+    /// Parallel image-fetch helper threads per client (the prototype
+    /// benchmark used 4).
+    pub helpers: usize,
+    /// Whether the per-session client cache is enabled (the paper's
+    /// benchmark builds one in; disabling it is an ablation).
+    pub cache_enabled: bool,
+    /// Maximum 301 redirects followed per fetch before giving up.
+    pub max_redirects: u32,
+    /// Cap on exponential back-off exponent (sleep = 2^k seconds).
+    pub max_backoff_pow: u32,
+    /// Mean user think time between walk steps, ms (drawn uniformly from
+    /// `0..=2*mean` per step). The paper's benchmark used zero and lists
+    /// think time as future work (§6); non-zero values model humans
+    /// reading pages and lower each client's offered load accordingly.
+    pub think_time_ms: u64,
+}
+
+impl Default for ClientModel {
+    fn default() -> Self {
+        ClientModel {
+            max_steps: 25,
+            helpers: 4,
+            cache_enabled: true,
+            max_redirects: 4,
+            max_backoff_pow: 6,
+            think_time_ms: 0,
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of cooperating servers. Under [`Strategy::Dcws`] the dataset
+    /// lives on server 0 (the home) and the rest start empty, exactly the
+    /// paper's cold-start deployment; replicated strategies give every
+    /// server a full copy.
+    pub n_servers: usize,
+    /// Number of Algorithm-2 client instances.
+    pub n_clients: usize,
+    /// The site being served.
+    pub dataset: Dataset,
+    /// Engine configuration (Table 1 defaults unless overridden).
+    pub server_config: ServerConfig,
+    /// Hardware cost model.
+    pub cost: CostModel,
+    /// Client-benchmark parameters.
+    pub client: ClientModel,
+    /// Request-distribution architecture.
+    pub strategy: Strategy,
+    /// Simulated run length, ms.
+    pub duration_ms: u64,
+    /// Metric sampling interval, ms (the paper samples every 10 s).
+    pub sample_interval_ms: u64,
+    /// How often each server's control plane runs (drives engine timers).
+    pub tick_interval_ms: u64,
+    /// Master RNG seed; everything derives from it.
+    pub seed: u64,
+    /// Record every client request as an access log, returned in
+    /// [`crate::SimResult::trace`].
+    pub record_trace: bool,
+    /// Replay this access log open-loop instead of running Algorithm-2
+    /// clients (log-driven evaluation; see [`crate::trace`]).
+    pub replay: Option<Trace>,
+}
+
+impl SimConfig {
+    /// Speed up the Table-1 control-plane timers by `factor` so a run
+    /// reaches migration steady state in a fraction of the paper's
+    /// 30-minute warm-up. Load dynamics at steady state are unchanged —
+    /// only the approach to it is compressed. Used by the figure harnesses
+    /// (and documented in EXPERIMENTS.md); Figure 8 keeps paper timers
+    /// because the warm-up *is* the experiment.
+    pub fn accelerate(mut self, factor: u64) -> Self {
+        assert!(factor >= 1);
+        let c = &mut self.server_config;
+        c.stat_interval_ms = (c.stat_interval_ms / factor).max(500);
+        c.pinger_interval_ms = (c.pinger_interval_ms / factor).max(1_000);
+        c.validation_interval_ms = (c.validation_interval_ms / factor).max(2_000);
+        c.remigration_interval_ms = (c.remigration_interval_ms / factor).max(5_000);
+        c.coop_migration_interval_ms = (c.coop_migration_interval_ms / factor).max(1_000);
+        c.selection_threshold = (c.selection_threshold / factor.min(2)).max(3);
+        self.tick_interval_ms = self.tick_interval_ms.min(c.stat_interval_ms / 2).max(250);
+        self
+    }
+
+    /// A configuration mirroring the paper's setup for `dataset` with the
+    /// given cluster and client sizes.
+    pub fn paper(dataset: Dataset, n_servers: usize, n_clients: usize) -> Self {
+        SimConfig {
+            n_servers,
+            n_clients,
+            dataset,
+            server_config: ServerConfig::paper_defaults(),
+            cost: CostModel::paper_testbed(),
+            client: ClientModel::default(),
+            strategy: Strategy::Dcws,
+            duration_ms: 120_000,
+            sample_interval_ms: 10_000,
+            tick_interval_ms: 1_000,
+            seed: 42,
+            record_trace: false,
+            replay: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_defaults() {
+        let c = SimConfig::paper(Dataset::lod(1), 4, 32);
+        assert_eq!(c.n_servers, 4);
+        assert_eq!(c.n_clients, 32);
+        assert_eq!(c.sample_interval_ms, 10_000);
+        assert_eq!(c.client.helpers, 4);
+        assert_eq!(c.client.max_steps, 25);
+        assert_eq!(c.strategy, Strategy::Dcws);
+    }
+}

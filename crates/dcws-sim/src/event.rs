@@ -1,0 +1,217 @@
+//! The discrete-event core: virtual time and the event queue.
+
+use dcws_http::{Request, Response};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Virtual time in microseconds.
+pub type SimTime = u64;
+
+/// Why a server-originated request was sent, so the response can be routed
+/// back into the right engine callback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Purpose {
+    /// Lazy pull of a migrated document from its home (§4.2).
+    Pull {
+        /// The home server pulled from.
+        home: dcws_graph::ServerId,
+        /// Original document path on the home server.
+        path: String,
+    },
+    /// Co-op revalidation of a migrated copy (§4.5).
+    Validate {
+        /// The home server being validated against.
+        home: dcws_graph::ServerId,
+        /// Original document path on the home server.
+        path: String,
+    },
+    /// Artificial pinger transfer (§4.5).
+    Ping {
+        /// The peer being pinged.
+        peer: dcws_graph::ServerId,
+    },
+    /// Eager-migration push (ablation); response is ignored.
+    Push,
+}
+
+/// Who is waiting for a response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Origin {
+    /// A benchmark client; `token` matches the response to the right
+    /// outstanding fetch (main document or one of the image helpers).
+    Client {
+        /// Client index.
+        id: usize,
+        /// Fetch token issued by the client.
+        token: u64,
+    },
+    /// Another server; `peer` is the request's destination (for ping
+    /// bookkeeping) and `purpose` selects the engine callback.
+    Server {
+        /// Issuing server index.
+        id: usize,
+        /// Why the request was sent.
+        purpose: Purpose,
+    },
+}
+
+/// What landed at a recipient: a real response, or a connection-level
+/// failure (crashed peer / refused connection).
+#[derive(Debug, Clone)]
+pub enum Delivery {
+    /// An HTTP response (possibly a 503 drop).
+    Response(Response),
+    /// The connection failed outright — no HTTP exchange happened.
+    Failed,
+}
+
+/// One scheduled occurrence.
+#[derive(Debug)]
+pub enum Event {
+    /// A request reaches server `server`'s front end.
+    RequestArrive {
+        /// Destination server index (router pseudo-server allowed).
+        server: usize,
+        /// The request.
+        req: Request,
+        /// Who to answer.
+        origin: Origin,
+    },
+    /// Server `server` finished the CPU service of a request.
+    ServiceDone {
+        /// The server whose CPU completed.
+        server: usize,
+    },
+    /// A response (or failure) is delivered to whoever asked.
+    Deliver {
+        /// The requester.
+        origin: Origin,
+        /// What arrived. For `Origin::Server` pings/validations the target
+        /// server id rides along in `from`.
+        delivery: Delivery,
+        /// Index of the server that produced it (or `usize::MAX` for
+        /// synthetic failures).
+        from: usize,
+    },
+    /// Periodic control-plane tick for one server.
+    ServerTick {
+        /// The server to tick.
+        server: usize,
+    },
+    /// A client becomes runnable (session start, post-overhead, or
+    /// back-off expiry).
+    ClientWake {
+        /// The client.
+        client: usize,
+    },
+    /// Metrics sampling point.
+    Sample,
+    /// Fire one recorded request during open-loop trace replay.
+    ReplayFire {
+        /// Index into the replayed trace's events.
+        idx: usize,
+    },
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Earliest-first event queue with deterministic FIFO tie-breaking.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, event: Event) {
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq: self.seq, event });
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Pending event count.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, Event::Sample);
+        q.push(10, Event::ClientWake { client: 1 });
+        q.push(20, Event::ServerTick { server: 0 });
+        let times: Vec<SimTime> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.push(5, Event::ClientWake { client: 1 });
+        q.push(5, Event::ClientWake { client: 2 });
+        q.push(5, Event::ClientWake { client: 3 });
+        let ids: Vec<usize> = std::iter::from_fn(|| {
+            q.pop().map(|(_, e)| match e {
+                Event::ClientWake { client } => client,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn len_tracks() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, Event::Sample);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,167 @@
+//! Metric collection and reduction — the CPS/BPS measures of §5.3.
+
+/// Raw cluster counters, monotonic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
+pub struct Counters {
+    /// Successful (200) client-side completions.
+    pub completed: u64,
+    /// Body bytes delivered to clients in 200 responses.
+    pub bytes: u64,
+    /// 503 drops observed by clients.
+    pub drops: u64,
+    /// 301 redirects followed by clients.
+    pub redirects: u64,
+    /// Connection failures (crashed server) observed by clients.
+    pub failures: u64,
+    /// Sessions completed.
+    pub sessions: u64,
+}
+
+/// One sampling point (the paper samples every 10 s).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Sample {
+    /// Sample time, ms.
+    pub t_ms: u64,
+    /// Connections per second over the interval (successful transfers).
+    pub cps: f64,
+    /// Bytes per second over the interval.
+    pub bps: f64,
+    /// Drops per second over the interval.
+    pub drops_per_sec: f64,
+    /// Redirects per second over the interval.
+    pub redirects_per_sec: f64,
+    /// Cumulative migrations across all servers at sample time.
+    pub migrations_total: u64,
+    /// Per-server CPS over the interval (engine-served, home + co-op).
+    pub per_server_cps: Vec<f64>,
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SimResult {
+    /// Time series, one entry per sample interval.
+    pub samples: Vec<Sample>,
+    /// Final cumulative counters.
+    pub totals: Counters,
+    /// Total regenerations across servers (overhead accounting, §5.3).
+    pub regenerations: u64,
+    /// Total migrations across servers.
+    pub migrations: u64,
+    /// Total revocations across servers.
+    pub revocations: u64,
+    /// Run length, ms.
+    pub duration_ms: u64,
+    /// The access log recorded during the run, when
+    /// [`crate::SimConfig::record_trace`] was set.
+    #[serde(skip)]
+    pub trace: Option<crate::trace::Trace>,
+}
+
+impl SimResult {
+    /// Highest CPS sample (the paper's "peak performance").
+    pub fn peak_cps(&self) -> f64 {
+        self.samples.iter().map(|s| s.cps).fold(0.0, f64::max)
+    }
+
+    /// Highest BPS sample.
+    pub fn peak_bps(&self) -> f64 {
+        self.samples.iter().map(|s| s.bps).fold(0.0, f64::max)
+    }
+
+    /// Mean CPS over the last half of the run (steady state after the
+    /// cold-start warm-up).
+    pub fn steady_cps(&self) -> f64 {
+        self.mean_tail(|s| s.cps)
+    }
+
+    /// Mean BPS over the last half of the run.
+    pub fn steady_bps(&self) -> f64 {
+        self.mean_tail(|s| s.bps)
+    }
+
+    /// Mean drops/s over the last half of the run.
+    pub fn steady_drop_rate(&self) -> f64 {
+        self.mean_tail(|s| s.drops_per_sec)
+    }
+
+    fn mean_tail(&self, f: impl Fn(&Sample) -> f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let tail = &self.samples[self.samples.len() / 2..];
+        tail.iter().map(f).sum::<f64>() / tail.len() as f64
+    }
+
+    /// Coefficient of variation of per-server load in the final sample —
+    /// the load-balance quality measure (0 = perfectly even).
+    pub fn final_load_imbalance(&self) -> f64 {
+        let Some(last) = self.samples.last() else { return 0.0 };
+        let v = &last.per_server_cps;
+        if v.is_empty() {
+            return 0.0;
+        }
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: u64, cps: f64) -> Sample {
+        Sample {
+            t_ms: t,
+            cps,
+            bps: cps * 1000.0,
+            drops_per_sec: 0.0,
+            redirects_per_sec: 0.0,
+            migrations_total: 0,
+            per_server_cps: vec![],
+        }
+    }
+
+    fn result(cps: &[f64]) -> SimResult {
+        SimResult {
+            samples: cps
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| sample(i as u64 * 10_000, c))
+                .collect(),
+            totals: Counters::default(),
+            regenerations: 0,
+            migrations: 0,
+            revocations: 0,
+            duration_ms: cps.len() as u64 * 10_000,
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn peak_and_steady() {
+        let r = result(&[10.0, 50.0, 100.0, 90.0, 95.0, 100.0]);
+        assert_eq!(r.peak_cps(), 100.0);
+        assert!((r.steady_cps() - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_result_is_zero() {
+        let r = result(&[]);
+        assert_eq!(r.peak_cps(), 0.0);
+        assert_eq!(r.steady_cps(), 0.0);
+        assert_eq!(r.final_load_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_zero_when_even() {
+        let mut r = result(&[1.0]);
+        r.samples[0].per_server_cps = vec![5.0, 5.0, 5.0];
+        assert!(r.final_load_imbalance() < 1e-12);
+        r.samples[0].per_server_cps = vec![10.0, 0.0];
+        assert!(r.final_load_imbalance() > 0.9);
+    }
+}

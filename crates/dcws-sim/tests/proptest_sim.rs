@@ -1,0 +1,78 @@
+//! Property-based tests on the simulator: metric sanity and determinism
+//! across randomized configurations.
+
+use dcws_sim::{run_sim, SimConfig};
+use dcws_workloads::{uniform_site, SyntheticConfig};
+use proptest::prelude::*;
+
+fn random_cfg() -> impl Strategy<Value = SimConfig> {
+    (
+        1usize..4,          // servers
+        1usize..8,          // clients
+        5u64..25,           // duration (s)
+        2usize..30,         // pages
+        0usize..6,          // images
+        1usize..5,          // fanout
+        0usize..3,          // embeds per page
+        any::<u64>(),       // seed
+    )
+        .prop_map(|(srv, cli, dur, pages, images, fanout, embeds, seed)| {
+            let site = uniform_site(
+                &SyntheticConfig {
+                    pages,
+                    images,
+                    fanout,
+                    embeds,
+                    page_bytes: 2048,
+                    image_bytes: 1024,
+                },
+                seed,
+            );
+            let mut cfg = SimConfig::paper(site, srv, cli).accelerate(10);
+            cfg.duration_ms = dur * 1000;
+            cfg.sample_interval_ms = 5_000;
+            cfg.seed = seed;
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sim_invariants_hold(cfg in random_cfg()) {
+        let dur = cfg.duration_ms;
+        let r = run_sim(cfg);
+        // Time series is well-formed: strictly increasing sample times
+        // within the run, non-negative rates, monotonic migrations.
+        let mut last_t = 0;
+        let mut last_migr = 0;
+        for s in &r.samples {
+            prop_assert!(s.t_ms > last_t || last_t == 0);
+            prop_assert!(s.t_ms <= dur);
+            prop_assert!(s.cps >= 0.0 && s.bps >= 0.0);
+            prop_assert!(s.migrations_total >= last_migr);
+            last_t = s.t_ms;
+            last_migr = s.migrations_total;
+        }
+        // Bytes only flow with completions.
+        if r.totals.completed == 0 {
+            prop_assert_eq!(r.totals.bytes, 0);
+        }
+        // Sessions can't outnumber completions plus failures plus one
+        // in-flight per client (every session serves at least one doc or
+        // dies trying).
+        prop_assert!(r.totals.sessions <= r.totals.completed + r.totals.drops + r.totals.failures + 16);
+        // Revocations never exceed migrations.
+        prop_assert!(r.revocations <= r.migrations);
+    }
+
+    #[test]
+    fn sim_is_deterministic(cfg in random_cfg()) {
+        let a = run_sim(cfg.clone());
+        let b = run_sim(cfg);
+        prop_assert_eq!(a.totals, b.totals);
+        prop_assert_eq!(a.migrations, b.migrations);
+        prop_assert_eq!(a.samples.len(), b.samples.len());
+    }
+}

@@ -1,0 +1,224 @@
+//! Site analysis: will this document graph scale under DCWS?
+//!
+//! The paper's §5.3 conclusion is that *"data distribution and data access
+//! characteristics have significant impact on the performance, and hot
+//! spots can limit the potential parallelism"* — LOD and Sequoia scale
+//! linearly, SBLog and MAPUG do not, and you can see why in the link
+//! structure alone. This module extracts exactly those structural
+//! predictors from a [`Dataset`], so an operator can audit a site before
+//! deploying it on a DCWS group.
+
+use crate::spec::{Dataset, PageKind};
+use std::collections::HashMap;
+
+/// A document that many others reference — a migration hot spot in the
+/// making, since DCWS places each document on exactly one co-op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotSpot {
+    /// Document name.
+    pub name: String,
+    /// Number of documents referencing it.
+    pub referrers: usize,
+    /// Whether it is an embedded object (fetched automatically with every
+    /// page that shows it — the worst kind of hot spot).
+    pub embedded: bool,
+}
+
+/// Structural summary of a dataset.
+#[derive(Debug, Clone)]
+pub struct SiteAnalysis {
+    /// Total documents.
+    pub docs: usize,
+    /// Total outgoing references.
+    pub links: usize,
+    /// Aggregate bytes.
+    pub bytes: u64,
+    /// Mean document size.
+    pub avg_doc_bytes: f64,
+    /// Entry-point count (pinned to the home server forever).
+    pub entry_points: usize,
+    /// Coverage of the most-referenced document: the fraction of all
+    /// documents that reference it. Under Algorithm-2 clients with
+    /// per-session caching, a document with coverage near 1.0 is fetched
+    /// roughly once per session — and it lives on exactly one server.
+    pub max_coverage: f64,
+    /// Documents referenced by at least `hot_threshold` others, most
+    /// referenced first.
+    pub hot_spots: Vec<HotSpot>,
+    /// The referrer count used to cut [`SiteAnalysis::hot_spots`].
+    pub hot_threshold: usize,
+}
+
+/// Expected distinct documents fetched per Algorithm-2 session (entry +
+/// an average walk of (1+25)/2 steps, deduplicated by the client cache).
+const EXPECTED_SESSION_DOCS: f64 = 14.0;
+
+impl SiteAnalysis {
+    /// Estimated share of a session's requests that hit the hottest
+    /// document's host: with per-session caching it is fetched at most
+    /// once per session that encounters it (probability ≈ coverage).
+    pub fn hot_session_share(&self) -> f64 {
+        self.max_coverage / EXPECTED_SESSION_DOCS
+    }
+
+    /// Rough upper bound on useful DCWS group size: the hottest document's
+    /// single host saturates once the group serves ≈ 1/hot_session_share
+    /// server-equivalents of traffic. SBLog's bar graph (coverage ≈ 1.0)
+    /// bounds it near 14 servers — matching the paper's observed
+    /// flattening between 8 and 16.
+    pub fn useful_servers_bound(&self) -> usize {
+        let share = self.hot_session_share();
+        if share <= 0.0 {
+            usize::MAX
+        } else {
+            (1.0 / share).ceil() as usize
+        }
+    }
+
+    /// One-line verdict in the spirit of Figure 7.
+    pub fn verdict(&self) -> String {
+        let bound = self.useful_servers_bound();
+        if bound >= 32 {
+            format!(
+                "scales cleanly: hottest document is referenced by {:.0}% of pages",
+                self.max_coverage * 100.0
+            )
+        } else {
+            format!(
+                "hot-spot limited: {} document(s) over threshold, hottest referenced by \
+                 {:.0}% of pages — expect saturation beyond ~{} servers \
+                 (consider replication)",
+                self.hot_spots.len(),
+                self.max_coverage * 100.0,
+                bound
+            )
+        }
+    }
+}
+
+/// Analyze `dataset`, flagging documents referenced by at least
+/// `hot_threshold` others.
+pub fn analyze(dataset: &Dataset, hot_threshold: usize) -> SiteAnalysis {
+    let mut referrers: HashMap<&str, usize> = HashMap::new();
+    for d in &dataset.docs {
+        // Count distinct referrers (a page embedding the same image 110
+        // times is one referrer).
+        let mut seen: Vec<&str> = d.all_links().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        for l in seen {
+            *referrers.entry(l).or_default() += 1;
+        }
+    }
+
+    let mut hot_spots: Vec<HotSpot> = referrers
+        .iter()
+        .filter(|(_, &c)| c >= hot_threshold)
+        .map(|(&name, &c)| HotSpot {
+            name: name.to_string(),
+            referrers: c,
+            embedded: dataset
+                .get(name)
+                .map(|d| d.kind == PageKind::Image)
+                .unwrap_or(false),
+        })
+        .collect();
+    hot_spots.sort_by(|a, b| b.referrers.cmp(&a.referrers).then(a.name.cmp(&b.name)));
+    let max_coverage = if dataset.doc_count() == 0 {
+        0.0
+    } else {
+        referrers.values().copied().max().unwrap_or(0) as f64 / dataset.doc_count() as f64
+    };
+    SiteAnalysis {
+        docs: dataset.doc_count(),
+        links: dataset.total_links(),
+        bytes: dataset.total_bytes(),
+        avg_doc_bytes: dataset.avg_doc_size(),
+        entry_points: dataset.entry_points().len(),
+        max_coverage,
+        hot_spots,
+        hot_threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Dataset;
+
+    #[test]
+    fn sblog_flagged_as_hot_spot_limited() {
+        let a = analyze(&Dataset::sblog(1), 50);
+        // The bar-graph JPEG is referenced (distinctly) by ~400 documents.
+        assert!(!a.hot_spots.is_empty());
+        assert_eq!(a.hot_spots[0].name, "/graphs/bar.jpg");
+        assert!(a.hot_spots[0].embedded);
+        assert!(a.hot_spots[0].referrers > 300);
+        assert!(a.max_coverage > 0.9, "coverage {}", a.max_coverage);
+        assert!(a.useful_servers_bound() <= 16, "bound {}", a.useful_servers_bound());
+        assert!(a.verdict().contains("hot-spot limited"), "{}", a.verdict());
+    }
+
+    #[test]
+    fn mapug_buttons_flagged() {
+        let a = analyze(&Dataset::mapug(1), 500);
+        let names: Vec<&str> = a.hot_spots.iter().map(|h| h.name.as_str()).collect();
+        assert!(names.contains(&"/buttons/next.gif"), "{names:?}");
+        // Footer hubs too: every message links the index pages.
+        assert!(names.contains(&"/dates.html"));
+    }
+
+    #[test]
+    fn lod_scales_cleanly() {
+        let a = analyze(&Dataset::lod(1), 50);
+        // No image is shared; the most-referenced doc is the index with a
+        // modest share.
+        assert!(a.hot_spots.iter().all(|h| !h.embedded), "{:?}", a.hot_spots);
+        assert!(a.useful_servers_bound() > 16, "bound {}", a.useful_servers_bound());
+    }
+
+    #[test]
+    fn sequoia_has_no_hot_spots() {
+        let a = analyze(&Dataset::sequoia(1), 2);
+        assert!(a.hot_spots.is_empty());
+        // Every raster is referenced by exactly one page (the index).
+        assert!(a.useful_servers_bound() > 100, "bound {}", a.useful_servers_bound());
+    }
+
+    #[test]
+    fn duplicate_embeds_count_once() {
+        use crate::spec::{DocSpec, PageKind};
+        let d = Dataset::new(
+            "t",
+            vec![
+                DocSpec {
+                    name: "/p.html".into(),
+                    size: 10,
+                    kind: PageKind::Html,
+                    anchors: vec![],
+                    embeds: vec!["/i.gif".into(); 100],
+                    entry_point: true,
+                },
+                DocSpec {
+                    name: "/i.gif".into(),
+                    size: 10,
+                    kind: PageKind::Image,
+                    anchors: vec![],
+                    embeds: vec![],
+                    entry_point: false,
+                },
+            ],
+        );
+        let a = analyze(&d, 1);
+        assert_eq!(a.hot_spots[0].referrers, 1, "one page = one referrer");
+    }
+
+    #[test]
+    fn empty_dataset_analysis() {
+        let d = Dataset::new("t", vec![]);
+        let a = analyze(&d, 1);
+        assert_eq!(a.max_coverage, 0.0);
+        assert_eq!(a.useful_servers_bound(), usize::MAX);
+        assert!(a.verdict().contains("scales cleanly"));
+    }
+}

@@ -1,0 +1,515 @@
+//! Generators for the four paper datasets (§5.2), calibrated to every
+//! published statistic.
+//!
+//! Each generator builds the dataset's characteristic *structure* first
+//! (the part the results depend on), then runs a calibration pass that
+//! tops up link and byte counts with structure-neutral filler ("see also"
+//! anchors, larger message bodies) until the published totals are met.
+
+use crate::spec::{Dataset, DocSpec, PageKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Published statistics we calibrate against.
+pub mod targets {
+    /// MAPUG: 1,534 documents.
+    pub const MAPUG_DOCS: usize = 1_534;
+    /// MAPUG: 28,998 links.
+    pub const MAPUG_LINKS: usize = 28_998;
+    /// MAPUG: 5,918 KB aggregate.
+    pub const MAPUG_BYTES: u64 = 5_918 * 1024;
+    /// SBLog: 402 documents.
+    pub const SBLOG_DOCS: usize = 402;
+    /// SBLog: 57,531 links.
+    pub const SBLOG_LINKS: usize = 57_531;
+    /// SBLog: 8,468 KB aggregate.
+    pub const SBLOG_BYTES: u64 = 8_468 * 1024;
+    /// LOD: 349 documents.
+    pub const LOD_DOCS: usize = 349;
+    /// LOD: 240 of them are images.
+    pub const LOD_IMAGES: usize = 240;
+    /// LOD: 1,433 links.
+    pub const LOD_LINKS: usize = 1_433;
+    /// LOD: 750 KB aggregate.
+    pub const LOD_BYTES: u64 = 750 * 1024;
+    /// Sequoia: 130 raster images.
+    pub const SEQUOIA_IMAGES: usize = 130;
+}
+
+fn html(name: String, size: u64, entry: bool) -> DocSpec {
+    DocSpec { name, size, kind: PageKind::Html, anchors: vec![], embeds: vec![], entry_point: entry }
+}
+
+fn image(name: String, size: u64) -> DocSpec {
+    DocSpec { name, size, kind: PageKind::Image, anchors: vec![], embeds: vec![], entry_point: false }
+}
+
+/// Calibration: add "see also" anchors from random HTML docs (indices in
+/// `sources`) to random targets until the dataset's link total reaches
+/// `target`. Anchors never originate from images.
+fn add_filler_links(
+    docs: &mut [DocSpec],
+    sources: &[usize],
+    candidates: &[String],
+    target: usize,
+    rng: &mut StdRng,
+) {
+    let mut current: usize = docs.iter().map(|d| d.link_count()).sum();
+    assert!(
+        current <= target,
+        "base structure overshoots link target: {current} > {target}"
+    );
+    while current < target {
+        let s = sources[rng.gen_range(0..sources.len())];
+        let t = &candidates[rng.gen_range(0..candidates.len())];
+        docs[s].anchors.push(t.clone());
+        current += 1;
+    }
+}
+
+/// Calibration: distribute remaining bytes across the given doc indices so
+/// the dataset total hits `target` exactly.
+fn pad_sizes(docs: &mut [DocSpec], pool: &[usize], target: u64) {
+    let current: u64 = docs.iter().map(|d| d.size).sum();
+    assert!(
+        current <= target,
+        "base sizes overshoot byte target: {current} > {target}"
+    );
+    let deficit = target - current;
+    let per = deficit / pool.len() as u64;
+    let mut rem = deficit % pool.len() as u64;
+    for &i in pool {
+        docs[i].size += per;
+        if rem > 0 {
+            docs[i].size += 1;
+            rem -= 1;
+        }
+    }
+}
+
+impl Dataset {
+    /// *MAPUG Mailing List Archive*: threaded e-mail discussions with
+    /// next/prev/thread navigation buttons. The 5 shared button GIFs are
+    /// linked from every message — "among the first pages migrated by the
+    /// server", and a mild hot spot.
+    pub fn mapug(seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x004d_4150_5547);
+        const BUTTONS: [&str; 5] = ["next", "prev", "thread_next", "thread_prev", "index"];
+        let n_msgs = targets::MAPUG_DOCS - BUTTONS.len() - 4; // 1525 messages
+
+        let mut docs: Vec<DocSpec> = Vec::with_capacity(targets::MAPUG_DOCS);
+        // Button images, ~1 KB each.
+        for b in BUTTONS {
+            docs.push(image(format!("/buttons/{b}.gif"), 900 + rng.gen_range(0..200)));
+        }
+        // Index pages. The main index and thread index are the published
+        // entry points.
+        docs.push(html("/index.html".into(), 14_000, true));
+        docs.push(html("/threads.html".into(), 14_000, true));
+        docs.push(html("/dates.html".into(), 70_000, false));
+        docs.push(html("/authors.html".into(), 70_000, false));
+        let idx_index = 5;
+        let idx_threads = 6;
+        let idx_dates = 7;
+        let idx_authors = 8;
+
+        // Messages, grouped into threads of 2..12.
+        let msg_name = |i: usize| format!("/archive/msg{i:04}.html");
+        let mut thread_heads: Vec<usize> = Vec::new();
+        let mut thread_of: Vec<usize> = Vec::with_capacity(n_msgs); // msg -> head msg index
+        {
+            let mut i = 0;
+            while i < n_msgs {
+                let len = rng.gen_range(2..=12).min(n_msgs - i);
+                thread_heads.push(i);
+                for j in 0..len {
+                    thread_of.push(i);
+                    let _ = j;
+                }
+                i += len;
+            }
+        }
+        let first_msg_doc = docs.len();
+        for i in 0..n_msgs {
+            // Message bodies: mostly text, 1.5–4 KB before calibration.
+            let size = rng.gen_range(1_500..4_000);
+            docs.push(html(msg_name(i), size, false));
+        }
+
+        // Per-message navigation structure.
+        for i in 0..n_msgs {
+            let d = first_msg_doc + i;
+            let head = thread_of[i];
+            let mut anchors = Vec::with_capacity(8);
+            if i > 0 {
+                anchors.push(msg_name(i - 1)); // prev
+            }
+            if i + 1 < n_msgs {
+                anchors.push(msg_name(i + 1)); // next
+            }
+            if i > head {
+                anchors.push(msg_name(i - 1).clone()); // thread_prev (≈ prev inside thread)
+                anchors.push(msg_name(head)); // in-reply-to the thread head
+            }
+            if i + 1 < n_msgs && thread_of[i + 1] == head {
+                anchors.push(msg_name(i + 1)); // thread_next
+            }
+            // Footer navigation present on every archive page.
+            anchors.push("/index.html".into());
+            anchors.push("/threads.html".into());
+            anchors.push("/dates.html".into());
+            anchors.push("/authors.html".into());
+            docs[d].anchors = anchors;
+            docs[d].embeds = BUTTONS
+                .iter()
+                .map(|b| format!("/buttons/{b}.gif"))
+                .collect();
+        }
+        // Index page contents.
+        docs[idx_index].anchors = thread_heads
+            .iter()
+            .map(|&h| msg_name(h))
+            .chain(["/threads.html".into(), "/dates.html".into(), "/authors.html".into()])
+            .collect();
+        docs[idx_threads].anchors = thread_heads.iter().map(|&h| msg_name(h)).collect();
+        docs[idx_dates].anchors = (0..n_msgs).map(msg_name).collect();
+        docs[idx_authors].anchors = (0..n_msgs).map(msg_name).collect();
+
+        // Calibrate links: extra "References:" anchors between messages.
+        let sources: Vec<usize> = (first_msg_doc..docs.len()).collect();
+        let candidates: Vec<String> = (0..n_msgs).map(msg_name).collect();
+        add_filler_links(&mut docs, &sources, &candidates, targets::MAPUG_LINKS, &mut rng);
+        // Calibrate bytes over message bodies.
+        pad_sizes(&mut docs, &sources, targets::MAPUG_BYTES);
+
+        Dataset::new("mapug", docs)
+    }
+
+    /// *SBLog Web Statistics*: a webalizer-style report. Entirely text
+    /// except **one** JPEG used to draw every bar graph — referenced from
+    /// nearly every row of every page, the archetypal hot spot that caps
+    /// scalability in Figure 7.
+    pub fn sblog(seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0053_424c_4f47);
+        const BAR: &str = "/graphs/bar.jpg";
+        let n_details = targets::SBLOG_DOCS - 5; // 397 per-file detail pages
+
+        let mut docs: Vec<DocSpec> = Vec::with_capacity(targets::SBLOG_DOCS);
+        docs.push(image(BAR.into(), 2_048));
+        docs.push(html("/index.html".into(), 24_000, true));
+        docs.push(html("/by_date.html".into(), 24_000, false));
+        docs.push(html("/by_ip.html".into(), 24_000, false));
+        docs.push(html("/by_dir.html".into(), 24_000, false));
+        let overviews = [1usize, 2, 3, 4];
+
+        let detail_name = |i: usize| format!("/details/file{i:04}.html");
+        let first_detail = docs.len();
+        for i in 0..n_details {
+            // Big tabular pages, ~14–18 KB before calibration.
+            let size = rng.gen_range(14_000..18_000);
+            docs.push(html(detail_name(i), size, false));
+        }
+        // Detail pages: ~110 bar-graph cells + navigation anchors.
+        for i in 0..n_details {
+            let d = first_detail + i;
+            let bars = rng.gen_range(100..120);
+            docs[d].embeds = vec![BAR.to_string(); bars];
+            let mut anchors = vec![
+                "/index.html".to_string(),
+                "/by_date.html".to_string(),
+                "/by_ip.html".to_string(),
+                "/by_dir.html".to_string(),
+            ];
+            if i > 0 {
+                anchors.push(detail_name(i - 1));
+            }
+            if i + 1 < n_details {
+                anchors.push(detail_name(i + 1));
+            }
+            docs[d].anchors = anchors;
+        }
+        // Overviews: link to every detail page, plus a few bars each.
+        for &o in &overviews {
+            docs[o].anchors = (0..n_details).map(detail_name).collect();
+            docs[o].embeds = vec![BAR.to_string(); 25];
+        }
+        docs[1].anchors.extend(
+            ["/by_date.html", "/by_ip.html", "/by_dir.html"].map(String::from),
+        );
+
+        let sources: Vec<usize> = (first_detail..docs.len()).collect();
+        let candidates: Vec<String> = (0..n_details).map(detail_name).collect();
+        add_filler_links(&mut docs, &sources, &candidates, targets::SBLOG_LINKS, &mut rng);
+        pad_sizes(&mut docs, &sources, targets::SBLOG_BYTES);
+
+        Dataset::new("sblog", docs)
+    }
+
+    /// *LOD Role-Playing Adventure Guide*: a graphical game database. Six
+    /// table pages each show ~40 thumbnails; image sizes are bimodal
+    /// (half ≈1.5 KB, half ≈3.5 KB). No hot spots — every image is
+    /// referenced from exactly one table page — which is why the paper
+    /// uses LOD for the linear-scalability experiments (Fig. 6).
+    pub fn lod(seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x004c_4f44);
+        let n_tables = 6usize;
+        let n_images = targets::LOD_IMAGES; // 240
+        let n_content = targets::LOD_DOCS - 1 - n_tables - n_images; // 102
+
+        let mut docs: Vec<DocSpec> = Vec::with_capacity(targets::LOD_DOCS);
+        docs.push(html("/index.html".into(), 2_200, true));
+        let table_name = |t: usize| format!("/tables/table{t}.html");
+        for t in 0..n_tables {
+            docs.push(html(table_name(t), 2_600, false));
+        }
+        let image_name = |i: usize| format!("/thumbs/item{i:03}.gif");
+        for i in 0..n_images {
+            // Bimodal: half ~1.5 KB, half ~3.5 KB (±10 %).
+            let base: i64 = if i % 2 == 0 { 1_536 } else { 3_584 };
+            let jitter = rng.gen_range(-150..150);
+            docs.push(image(image_name(i), (base + jitter) as u64));
+        }
+        let content_name = |c: usize| format!("/guide/page{c:03}.html");
+        let first_content = docs.len();
+        for c in 0..n_content {
+            docs.push(html(content_name(c), 1_000, false));
+        }
+
+        // Each table page embeds its 40 thumbnails and links onward.
+        let per_table = n_images / n_tables; // 40
+        for t in 0..n_tables {
+            let d = 1 + t;
+            docs[d].embeds = (0..per_table)
+                .map(|k| image_name(t * per_table + k))
+                .collect();
+            docs[d].anchors = vec![
+                "/index.html".into(),
+                table_name((t + 1) % n_tables),
+            ];
+        }
+        // Index links to tables and a sample of content pages.
+        docs[0].anchors = (0..n_tables)
+            .map(table_name)
+            .chain((0..n_content.min(20)).map(content_name))
+            .collect();
+        // Content pages: small nav cluster.
+        for c in 0..n_content {
+            let d = first_content + c;
+            let mut anchors = vec![
+                "/index.html".to_string(),
+                table_name(c % n_tables),
+            ];
+            if c > 0 {
+                anchors.push(content_name(c - 1));
+            }
+            if c + 1 < n_content {
+                anchors.push(content_name(c + 1));
+            }
+            docs[d].anchors = anchors;
+        }
+
+        let sources: Vec<usize> = (first_content..docs.len()).collect();
+        let candidates: Vec<String> = (0..n_content).map(content_name).collect();
+        add_filler_links(&mut docs, &sources, &candidates, targets::LOD_LINKS, &mut rng);
+        let html_pool: Vec<usize> = (0..docs.len())
+            .filter(|&i| docs[i].kind == PageKind::Html)
+            .collect();
+        pad_sizes(&mut docs, &html_pool, targets::LOD_BYTES);
+
+        Dataset::new("lod", docs)
+    }
+
+    /// *Sequoia 2000 storage benchmark rasters*: 130 compressed AVHRR
+    /// satellite images of 1–2.8 MB behind a single front page with one
+    /// hyperlink per image. Large transfers amortize connection overhead,
+    /// giving the highest BPS and lowest CPS of the four datasets (§5.3).
+    pub fn sequoia(seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0053_4551);
+        let mut docs: Vec<DocSpec> = Vec::with_capacity(targets::SEQUOIA_IMAGES + 1);
+        let image_name = |i: usize| format!("/raster/avhrr{i:03}.img");
+        docs.push(html("/index.html".into(), 12_000, true));
+        for i in 0..targets::SEQUOIA_IMAGES {
+            docs.push(image(image_name(i), rng.gen_range(1_000_000..2_800_000)));
+        }
+        docs[0].anchors = (0..targets::SEQUOIA_IMAGES).map(image_name).collect();
+        Dataset::new("sequoia", docs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn within(actual: f64, target: f64, pct: f64) -> bool {
+        (actual - target).abs() <= target * pct / 100.0
+    }
+
+    #[test]
+    fn mapug_matches_published_stats() {
+        let d = Dataset::mapug(1);
+        assert_eq!(d.doc_count(), targets::MAPUG_DOCS);
+        assert_eq!(d.total_links(), targets::MAPUG_LINKS);
+        assert_eq!(d.total_bytes(), targets::MAPUG_BYTES);
+        assert_eq!(d.image_count(), 5, "4-6 button images");
+        assert_eq!(d.check_links(), None);
+        assert_eq!(d.entry_points().len(), 2);
+    }
+
+    #[test]
+    fn mapug_buttons_linked_from_every_message() {
+        let d = Dataset::mapug(1);
+        let n_msgs = d
+            .docs
+            .iter()
+            .filter(|x| x.name.starts_with("/archive/"))
+            .count();
+        let refs_to_next = d
+            .docs
+            .iter()
+            .flat_map(|x| x.embeds.iter())
+            .filter(|e| *e == "/buttons/next.gif")
+            .count();
+        assert_eq!(refs_to_next, n_msgs, "hot-spot structure: button on every message");
+    }
+
+    #[test]
+    fn sblog_matches_published_stats() {
+        let d = Dataset::sblog(1);
+        assert_eq!(d.doc_count(), targets::SBLOG_DOCS);
+        assert_eq!(d.total_links(), targets::SBLOG_LINKS);
+        assert_eq!(d.total_bytes(), targets::SBLOG_BYTES);
+        assert_eq!(d.image_count(), 1, "entirely text except one JPEG");
+        assert_eq!(d.check_links(), None);
+    }
+
+    #[test]
+    fn sblog_jpeg_is_extremely_popular() {
+        let d = Dataset::sblog(1);
+        let bar_refs: usize = d
+            .docs
+            .iter()
+            .map(|x| x.embeds.iter().filter(|e| *e == "/graphs/bar.jpg").count())
+            .sum();
+        // The overwhelming majority of all links point at the one JPEG.
+        assert!(
+            bar_refs as f64 > 0.7 * d.total_links() as f64,
+            "bar refs {bar_refs} of {}",
+            d.total_links()
+        );
+    }
+
+    #[test]
+    fn lod_matches_published_stats() {
+        let d = Dataset::lod(1);
+        assert_eq!(d.doc_count(), targets::LOD_DOCS);
+        assert_eq!(d.image_count(), targets::LOD_IMAGES);
+        assert_eq!(d.total_links(), targets::LOD_LINKS);
+        assert_eq!(d.total_bytes(), targets::LOD_BYTES);
+        assert_eq!(d.check_links(), None);
+    }
+
+    #[test]
+    fn lod_images_bimodal() {
+        let d = Dataset::lod(1);
+        let sizes: Vec<u64> = d
+            .docs
+            .iter()
+            .filter(|x| x.kind == PageKind::Image)
+            .map(|x| x.size)
+            .collect();
+        let small = sizes.iter().filter(|&&s| s < 2_500).count();
+        let large = sizes.len() - small;
+        assert_eq!(small, 120);
+        assert_eq!(large, 120);
+        let small_avg =
+            sizes.iter().filter(|&&s| s < 2_500).sum::<u64>() as f64 / small as f64;
+        let large_avg =
+            sizes.iter().filter(|&&s| s >= 2_500).sum::<u64>() as f64 / large as f64;
+        assert!(within(small_avg, 1_536.0, 10.0), "small avg {small_avg}");
+        assert!(within(large_avg, 3_584.0, 10.0), "large avg {large_avg}");
+    }
+
+    #[test]
+    fn lod_has_no_hot_spot() {
+        // Every image referenced exactly once.
+        let d = Dataset::lod(1);
+        let mut refs: std::collections::HashMap<&str, usize> = Default::default();
+        for doc in &d.docs {
+            for e in &doc.embeds {
+                *refs.entry(e.as_str()).or_default() += 1;
+            }
+        }
+        assert!(refs.values().all(|&c| c == 1), "no image is shared");
+        assert_eq!(refs.len(), 240);
+    }
+
+    #[test]
+    fn sequoia_matches_published_stats() {
+        let d = Dataset::sequoia(1);
+        assert_eq!(d.doc_count(), targets::SEQUOIA_IMAGES + 1);
+        assert_eq!(d.image_count(), targets::SEQUOIA_IMAGES);
+        assert_eq!(d.total_links(), targets::SEQUOIA_IMAGES);
+        assert_eq!(d.check_links(), None);
+        for img in d.docs.iter().filter(|x| x.kind == PageKind::Image) {
+            assert!(
+                (1_000_000..2_800_000).contains(&img.size),
+                "1–2.8 MB range: {}",
+                img.size
+            );
+        }
+    }
+
+    #[test]
+    fn average_sizes_ordered_like_paper() {
+        // §5.3: BPS order Sequoia > SBLog > MAPUG > LOD follows average
+        // document size; verify the generators preserve that order.
+        let seq = Dataset::sequoia(1).avg_doc_size();
+        let sb = Dataset::sblog(1).avg_doc_size();
+        let ma = Dataset::mapug(1).avg_doc_size();
+        let lo = Dataset::lod(1).avg_doc_size();
+        assert!(seq > sb && sb > ma && ma > lo, "{seq} {sb} {ma} {lo}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = Dataset::mapug(7);
+        let b = Dataset::mapug(7);
+        assert_eq!(a.docs, b.docs);
+        let c = Dataset::mapug(8);
+        assert_ne!(a.docs, c.docs, "different seeds differ");
+    }
+
+    #[test]
+    fn all_entry_points_are_html() {
+        for n in ["mapug", "sblog", "lod", "sequoia"] {
+            let d = Dataset::by_name(n, 3).unwrap();
+            assert!(!d.entry_points().is_empty(), "{n} has an entry point");
+            assert!(d.entry_points().iter().all(|e| e.kind == PageKind::Html));
+        }
+    }
+
+    #[test]
+    fn every_doc_reachable_from_entry_points() {
+        // The benchmark client walks hyperlinks from entry points; embedded
+        // images are fetched with their page. Everything must be reachable
+        // or it would never receive load.
+        for n in ["mapug", "sblog", "lod", "sequoia"] {
+            let d = Dataset::by_name(n, 3).unwrap();
+            let mut seen: std::collections::HashSet<&str> = Default::default();
+            let mut stack: Vec<&str> = d.entry_points().iter().map(|e| e.name.as_str()).collect();
+            for s in &stack {
+                seen.insert(s);
+            }
+            while let Some(cur) = stack.pop() {
+                if let Some(doc) = d.get(cur) {
+                    for l in doc.all_links() {
+                        if seen.insert(l) {
+                            stack.push(l);
+                        }
+                    }
+                }
+            }
+            assert_eq!(seen.len(), d.doc_count(), "{n}: unreachable documents");
+        }
+    }
+}

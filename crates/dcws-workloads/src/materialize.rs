@@ -1,0 +1,187 @@
+//! Deterministic document materialization.
+//!
+//! DCWS servers store and rewrite real bytes, so the generators must
+//! produce actual content: HTML pages carrying genuine `<a href>` /
+//! `<img src>` tags for the spec'd links (padded with filler prose to the
+//! spec'd size), and opaque pseudo-random bytes for images. Materialization
+//! is a pure function of the spec, so every server in a cluster — and a
+//! co-op server re-fetching from a home server — sees identical bytes.
+
+use crate::spec::{DocSpec, PageKind};
+
+/// Filler prose used to pad HTML bodies to their spec'd size.
+const FILLER: &str = "The quick brown fox jumps over the lazy dog. \
+Pack my box with five dozen liquor jugs. How vexingly quick daft zebras jump. ";
+
+/// Materialize the content bytes for a document.
+///
+/// * HTML: a page containing one `<a>` per anchor and one `<img>` per
+///   embed, padded with prose so `len() == spec.size` whenever the markup
+///   fits (otherwise the markup is emitted whole and the result is
+///   longer — generators size documents so this doesn't happen for the
+///   paper datasets, which unit tests verify).
+/// * Images: `spec.size` bytes of seeded pseudo-random data with a GIF-ish
+///   magic prefix.
+pub fn materialize(spec: &DocSpec) -> Vec<u8> {
+    match spec.kind {
+        PageKind::Html => materialize_html(spec).into_bytes(),
+        PageKind::Image => materialize_image(spec),
+    }
+}
+
+fn materialize_html(spec: &DocSpec) -> String {
+    let mut s = String::with_capacity(spec.size as usize + 128);
+    s.push_str("<html><head><title>");
+    s.push_str(&spec.name);
+    s.push_str("</title></head>\n<body>\n");
+    for (i, a) in spec.anchors.iter().enumerate() {
+        s.push_str(&format!("<a href=\"{a}\">link {i}</a>\n"));
+    }
+    for e in &spec.embeds {
+        s.push_str(&format!("<img src=\"{e}\" alt=\"embedded\">\n"));
+    }
+    let tail = "</body></html>\n";
+    let target = spec.size as usize;
+    let base = s.len() + tail.len();
+    if base < target {
+        let pad_total = target - base;
+        const WRAP: usize = 9; // "<p>\n" + "</p>\n"
+        if pad_total >= WRAP {
+            s.push_str("<p>\n");
+            let mut need = pad_total - WRAP;
+            while need > 0 {
+                let take = need.min(FILLER.len());
+                s.push_str(&FILLER[..take]);
+                need -= take;
+            }
+            s.push_str("</p>\n");
+        } else {
+            // Too small for the wrapper: pad with whitespace.
+            s.extend(std::iter::repeat_n('\n', pad_total));
+        }
+    }
+    s.push_str(tail);
+    s
+}
+
+fn materialize_image(spec: &DocSpec) -> Vec<u8> {
+    let n = spec.size as usize;
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(b"GIF89a");
+    // xorshift64 seeded by the document name, for cheap deterministic
+    // "compressed-looking" bytes.
+    let mut state: u64 = spec
+        .name
+        .bytes()
+        .fold(0x9e37_79b9_7f4a_7c15u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        })
+        | 1;
+    while out.len() < n {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        out.extend_from_slice(&state.to_le_bytes());
+    }
+    out.truncate(n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Dataset, PageKind};
+    use dcws_html::{extract_links, LinkKind};
+
+    fn html_spec(size: u64, anchors: &[&str], embeds: &[&str]) -> DocSpec {
+        DocSpec {
+            name: "/t.html".into(),
+            size,
+            kind: PageKind::Html,
+            anchors: anchors.iter().map(|s| s.to_string()).collect(),
+            embeds: embeds.iter().map(|s| s.to_string()).collect(),
+            entry_point: false,
+        }
+    }
+
+    #[test]
+    fn html_has_exact_size_and_links() {
+        let spec = html_spec(2048, &["/a.html", "/b.html"], &["/i.gif"]);
+        let bytes = materialize(&spec);
+        assert_eq!(bytes.len(), 2048);
+        let html = String::from_utf8(bytes).unwrap();
+        let links = extract_links(&html);
+        assert_eq!(links.len(), 3);
+        assert_eq!(links[0].url, "/a.html");
+        assert_eq!(links[0].kind, LinkKind::Hyperlink);
+        assert_eq!(links[2].url, "/i.gif");
+        assert_eq!(links[2].kind, LinkKind::Embedded);
+    }
+
+    #[test]
+    fn tiny_size_still_emits_all_markup() {
+        let spec = html_spec(10, &["/a.html"], &[]);
+        let bytes = materialize(&spec);
+        assert!(bytes.len() > 10, "markup can't fit; emitted whole anyway");
+        let html = String::from_utf8(bytes).unwrap();
+        assert_eq!(extract_links(&html).len(), 1);
+    }
+
+    #[test]
+    fn image_bytes_exact_and_deterministic() {
+        let spec = DocSpec {
+            name: "/x.gif".into(),
+            size: 1536,
+            kind: PageKind::Image,
+            anchors: vec![],
+            embeds: vec![],
+            entry_point: false,
+        };
+        let a = materialize(&spec);
+        let b = materialize(&spec);
+        assert_eq!(a.len(), 1536);
+        assert_eq!(a, b);
+        assert!(a.starts_with(b"GIF89a"));
+        // Different names produce different bytes.
+        let mut spec2 = spec.clone();
+        spec2.name = "/y.gif".into();
+        assert_ne!(materialize(&spec2), a);
+    }
+
+    #[test]
+    fn materialization_is_idempotent() {
+        let spec = html_spec(4096, &["/a.html"], &["/i.gif", "/j.gif"]);
+        assert_eq!(materialize(&spec), materialize(&spec));
+    }
+
+    #[test]
+    fn paper_datasets_materialize_to_spec_size() {
+        // Every HTML document in the small datasets must fit its markup in
+        // its budgeted size, so dataset aggregate bytes stay calibrated.
+        for name in ["mapug", "sblog", "lod"] {
+            let d = Dataset::by_name(name, 5).unwrap();
+            for doc in &d.docs {
+                if doc.kind == PageKind::Html {
+                    let bytes = materialize(doc);
+                    assert_eq!(
+                        bytes.len() as u64,
+                        doc.size,
+                        "{name}:{} markup overflow",
+                        doc.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn materialized_links_match_spec() {
+        let d = Dataset::lod(5);
+        let table = d.get("/tables/table0.html").unwrap();
+        let html = String::from_utf8(materialize(table)).unwrap();
+        let links = extract_links(&html);
+        let urls: Vec<&str> = links.iter().map(|l| l.url.as_str()).collect();
+        let expected: Vec<&str> = table.all_links().collect();
+        assert_eq!(urls, expected);
+    }
+}

@@ -1,0 +1,188 @@
+//! Dataset and document specifications.
+
+use std::collections::HashMap;
+
+/// Coarse document class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageKind {
+    /// An HTML page; hyperlinks may be rewritten by DCWS.
+    Html,
+    /// An image (GIF/JPEG/raster); opaque bytes.
+    Image,
+}
+
+/// One document in a dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocSpec {
+    /// Canonical name: absolute path, e.g. `/archive/msg0042.html`.
+    pub name: String,
+    /// Target content size in bytes (materialization pads/uses exactly
+    /// this many bytes whenever the markup fits).
+    pub size: u64,
+    /// Document class.
+    pub kind: PageKind,
+    /// Hyperlink targets (`<a href>`): followed on user action.
+    pub anchors: Vec<String>,
+    /// Embedded targets (`<img src>`): fetched automatically with the page.
+    pub embeds: Vec<String>,
+    /// Well-known entry point (published URL; never migrated).
+    pub entry_point: bool,
+}
+
+impl DocSpec {
+    /// Every outgoing reference, anchors then embeds.
+    pub fn all_links(&self) -> impl Iterator<Item = &str> {
+        self.anchors
+            .iter()
+            .chain(self.embeds.iter())
+            .map(String::as_str)
+    }
+
+    /// Total outgoing reference count.
+    pub fn link_count(&self) -> usize {
+        self.anchors.len() + self.embeds.len()
+    }
+}
+
+/// A complete dataset: a named collection of documents forming a site.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Short name (`mapug`, `sblog`, `lod`, `sequoia`, or custom).
+    pub name: String,
+    /// All documents.
+    pub docs: Vec<DocSpec>,
+    index: HashMap<String, usize>,
+}
+
+impl Dataset {
+    /// Build a dataset from parts, indexing by name.
+    ///
+    /// # Panics
+    /// Panics on duplicate document names — generators must not collide.
+    pub fn new(name: impl Into<String>, docs: Vec<DocSpec>) -> Self {
+        let mut index = HashMap::with_capacity(docs.len());
+        for (i, d) in docs.iter().enumerate() {
+            let prev = index.insert(d.name.clone(), i);
+            assert!(prev.is_none(), "duplicate document name {}", d.name);
+        }
+        Dataset { name: name.into(), docs, index }
+    }
+
+    /// Construct one of the four paper datasets by name.
+    pub fn by_name(name: &str, seed: u64) -> Option<Dataset> {
+        match name {
+            "mapug" => Some(Dataset::mapug(seed)),
+            "sblog" => Some(Dataset::sblog(seed)),
+            "lod" => Some(Dataset::lod(seed)),
+            "sequoia" => Some(Dataset::sequoia(seed)),
+            _ => None,
+        }
+    }
+
+    /// Look up a document by name.
+    pub fn get(&self, name: &str) -> Option<&DocSpec> {
+        self.index.get(name).map(|&i| &self.docs[i])
+    }
+
+    /// Number of documents.
+    pub fn doc_count(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Number of image documents.
+    pub fn image_count(&self) -> usize {
+        self.docs
+            .iter()
+            .filter(|d| d.kind == PageKind::Image)
+            .count()
+    }
+
+    /// Total outgoing references across all documents.
+    pub fn total_links(&self) -> usize {
+        self.docs.iter().map(|d| d.link_count()).sum()
+    }
+
+    /// Aggregate content size in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.docs.iter().map(|d| d.size).sum()
+    }
+
+    /// Average document size in bytes.
+    pub fn avg_doc_size(&self) -> f64 {
+        if self.docs.is_empty() {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.docs.len() as f64
+        }
+    }
+
+    /// The well-known entry points.
+    pub fn entry_points(&self) -> Vec<&DocSpec> {
+        self.docs.iter().filter(|d| d.entry_point).collect()
+    }
+
+    /// Verify referential integrity: every link target names a document in
+    /// the dataset. Returns the first dangling reference, if any.
+    pub fn check_links(&self) -> Option<(String, String)> {
+        for d in &self.docs {
+            for l in d.all_links() {
+                if !self.index.contains_key(l) {
+                    return Some((d.name.clone(), l.to_string()));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(name: &str, anchors: &[&str]) -> DocSpec {
+        DocSpec {
+            name: name.into(),
+            size: 100,
+            kind: PageKind::Html,
+            anchors: anchors.iter().map(|s| s.to_string()).collect(),
+            embeds: vec![],
+            entry_point: false,
+        }
+    }
+
+    #[test]
+    fn dataset_indexing() {
+        let d = Dataset::new("t", vec![doc("/a", &["/b"]), doc("/b", &[])]);
+        assert_eq!(d.get("/a").unwrap().anchors, vec!["/b".to_string()]);
+        assert!(d.get("/c").is_none());
+        assert_eq!(d.doc_count(), 2);
+        assert_eq!(d.total_links(), 1);
+        assert_eq!(d.total_bytes(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_panic() {
+        Dataset::new("t", vec![doc("/a", &[]), doc("/a", &[])]);
+    }
+
+    #[test]
+    fn check_links_finds_dangling() {
+        let d = Dataset::new("t", vec![doc("/a", &["/missing"])]);
+        assert_eq!(
+            d.check_links(),
+            Some(("/a".to_string(), "/missing".to_string()))
+        );
+        let ok = Dataset::new("t", vec![doc("/a", &[])]);
+        assert_eq!(ok.check_links(), None);
+    }
+
+    #[test]
+    fn entry_points_filter() {
+        let mut e = doc("/idx", &[]);
+        e.entry_point = true;
+        let d = Dataset::new("t", vec![e, doc("/a", &[])]);
+        assert_eq!(d.entry_points().len(), 1);
+        assert_eq!(d.entry_points()[0].name, "/idx");
+    }
+}

@@ -1,0 +1,142 @@
+//! Parametric synthetic site generator.
+//!
+//! The four paper datasets pin their structure to published statistics;
+//! this generator produces *families* of sites for the ablation and tuning
+//! experiments (Table 2 sweeps, hot-spot replication study), where we need
+//! to dial document count, fan-out, size, and hot-spot sharing
+//! independently.
+
+use crate::spec::{Dataset, DocSpec, PageKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`uniform_site`].
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Number of HTML pages (excluding the entry index).
+    pub pages: usize,
+    /// Number of images.
+    pub images: usize,
+    /// Hyperlinks per page to random other pages.
+    pub fanout: usize,
+    /// Embedded image references per page, drawn from the image pool.
+    /// With `images == 1` every page shares one image — the SBLog hot-spot
+    /// regime; with `images >= pages * embeds` no image is shared — the
+    /// LOD regime.
+    pub embeds: usize,
+    /// HTML page size in bytes.
+    pub page_bytes: u64,
+    /// Image size in bytes.
+    pub image_bytes: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            pages: 100,
+            images: 50,
+            fanout: 5,
+            embeds: 2,
+            page_bytes: 4096,
+            image_bytes: 2048,
+        }
+    }
+}
+
+/// Generate a uniform random site: one entry index linking to every page,
+/// pages cross-linked uniformly at random with `fanout` anchors and
+/// `embeds` image references each.
+pub fn uniform_site(cfg: &SyntheticConfig, seed: u64) -> Dataset {
+    assert!(cfg.pages > 0, "need at least one page");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x53_59_4e);
+    let page_name = |i: usize| format!("/pages/p{i:05}.html");
+    let image_name = |i: usize| format!("/img/i{i:05}.gif");
+
+    let mut docs = Vec::with_capacity(1 + cfg.pages + cfg.images);
+    docs.push(DocSpec {
+        name: "/index.html".into(),
+        size: (cfg.pages as u64) * 40 + 256,
+        kind: PageKind::Html,
+        anchors: (0..cfg.pages).map(page_name).collect(),
+        embeds: vec![],
+        entry_point: true,
+    });
+    for i in 0..cfg.images {
+        docs.push(DocSpec {
+            name: image_name(i),
+            size: cfg.image_bytes,
+            kind: PageKind::Image,
+            anchors: vec![],
+            embeds: vec![],
+            entry_point: false,
+        });
+    }
+    for p in 0..cfg.pages {
+        let anchors = (0..cfg.fanout)
+            .map(|_| page_name(rng.gen_range(0..cfg.pages)))
+            .chain(std::iter::once("/index.html".to_string()))
+            .collect();
+        let embeds = if cfg.images == 0 {
+            vec![]
+        } else {
+            (0..cfg.embeds)
+                .map(|_| image_name(rng.gen_range(0..cfg.images)))
+                .collect()
+        };
+        docs.push(DocSpec {
+            name: page_name(p),
+            size: cfg.page_bytes,
+            kind: PageKind::Html,
+            anchors,
+            embeds,
+            entry_point: false,
+        });
+    }
+    Dataset::new("synthetic", docs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_site_is_consistent() {
+        let d = uniform_site(&SyntheticConfig::default(), 1);
+        assert_eq!(d.doc_count(), 151);
+        assert_eq!(d.check_links(), None);
+        assert_eq!(d.entry_points().len(), 1);
+    }
+
+    #[test]
+    fn hot_spot_regime_single_image() {
+        let cfg = SyntheticConfig { images: 1, embeds: 3, ..Default::default() };
+        let d = uniform_site(&cfg, 1);
+        let shared: usize = d
+            .docs
+            .iter()
+            .map(|x| x.embeds.iter().filter(|e| *e == "/img/i00000.gif").count())
+            .sum();
+        assert_eq!(shared, 300, "every embed hits the one image");
+    }
+
+    #[test]
+    fn no_images_config() {
+        let cfg = SyntheticConfig { images: 0, embeds: 5, ..Default::default() };
+        let d = uniform_site(&cfg, 1);
+        assert_eq!(d.image_count(), 0);
+        assert_eq!(d.check_links(), None);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SyntheticConfig::default();
+        assert_eq!(uniform_site(&cfg, 9).docs, uniform_site(&cfg, 9).docs);
+        assert_ne!(uniform_site(&cfg, 9).docs, uniform_site(&cfg, 10).docs);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_pages_panics() {
+        uniform_site(&SyntheticConfig { pages: 0, ..Default::default() }, 1);
+    }
+}

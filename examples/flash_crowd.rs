@@ -1,0 +1,73 @@
+//! A flash crowd against a hot-spot site, and the replication fix.
+//!
+//! SBLog's single bar-graph JPEG is the archetypal hot spot: one document
+//! that every page embeds. The paper shows (Fig. 7) that such datasets
+//! stop scaling — whichever co-op receives the image saturates — and
+//! proposes controlled replication as future work (§6). This example runs
+//! both: stock DCWS, then DCWS with the hot-spot replication extension,
+//! on the same flash crowd.
+//!
+//! ```bash
+//! cargo run --release --example flash_crowd
+//! ```
+
+use dcws::core::HotReplication;
+use dcws::sim::{run_sim, SimConfig, SimResult};
+use dcws::workloads::{uniform_site, SyntheticConfig};
+
+fn crowd(replication: bool) -> SimResult {
+    // A site with ONE image embedded by every page — the SBLog regime,
+    // condensed so the hot spot dominates quickly.
+    let site = uniform_site(
+        &SyntheticConfig {
+            pages: 120,
+            images: 1,
+            embeds: 2,
+            fanout: 6,
+            page_bytes: 6 * 1024,
+            image_bytes: 2 * 1024,
+        },
+        11,
+    );
+    let mut cfg = SimConfig::paper(site, 8, 480).accelerate(20);
+    cfg.duration_ms = 300_000;
+    cfg.sample_interval_ms = 30_000;
+    // Flash-crowd visitors are all *distinct* users: nobody shares a
+    // cache, so every visitor re-fetches the shared image once. Model
+    // that by disabling the per-session client cache.
+    cfg.client.cache_enabled = false;
+    cfg.client.max_steps = 8;
+    if replication {
+        cfg.server_config.hot_replication =
+            Some(HotReplication { hot_fraction: 0.15, max_replicas: 6 });
+    }
+    run_sim(cfg)
+}
+
+fn main() {
+    println!("flash crowd: 320 clients hit an 8-server group whose site embeds ONE");
+    println!("shared image on every page (the SBLog hot-spot structure).\n");
+
+    let stock = crowd(false);
+    let replicated = crowd(true);
+
+    println!("{:>10} {:>14} {:>18}", "t(s)", "stock CPS", "replicated CPS");
+    for (a, b) in stock.samples.iter().zip(&replicated.samples) {
+        println!("{:>10} {:>14.0} {:>18.0}", a.t_ms / 1000, a.cps, b.cps);
+    }
+    println!(
+        "\nsteady:      stock {:.0} CPS (imbalance {:.2}), replicated {:.0} CPS (imbalance {:.2})",
+        stock.steady_cps(),
+        stock.final_load_imbalance(),
+        replicated.steady_cps(),
+        replicated.final_load_imbalance()
+    );
+    println!(
+        "drops/s:     stock {:.0}, replicated {:.0}",
+        stock.steady_drop_rate(),
+        replicated.steady_drop_rate()
+    );
+    println!("\nThe single-copy hot image caps stock DCWS regardless of server count;");
+    println!("replicating it across co-ops (the paper's §6 future-work extension)");
+    println!("spreads the hottest document and lifts the ceiling.");
+}

@@ -1,0 +1,148 @@
+//! Three departmental servers as a fully symmetric DCWS group — §3's
+//! second deployment scenario: independent servers whose relative load
+//! differs, each acting as home for its own documents and co-op for the
+//! others, with consistency maintained across an author update.
+//!
+//! Runs on real TCP sockets on localhost.
+//!
+//! ```bash
+//! cargo run --example geo_federation
+//! ```
+
+use dcws::core::{MemStore, ServerConfig, ServerEngine};
+use dcws::graph::{DocKind, Location, ServerId};
+use dcws::http::{Request, Url};
+use dcws::net::{fetch, fetch_from, DcwsServer};
+use std::time::{Duration, Instant};
+
+fn reserve_port() -> u16 {
+    let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let p = l.local_addr().expect("addr").port();
+    drop(l);
+    p
+}
+
+fn wait_until(timeout: Duration, mut pred: impl FnMut() -> bool) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < timeout {
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}
+
+fn main() {
+    let cfg = ServerConfig {
+        stat_interval_ms: 400,
+        pinger_interval_ms: 1_000,
+        validation_interval_ms: 1_500, // fast revalidation for the demo
+        coop_migration_interval_ms: 400,
+        selection_threshold: 5,
+        ..ServerConfig::paper_defaults()
+    };
+
+    // Three "departments", each the home of its own site.
+    let names = ["cs-east", "cs-west", "cs-europe"];
+    let ports: Vec<u16> = (0..3).map(|_| reserve_port()).collect();
+    let ids: Vec<ServerId> = ports
+        .iter()
+        .map(|p| ServerId::new(format!("127.0.0.1:{p}")))
+        .collect();
+
+    let mut servers = Vec::new();
+    for (i, id) in ids.iter().enumerate() {
+        let mut eng = ServerEngine::new(id.clone(), cfg.clone(), Box::new(MemStore::new()));
+        eng.publish(
+            "/index.html",
+            format!(
+                r#"<html><body><h1>{}</h1><a href="/report.html">annual report</a></body></html>"#,
+                names[i]
+            )
+            .into_bytes(),
+            DocKind::Html,
+            true,
+        );
+        eng.publish(
+            "/report.html",
+            format!("<html><body>{} annual report, edition 1</body></html>", names[i])
+                .into_bytes(),
+            DocKind::Html,
+            false,
+        );
+        for peer in &ids {
+            eng.add_peer(peer.clone());
+        }
+        servers.push(
+            DcwsServer::spawn(eng, &id.to_string(), Duration::from_millis(40)).expect("spawn"),
+        );
+        println!("{:10} -> http://{id}/", names[i]);
+    }
+
+    // Deadline week at cs-east: its report goes viral.
+    println!("\ncs-east's /report.html goes viral (300 requests)...");
+    for _ in 0..300 {
+        fetch_from(&ids[0], &Request::get("/report.html")).expect("request");
+    }
+
+    let migrated = wait_until(Duration::from_secs(10), || {
+        servers[0]
+            .engine()
+            .lock()
+            .ldg()
+            .get("/report.html")
+            .map(|e| matches!(e.location, Location::Coop(_)))
+            .unwrap_or(false)
+    });
+    let loc = servers[0]
+        .engine()
+        .lock()
+        .ldg()
+        .get("/report.html")
+        .map(|e| e.location.clone());
+    println!("cs-east migrated its report: {migrated}, now at {loc:?}");
+
+    // Fetch through the redirect so the co-op pulls the content.
+    let stale = Url::absolute("127.0.0.1", ports[0], "/report.html").expect("url");
+    let (resp, served_from) = fetch(&stale, 3).expect("fetch");
+    println!(
+        "reader gets \"{}\" served from {served_from}",
+        String::from_utf8_lossy(&resp.body).trim()
+    );
+
+    // The author publishes edition 2 on the home server; the co-op's
+    // T_val revalidation must pick it up (§4.5 consistency case 1).
+    println!("\nauthor publishes edition 2 on cs-east ...");
+    servers[0].engine().lock().publish(
+        "/report.html",
+        b"<html><body>cs-east annual report, edition 2</body></html>".to_vec(),
+        DocKind::Html,
+        false,
+    );
+    let refreshed = wait_until(Duration::from_secs(10), || {
+        fetch(&stale, 3)
+            .map(|(r, _)| String::from_utf8_lossy(&r.body).contains("edition 2"))
+            .unwrap_or(false)
+    });
+    let (resp, served_from) = fetch(&stale, 3).expect("fetch");
+    println!(
+        "after revalidation (refreshed={refreshed}): \"{}\" from {served_from}",
+        String::from_utf8_lossy(&resp.body).trim()
+    );
+
+    // Symmetry: every server is simultaneously home and potential co-op.
+    for (i, s) in servers.iter().enumerate() {
+        let e = s.engine().lock();
+        let st = e.stats();
+        println!(
+            "{:10} served_home={} served_coop={} migrations={} validations_304={}",
+            names[i], st.served_home, st.served_coop, st.migrations, st.validations_not_modified
+        );
+    }
+
+    for s in servers {
+        s.shutdown();
+    }
+    println!("\ndone.");
+}

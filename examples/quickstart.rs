@@ -1,0 +1,137 @@
+//! Quickstart: two real DCWS servers on localhost.
+//!
+//! Starts a *home* server with a tiny site and an empty *co-op* server,
+//! drives traffic at the home until it decides to migrate its hottest
+//! internal page, then follows the rewritten hyperlink / 301 redirect to
+//! fetch the page from the co-op — the complete §4.2 lifecycle on real
+//! TCP sockets.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use dcws::core::{MemStore, ServerConfig, ServerEngine};
+use dcws::graph::{DocKind, Location, ServerId};
+use dcws::http::{Request, Url};
+use dcws::net::{fetch, fetch_from, DcwsServer};
+use std::time::{Duration, Instant};
+
+fn reserve_port() -> u16 {
+    let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let p = l.local_addr().expect("local addr").port();
+    drop(l);
+    p
+}
+
+fn main() {
+    // Fast timers so the demo completes in seconds (Table 1 defaults
+    // would take minutes; see ServerConfig::paper_defaults()).
+    let cfg = ServerConfig {
+        stat_interval_ms: 500,
+        pinger_interval_ms: 1_000,
+        validation_interval_ms: 3_000,
+        coop_migration_interval_ms: 500,
+        selection_threshold: 5,
+        ..ServerConfig::paper_defaults()
+    };
+
+    let home_port = reserve_port();
+    let coop_port = reserve_port();
+    let home_id = ServerId::new(format!("127.0.0.1:{home_port}"));
+    let coop_id = ServerId::new(format!("127.0.0.1:{coop_port}"));
+
+    // The home server publishes a tiny site: a well-known entry point and
+    // two internal pages.
+    let mut home_engine = ServerEngine::new(home_id.clone(), cfg.clone(), Box::new(MemStore::new()));
+    home_engine.publish(
+        "/index.html",
+        br#"<html><body><h1>Tiny Digital Library</h1>
+<a href="/popular.html">the popular article</a>
+<a href="/quiet.html">a quiet page</a></body></html>"#
+            .to_vec(),
+        DocKind::Html,
+        true, // well-known entry point: never migrated
+    );
+    home_engine.publish(
+        "/popular.html",
+        br#"<html><body><p>Everyone reads this.</p><a href="/index.html">home</a></body></html>"#
+            .to_vec(),
+        DocKind::Html,
+        false,
+    );
+    home_engine.publish(
+        "/quiet.html",
+        b"<html><body><p>Nobody reads this.</p></body></html>".to_vec(),
+        DocKind::Html,
+        false,
+    );
+    home_engine.add_peer(coop_id.clone());
+
+    let coop_engine = ServerEngine::new(coop_id.clone(), cfg, Box::new(MemStore::new()));
+    let coop = DcwsServer::spawn(coop_engine, &coop_id.to_string(), Duration::from_millis(50))
+        .expect("spawn co-op");
+    let home = DcwsServer::spawn(home_engine, &home_id.to_string(), Duration::from_millis(50))
+        .expect("spawn home");
+    println!("home  server: http://{home_id}/  (3 documents, 1 entry point)");
+    println!("co-op server: http://{coop_id}/  (empty)");
+
+    // Hammer the popular page so the home's statistics window sees load.
+    println!("\ndriving 200 requests at /popular.html ...");
+    for _ in 0..200 {
+        fetch_from(&home_id, &Request::get("/popular.html")).expect("request");
+    }
+
+    // Wait for the migration decision (statistics tick + Algorithm 1).
+    let start = Instant::now();
+    while start.elapsed() < Duration::from_secs(10) {
+        let migrated = home
+            .engine()
+            .lock()
+            .ldg()
+            .get("/popular.html")
+            .map(|e| matches!(e.location, Location::Coop(_)))
+            .unwrap_or(false);
+        if migrated {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let location = home
+        .engine()
+        .lock()
+        .ldg()
+        .get("/popular.html")
+        .map(|e| e.location.clone())
+        .expect("doc exists");
+    println!("home's LDG now locates /popular.html at: {location:?}");
+
+    // The entry page's hyperlink has been rewritten (dirty regeneration).
+    let index = fetch_from(&home_id, &Request::get("/index.html")).expect("index");
+    let body = String::from_utf8_lossy(&index.body);
+    let rewritten = body
+        .lines()
+        .find(|l| l.contains("popular"))
+        .unwrap_or("")
+        .trim()
+        .to_string();
+    println!("rewritten hyperlink on /index.html:\n    {rewritten}");
+
+    // A stale bookmark still works: 301 redirect, then the co-op pulls the
+    // content lazily from the home and serves it.
+    let stale = Url::absolute("127.0.0.1", home_port, "/popular.html").expect("url");
+    let (resp, final_url) = fetch(&stale, 3).expect("follow redirect");
+    println!("\nstale URL {stale}");
+    println!("  -> {} from {final_url}", resp.status);
+    println!("  body: {}", String::from_utf8_lossy(&resp.body).trim());
+
+    let hs = home.engine().lock().stats();
+    let cs = coop.engine().lock().stats();
+    println!("\nhome  stats: {} served, {} redirects, {} migrations, {} pulls served",
+        hs.served_home, hs.redirects, hs.migrations, hs.pulls_served);
+    println!("co-op stats: {} served in co-op role, {} docs held",
+        cs.served_coop, coop.engine().lock().coop_doc_count());
+
+    home.shutdown();
+    coop.shutdown();
+    println!("\ndone.");
+}

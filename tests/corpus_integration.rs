@@ -1,0 +1,167 @@
+//! Cross-crate integration: the full generated corpora flowing through the
+//! HTML substrate, the engine, and the document graph together.
+
+use dcws::core::{MemStore, Outcome, ServerConfig, ServerEngine};
+use dcws::graph::{DocKind, ServerId};
+use dcws::http::Request;
+use dcws::workloads::{materialize::materialize, Dataset, PageKind};
+
+fn publish_dataset(engine: &mut ServerEngine, ds: &Dataset) {
+    for d in &ds.docs {
+        let kind = match d.kind {
+            PageKind::Html => DocKind::Html,
+            PageKind::Image => DocKind::Image,
+        };
+        engine.publish(&d.name, materialize(d), kind, d.entry_point);
+    }
+}
+
+#[test]
+fn engine_ldg_matches_dataset_spec_for_all_corpora() {
+    // Publishing materialized HTML must reconstruct exactly the link
+    // structure the dataset spec declares — parser, URL resolution, and
+    // graph building all agreeing end to end.
+    for name in ["mapug", "sblog", "lod", "sequoia"] {
+        let ds = Dataset::by_name(name, 9).expect("known dataset");
+        let mut engine = ServerEngine::new(
+            ServerId::new("home:80"),
+            ServerConfig::paper_defaults(),
+            Box::new(MemStore::new()),
+        );
+        publish_dataset(&mut engine, &ds);
+        assert_eq!(engine.ldg().len(), ds.doc_count(), "{name}: doc count");
+        assert!(engine.ldg().check_symmetry().is_none(), "{name}: symmetry");
+        for d in &ds.docs {
+            let entry = engine.ldg().get(&d.name).expect("published");
+            // The engine intentionally drops self-links (a document does
+            // not need rewriting when *it* migrates) and de-duplicates.
+            let mut expect: Vec<&str> =
+                d.all_links().filter(|l| *l != d.name).collect();
+            expect.sort();
+            expect.dedup();
+            let mut got: Vec<&str> = entry.link_to.iter().map(String::as_str).collect();
+            got.sort();
+            assert_eq!(got, expect, "{name}:{}", d.name);
+            assert_eq!(entry.entry_point, d.entry_point);
+        }
+    }
+}
+
+#[test]
+fn every_lod_document_is_servable() {
+    let ds = Dataset::lod(3);
+    let mut engine = ServerEngine::new(
+        ServerId::new("home:80"),
+        ServerConfig::paper_defaults(),
+        Box::new(MemStore::new()),
+    );
+    publish_dataset(&mut engine, &ds);
+    for (i, d) in ds.docs.iter().enumerate() {
+        let out = engine.handle_request(&Request::get(d.name.as_str()), i as u64);
+        let resp = out.into_response().expect("local doc");
+        assert!(resp.status.is_success(), "{} -> {}", d.name, resp.status);
+        assert_eq!(resp.body.len() as u64, d.size, "{} size", d.name);
+    }
+}
+
+#[test]
+fn full_migration_cycle_on_real_corpus() {
+    // Drive the mapug corpus: migrate the hottest button image, verify a
+    // message page regenerates with the rewritten embed, pull it to the
+    // co-op, and serve it there byte-identically.
+    let home_id = ServerId::new("home:80");
+    let coop_id = ServerId::new("coop:81");
+    let ds = Dataset::mapug(5);
+    let mut home = ServerEngine::new(
+        home_id.clone(),
+        ServerConfig::paper_defaults(),
+        Box::new(MemStore::new()),
+    );
+    publish_dataset(&mut home, &ds);
+    home.add_peer(coop_id.clone());
+    let mut coop = ServerEngine::new(
+        coop_id.clone(),
+        ServerConfig::paper_defaults(),
+        Box::new(MemStore::new()),
+    );
+
+    // Buttons draw fire from every message; hammer one (inside the
+    // statistics window that ends at the tick below).
+    for t in 0..200u64 {
+        home.handle_request(&Request::get("/buttons/next.gif"), 9_000 + t);
+    }
+    let out = home.tick(10_000);
+    assert_eq!(out.migrated.len(), 1);
+    let (doc, to) = &out.migrated[0];
+    assert_eq!(to, &coop_id);
+    assert_eq!(doc, "/buttons/next.gif", "images are the first to migrate");
+
+    // A message page is dirty now and regenerates with the ~migrate URL.
+    let msg = "/archive/msg0000.html";
+    assert!(home.ldg().get(msg).expect("msg exists").dirty);
+    let resp = home
+        .handle_request(&Request::get(msg), 10_001)
+        .into_response()
+        .expect("served at home");
+    let body = String::from_utf8_lossy(&resp.body).into_owned();
+    assert!(
+        body.contains("http://coop:81/~migrate/home/80/buttons/next.gif"),
+        "rewritten embed missing"
+    );
+    assert!(body.contains("/buttons/prev.gif"), "unmigrated embeds untouched");
+
+    // Client redirected to the co-op; co-op pulls and serves the bytes.
+    let mig_path = "/~migrate/home/80/buttons/next.gif";
+    let Outcome::FetchNeeded { home: h, path } =
+        coop.handle_request(&Request::get(mig_path), 10_002)
+    else {
+        panic!("co-op should need a pull");
+    };
+    let pull = coop.make_pull_request(&path, 10_002);
+    let pull_resp = home.handle_request(&pull, 10_002).into_response().expect("pull served");
+    assert!(coop.store_pulled(&h, &path, &pull_resp, 10_002));
+    let served = coop
+        .handle_request(&Request::get(mig_path), 10_003)
+        .into_response()
+        .expect("now local");
+    let original = materialize(ds.get("/buttons/next.gif").expect("spec"));
+    assert_eq!(served.body, original, "image bytes identical end to end");
+}
+
+#[test]
+fn regeneration_is_reversible_on_corpus() {
+    // Migrate + revoke across the LOD corpus: every regenerated page must
+    // return to its original bytes (regeneration always starts from the
+    // permanent original, §3.2).
+    let ds = Dataset::lod(7);
+    let coop_id = ServerId::new("coop:81");
+    let mut home = ServerEngine::new(
+        ServerId::new("home:80"),
+        ServerConfig::paper_defaults(),
+        Box::new(MemStore::new()),
+    );
+    publish_dataset(&mut home, &ds);
+    home.add_peer(coop_id.clone());
+
+    for t in 0..100u64 {
+        home.handle_request(&Request::get("/thumbs/item000.gif"), 9_000 + t);
+    }
+    let out = home.tick(10_000);
+    assert_eq!(out.migrated.len(), 1);
+    let table = "/tables/table0.html";
+    let rewritten = home
+        .handle_request(&Request::get(table), 10_001)
+        .into_response()
+        .expect("served")
+        .body;
+    assert!(String::from_utf8_lossy(&rewritten).contains("~migrate"));
+
+    home.declare_peer_dead(&coop_id);
+    let restored = home
+        .handle_request(&Request::get(table), 10_002)
+        .into_response()
+        .expect("served")
+        .body;
+    let original = materialize(ds.get(table).expect("spec"));
+    assert_eq!(restored, original, "revocation restores the original bytes");
+}

@@ -29,7 +29,13 @@ impl RoundRobinDns {
     /// Panics if `servers` is empty.
     pub fn new(servers: Vec<ServerId>, ttl_ms: u64) -> Self {
         assert!(!servers.is_empty(), "DNS needs at least one server");
-        RoundRobinDns { servers, ttl_ms, next: 0, cache: HashMap::new(), lookups: 0 }
+        RoundRobinDns {
+            servers,
+            ttl_ms,
+            next: 0,
+            cache: HashMap::new(),
+            lookups: 0,
+        }
     }
 
     /// Resolve the site name for `client` at time `now_ms`.

@@ -24,7 +24,12 @@ impl CentralRouter {
     /// Panics if `backends` is empty.
     pub fn new(backends: Vec<ServerId>, forward_cpu_us: u64) -> Self {
         assert!(!backends.is_empty(), "router needs at least one backend");
-        CentralRouter { backends, next: 0, forward_cpu_us, forwarded: 0 }
+        CentralRouter {
+            backends,
+            next: 0,
+            forward_cpu_us,
+            forwarded: 0,
+        }
     }
 
     /// Pick the back-end for the next connection (round-robin).

@@ -28,19 +28,28 @@ fn bench_http(c: &mut Criterion) {
     let mut g = c.benchmark_group("http");
     let req = Request::get("/archive/msg0042.html")
         .with_header("Host", "home.example:8080")
-        .with_header("X-DCWS-Load", "server=h:80; cps=12.5; bps=99000.0; ts=12345");
+        .with_header(
+            "X-DCWS-Load",
+            "server=h:80; cps=12.5; bps=99000.0; ts=12345",
+        );
     let wire = req.to_bytes();
     g.throughput(Throughput::Bytes(wire.len() as u64));
     g.bench_function("parse_request", |b| {
         b.iter(|| parse_request(black_box(&wire)).unwrap().unwrap())
     });
-    g.bench_function("serialize_request", |b| b.iter(|| black_box(&req).to_bytes()));
+    g.bench_function("serialize_request", |b| {
+        b.iter(|| black_box(&req).to_bytes())
+    });
 
     let resp = Response::ok(vec![0x41; 6500], "text/html");
     let rwire = resp.to_bytes();
     g.throughput(Throughput::Bytes(rwire.len() as u64));
     g.bench_function("parse_response_6k5", |b| {
-        b.iter(|| parse_response(black_box(&rwire), Method::Get).unwrap().unwrap())
+        b.iter(|| {
+            parse_response(black_box(&rwire), Method::Get)
+                .unwrap()
+                .unwrap()
+        })
     });
     g.finish();
 }
@@ -109,7 +118,11 @@ fn bench_graph(c: &mut Criterion) {
     for i in 0..16 {
         glt.update(
             ServerId::new(format!("s{i}:80")),
-            LoadInfo { cps: i as f64, bps: i as f64 * 1e4, ts_ms: 100 },
+            LoadInfo {
+                cps: i as f64,
+                bps: i as f64 * 1e4,
+                ts_ms: 100,
+            },
         );
     }
     g.bench_function("glt_least_loaded_16", |b| {
@@ -120,14 +133,26 @@ fn bench_graph(c: &mut Criterion) {
         let mut ts = 1000u64;
         b.iter(|| {
             ts += 1;
-            glt.update(ServerId::new("s3:80"), LoadInfo { cps: 5.0, bps: 5e4, ts_ms: ts })
+            glt.update(
+                ServerId::new("s3:80"),
+                LoadInfo {
+                    cps: 5.0,
+                    bps: 5e4,
+                    ts_ms: ts,
+                },
+            )
         })
     });
     g.finish();
 }
 
 fn bench_piggyback(c: &mut Criterion) {
-    let r = LoadReport { server: "host:8080".into(), cps: 123.456, bps: 9.87e6, ts_ms: 42_000 };
+    let r = LoadReport {
+        server: "host:8080".into(),
+        cps: 123.456,
+        bps: 9.87e6,
+        ts_ms: 42_000,
+    };
     let encoded = r.encode();
     c.bench_function("piggyback_encode", |b| b.iter(|| black_box(&r).encode()));
     c.bench_function("piggyback_decode", |b| {
@@ -139,10 +164,14 @@ fn bench_workloads(c: &mut Criterion) {
     let mut g = c.benchmark_group("workloads");
     g.sample_size(10);
     g.bench_function("generate_lod", |b| b.iter(|| Dataset::lod(black_box(1))));
-    g.bench_function("generate_mapug", |b| b.iter(|| Dataset::mapug(black_box(1))));
+    g.bench_function("generate_mapug", |b| {
+        b.iter(|| Dataset::mapug(black_box(1)))
+    });
     let ds = Dataset::lod(1);
     let doc = ds.get("/tables/table0.html").expect("exists").clone();
-    g.bench_function("materialize_table_page", |b| b.iter(|| materialize(black_box(&doc))));
+    g.bench_function("materialize_table_page", |b| {
+        b.iter(|| materialize(black_box(&doc)))
+    });
     g.finish();
 }
 

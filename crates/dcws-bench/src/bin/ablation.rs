@@ -11,15 +11,19 @@ use dcws_sim::{run_sim, SimConfig, SimResult};
 use dcws_workloads::Dataset;
 
 fn base(dataset: &str, n_servers: usize, n_clients: usize) -> SimConfig {
-    let mut cfg =
-        SimConfig::paper(Dataset::by_name(dataset, 1).expect("known"), n_servers, n_clients)
-            .accelerate(20);
+    let mut cfg = SimConfig::paper(
+        Dataset::by_name(dataset, 1).expect("known"),
+        n_servers,
+        n_clients,
+    )
+    .accelerate(20);
     cfg.duration_ms = scaled(420_000, 90_000);
     cfg.sample_interval_ms = 10_000;
     cfg
 }
 
 fn report(label: &str, r: &SimResult, csv: &mut Vec<Vec<String>>) {
+    dcws_bench::dump_status(&format!("ablation_{label}"), r);
     println!(
         "{label:<28} cps={:>7} bps={:>11} drops/s={:>5.0} redirects={:>7} migr={:<4} imb={:.2}",
         fmt_thousands(r.steady_cps()),
@@ -55,7 +59,9 @@ fn main() {
     for strategy in [
         Strategy::Dcws,
         Strategy::RoundRobinDns { ttl_ms: 30_000 },
-        Strategy::CentralRouter { forward_cpu_us: 150 },
+        Strategy::CentralRouter {
+            forward_cpu_us: 150,
+        },
         Strategy::Single,
     ] {
         let mut cfg = base("lod", 8, scaled(300, 48) as usize);
@@ -70,7 +76,15 @@ fn main() {
     for eager in [false, true] {
         let mut cfg = base("lod", 8, scaled(300, 48) as usize);
         cfg.server_config.eager_migration = eager;
-        report(if eager { "migration:eager" } else { "migration:lazy" }, &run_sim(cfg), &mut csv);
+        report(
+            if eager {
+                "migration:eager"
+            } else {
+                "migration:lazy"
+            },
+            &run_sim(cfg),
+            &mut csv,
+        );
     }
 
     println!("\n== balancing metric (Sequoia, 4 servers: large files favor BPS, §5.3) ==");
@@ -85,7 +99,11 @@ fn main() {
         let mut cfg = base("mapug", 8, scaled(300, 48) as usize);
         cfg.server_config.naive_selection = naive;
         report(
-            if naive { "selection:hottest-first" } else { "selection:algorithm-1" },
+            if naive {
+                "selection:hottest-first"
+            } else {
+                "selection:algorithm-1"
+            },
             &run_sim(cfg),
             &mut csv,
         );
@@ -97,11 +115,17 @@ fn main() {
     for repl in [false, true] {
         let mut cfg = base("sblog", 8, scaled(300, 48) as usize);
         if repl {
-            cfg.server_config.hot_replication =
-                Some(HotReplication { hot_fraction: 0.15, max_replicas: 4 });
+            cfg.server_config.hot_replication = Some(HotReplication {
+                hot_fraction: 0.15,
+                max_replicas: 4,
+            });
         }
         report(
-            if repl { "replication:on" } else { "replication:off" },
+            if repl {
+                "replication:on"
+            } else {
+                "replication:off"
+            },
             &run_sim(cfg),
             &mut csv,
         );

@@ -48,6 +48,7 @@ fn main() {
             cfg.duration_ms = duration_ms;
             cfg.sample_interval_ms = 10_000;
             let r = run_sim(cfg);
+            dcws_bench::dump_status(&format!("fig6_s{n}_c{m}"), &r);
             let (cps, bps) = (r.steady_cps(), r.steady_bps());
             eprintln!(
                 "  servers={n:<2} clients={m:<3} cps={:>7} bps={:>11} drops/s={:>6.0}",
@@ -108,9 +109,7 @@ fn main() {
         println!("\nshape checks:");
         for (a, b) in [(1usize, 2usize), (2, 4), (4, 8), (8, 16)] {
             let ratio = peak(b) / peak(a).max(1.0);
-            println!(
-                "  peak CPS {b} srv / {a} srv = {ratio:.2}x  (paper: ~2x per doubling)"
-            );
+            println!("  peak CPS {b} srv / {a} srv = {ratio:.2}x  (paper: ~2x per doubling)");
         }
     }
     write_csv("fig6", &csv);

@@ -44,6 +44,7 @@ fn main() {
             cfg.duration_ms = duration_ms;
             cfg.sample_interval_ms = 10_000;
             let r = run_sim(cfg);
+            dcws_bench::dump_status(&format!("fig7_{ds}_s{n}"), &r);
             let (cps, bps) = (r.steady_cps(), r.steady_bps());
             eprintln!(
                 "  {ds:<8} servers={n:<2} cps={:>7} bps={:>11} migr={:<4} imb={:.2}",

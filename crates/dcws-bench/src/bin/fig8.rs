@@ -24,6 +24,7 @@ fn main() {
     cfg.duration_ms = duration_ms;
     cfg.sample_interval_ms = 10_000;
     let r = run_sim(cfg);
+    dcws_bench::dump_status("fig8", &r);
 
     let mut csv = vec![vec![
         "t_s".into(),
@@ -78,7 +79,11 @@ fn main() {
             "early gain (q2-q1) = {} CPS, late gain (q4-q2)/2 = {} CPS per quarter — growth {}",
             fmt_thousands(q2 - q1),
             fmt_thousands((q4 - q2) / 2.0),
-            if (q4 - q2) / 2.0 > (q2 - q1) { "ACCELERATING (exponential-like, as in the paper)" } else { "not accelerating" }
+            if (q4 - q2) / 2.0 > (q2 - q1) {
+                "ACCELERATING (exponential-like, as in the paper)"
+            } else {
+                "not accelerating"
+            }
         );
     }
     let cps_series: Vec<f64> = r.samples.iter().map(|s| s.cps).collect();
@@ -89,8 +94,10 @@ fn main() {
         r.migrations,
         r.regenerations,
         100.0
-            * r.samples.last().map(|s| s.per_server_cps[0]
-                / s.per_server_cps.iter().sum::<f64>().max(1.0)).unwrap_or(0.0)
+            * r.samples
+                .last()
+                .map(|s| s.per_server_cps[0] / s.per_server_cps.iter().sum::<f64>().max(1.0))
+                .unwrap_or(0.0)
     );
     write_csv("fig8", &csv);
 }

@@ -36,15 +36,19 @@ fn measure_corpus(name: &str) -> (usize, f64, f64, f64) {
     let t0 = Instant::now();
     let mut out_bytes = 0usize;
     for d in &docs {
-        let (out, _) = dcws_html::rewrite_links(d, |u| {
-            Some(format!("http://coop:8001/~migrate/home/80{u}"))
-        });
+        let (out, _) =
+            dcws_html::rewrite_links(d, |u| Some(format!("http://coop:8001/~migrate/home/80{u}")));
         out_bytes += out.len();
     }
     let recon_us = t0.elapsed().as_secs_f64() * 1e6 / docs.len() as f64;
     assert!(out_bytes >= total_bytes);
     let _ = links;
-    (docs.len(), total_bytes as f64 / docs.len() as f64, parse_us, recon_us)
+    (
+        docs.len(),
+        total_bytes as f64 / docs.len() as f64,
+        parse_us,
+        recon_us,
+    )
 }
 
 fn main() {
@@ -80,10 +84,13 @@ fn main() {
     cfg.duration_ms = dcws_bench::scaled(600_000, 60_000);
     cfg.sample_interval_ms = 10_000;
     let r = run_sim(cfg);
+    dcws_bench::dump_status("overhead_lod", &r);
     let secs = r.duration_ms as f64 / 1000.0;
     println!(
         "LOD run (paper timers, {} s): {} reconstructions total = {:.2}/s average",
-        secs, r.regenerations, r.regenerations as f64 / secs
+        secs,
+        r.regenerations,
+        r.regenerations as f64 / secs
     );
     println!("paper observed: 1.3/s average, 17.2/s peak — negligible either way");
     write_csv("overhead", &csv);

@@ -14,7 +14,11 @@ fn main() {
     let rows: Vec<(&str, String, String)> = vec![
         ("Number of front-end threads (N_fe)", "1".into(), "1".into()),
         ("Number of pinger threads (N_pi)", "1".into(), "1".into()),
-        ("Number of worker threads (N_wk)", "12".into(), c.n_workers.to_string()),
+        (
+            "Number of worker threads (N_wk)",
+            "12".into(),
+            c.n_workers.to_string(),
+        ),
         (
             "Socket queue length for backlogged requests (L_sq)",
             "100".into(),
@@ -47,7 +51,11 @@ fn main() {
         ),
     ];
     for (d, p, o) in &rows {
-        assert_eq!(p.trim_end_matches(" s"), o.trim_end_matches(" s"), "{d} mismatch");
+        assert_eq!(
+            p.trim_end_matches(" s"),
+            o.trim_end_matches(" s"),
+            "{d} mismatch"
+        );
         println!("{d:<52} {p:>12} {o:>12}");
     }
     println!("{:-<78}", "");

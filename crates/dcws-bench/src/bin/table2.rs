@@ -76,6 +76,7 @@ fn main() {
     println!("timers 10x-accelerated; each parameter swept x0.25 / x1 / x4)\n");
 
     let base = run(None);
+    dcws_bench::dump_status("table2_base", &base);
     let mut csv = vec![vec![
         "param".into(),
         "factor".into(),
@@ -88,7 +89,14 @@ fn main() {
     ]];
     println!(
         "{:<8} {:>7} {:>11} {:>14} {:>11} {:>9} {:>10} {:>10}",
-        "param", "factor", "steady CPS", "t_balance(s)", "migrations", "rebal", "regens", "redirects"
+        "param",
+        "factor",
+        "steady CPS",
+        "t_balance(s)",
+        "migrations",
+        "rebal",
+        "regens",
+        "redirects"
     );
     let mut print_row = |name: &str, factor: &str, r: &SimResult| {
         println!(
@@ -114,15 +122,24 @@ fn main() {
         ]);
     };
     print_row("base", "x1", &base);
-    for p in [Param::Tst, Param::Tpi, Param::Tval, Param::Thome, Param::Tcoop] {
+    for p in [
+        Param::Tst,
+        Param::Tpi,
+        Param::Tval,
+        Param::Thome,
+        Param::Tcoop,
+    ] {
         for f in [0.25, 4.0] {
             let r = run(Some((p, f)));
+            dcws_bench::dump_status(&format!("table2_{}_x{f}", p.name()), &r);
             print_row(p.name(), &format!("x{f}"), &r);
         }
     }
     println!("\npaper's predicted directions (Table 2):");
     println!("  higher T_st/T_coop -> longer time-to-balance; lower -> more migration overhead");
-    println!("  lower  T_val       -> more retransmission of unchanged documents (regens/validations)");
+    println!(
+        "  lower  T_val       -> more retransmission of unchanged documents (regens/validations)"
+    );
     println!("  lower  T_home      -> more re-migration and redirect overhead");
     write_csv("table2", &csv);
 }

@@ -16,6 +16,14 @@
 //! Binaries honor `DCWS_BENCH_QUICK=1` for a fast smoke pass (fewer
 //! points, shorter runs) and write machine-readable CSV next to their
 //! stdout tables into `bench_results/`.
+//!
+//! Passing `--status-dump` (or setting `DCWS_STATUS_DUMP=1`) additionally
+//! writes each run's merged engine event trace —
+//! `t_ms,server,seq,kind,detail`, see
+//! [`SimResult::save_event_trace`](dcws_sim::SimResult::save_event_trace)
+//! — as `<tag>.events.csv` next to the figure CSVs, and prints a per-kind
+//! event census so a reader can correlate migrations, revocations, and
+//! dead-peer recalls with the performance curves.
 
 #![warn(missing_docs)]
 
@@ -28,7 +36,9 @@ use std::path::PathBuf;
 
 /// Whether the quick smoke mode is requested.
 pub fn quick() -> bool {
-    std::env::var("DCWS_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("DCWS_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// `base` scaled down in quick mode.
@@ -42,9 +52,8 @@ pub fn scaled(base: u64, quick_value: u64) -> u64 {
 
 /// Where CSV output lands (created on demand).
 pub fn results_dir() -> PathBuf {
-    let d = PathBuf::from(
-        std::env::var("DCWS_BENCH_OUT").unwrap_or_else(|_| "bench_results".into()),
-    );
+    let d =
+        PathBuf::from(std::env::var("DCWS_BENCH_OUT").unwrap_or_else(|_| "bench_results".into()));
     let _ = std::fs::create_dir_all(&d);
     d
 }
@@ -60,6 +69,60 @@ pub fn write_csv(name: &str, rows: &[Vec<String>]) {
         let _ = writeln!(f, "{}", row.join(","));
     }
     println!("\n[csv written to {}]", path.display());
+}
+
+/// Whether `--status-dump` was passed on the command line (or
+/// `DCWS_STATUS_DUMP=1` set): also write engine event traces.
+pub fn status_dump() -> bool {
+    std::env::args().any(|a| a == "--status-dump")
+        || std::env::var("DCWS_STATUS_DUMP")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+}
+
+/// When [`status_dump`] is on, write `result`'s merged engine event
+/// trace as `<tag>.events.csv` in [`results_dir`] and print a per-kind
+/// event census. A no-op otherwise, so call sites can stay unconditional.
+pub fn dump_status(tag: &str, result: &dcws_sim::SimResult) {
+    if !status_dump() {
+        return;
+    }
+    // Tags come from run labels ("strategy:rr-dns", "T_val x0.25"); keep
+    // filenames portable.
+    let safe: String = tag
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let path = results_dir().join(format!("{safe}.events.csv"));
+    if let Err(e) = result.save_event_trace(&path) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+        return;
+    }
+    let mut by_kind: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    for (_, rec) in &result.engine_events {
+        *by_kind.entry(rec.event.kind()).or_insert(0) += 1;
+    }
+    let census = if by_kind.is_empty() {
+        "no events".to_string()
+    } else {
+        by_kind
+            .iter()
+            .map(|(k, n)| format!("{k}={n}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    eprintln!(
+        "  [{tag}: {} events -> {} | {census}]",
+        result.engine_events.len(),
+        path.display()
+    );
 }
 
 /// Format a number with thousands separators for table output.

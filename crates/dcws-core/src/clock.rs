@@ -24,7 +24,9 @@ pub struct SystemClock {
 impl SystemClock {
     /// A clock whose epoch is "now".
     pub fn new() -> Self {
-        SystemClock { epoch: Instant::now() }
+        SystemClock {
+            epoch: Instant::now(),
+        }
     }
 }
 

@@ -8,7 +8,7 @@ use dcws_graph::BalanceMetric;
 /// Hot-spot replication (the paper's future-work extension, §6): allow an
 /// extremely popular document to be replicated to several co-op servers,
 /// with rewrites spreading sources across the replica set.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HotReplication {
     /// A document is "hot" when it drew more than this fraction of the
     /// server's window hits.
@@ -19,13 +19,16 @@ pub struct HotReplication {
 
 impl Default for HotReplication {
     fn default() -> Self {
-        HotReplication { hot_fraction: 0.25, max_replicas: 4 }
+        HotReplication {
+            hot_fraction: 0.25,
+            max_replicas: 4,
+        }
     }
 }
 
 /// All tunables of a DCWS server. Field names follow the paper's notation
 /// where one exists.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
     /// Number of worker threads, N_wk.
     pub n_workers: usize,
@@ -74,6 +77,10 @@ pub struct ServerConfig {
     pub naive_selection: bool,
     /// Future-work extension: replicate hot documents to several co-ops.
     pub hot_replication: Option<HotReplication>,
+    /// How many structured engine events to retain in the in-memory ring
+    /// buffer (see `dcws_core::events`). `0` disables retention; events
+    /// are still counted but never stored.
+    pub event_log_capacity: usize,
 }
 
 impl ServerConfig {
@@ -96,6 +103,7 @@ impl ServerConfig {
             eager_migration: false,
             naive_selection: false,
             hot_replication: None,
+            event_log_capacity: 512,
         }
     }
 }

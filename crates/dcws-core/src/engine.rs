@@ -10,6 +10,7 @@
 //! migrate to it.
 
 use crate::config::ServerConfig;
+use crate::events::{EngineEvent, EventLog, EventRecord, RevokeReason};
 use crate::naming::migrate_url;
 use crate::stats::EngineStats;
 use crate::store::DocStore;
@@ -96,6 +97,11 @@ pub struct ServerEngine {
     ping_failures: HashMap<ServerId, u32>,
     pub(crate) dead_peers: HashSet<ServerId>,
     pub(crate) stats: EngineStats,
+    pub(crate) events: EventLog,
+    /// Last timestamp injected via [`handle_request`](crate::serve) or
+    /// [`tick`](Self::tick); stamps event records emitted from paths that
+    /// carry no explicit time parameter.
+    pub(crate) now_ms: u64,
 }
 
 impl ServerEngine {
@@ -122,6 +128,8 @@ impl ServerEngine {
             ping_failures: HashMap::new(),
             dead_peers: HashSet::new(),
             stats: EngineStats::default(),
+            events: EventLog::new(cfg.event_log_capacity),
+            now_ms: 0,
             cfg,
         }
     }
@@ -139,6 +147,29 @@ impl ServerEngine {
     /// Counter snapshot.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Read access to the structured event log (see [`EventLog`]).
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Removes and returns all retained event records, oldest-first.
+    /// Harnesses that archive the full causal trace (e.g. the simulator)
+    /// call this periodically; `seq` numbers keep running across drains.
+    pub fn drain_events(&mut self) -> Vec<EventRecord> {
+        self.events.drain()
+    }
+
+    /// The most recent `n` event records, oldest-first, without
+    /// disturbing the ring (used by the `/dcws/status` endpoint).
+    pub fn recent_events(&self, n: usize) -> Vec<EventRecord> {
+        self.events.recent(n)
+    }
+
+    /// Record an event at the engine's current injected time.
+    pub(crate) fn emit(&mut self, event: EngineEvent) {
+        self.events.record(self.now_ms, event);
     }
 
     /// Read access to the local document graph.
@@ -232,9 +263,17 @@ impl ServerEngine {
             if sid == self.id {
                 continue;
             }
-            if self.glt.update(sid.clone(), LoadInfo { cps: r.cps, bps: r.bps, ts_ms: r.ts_ms })
-            {
-                self.dead_peers.remove(&sid);
+            if self.glt.update(
+                sid.clone(),
+                LoadInfo {
+                    cps: r.cps,
+                    bps: r.bps,
+                    ts_ms: r.ts_ms,
+                },
+            ) {
+                if self.dead_peers.remove(&sid) {
+                    self.emit(EngineEvent::PeerResurrected { peer: sid.clone() });
+                }
                 self.ping_failures.remove(&sid);
             }
         }
@@ -246,7 +285,13 @@ impl ServerEngine {
         let (cps, bps) = self.window.rates(now_ms);
         self.glt.set_self(cps, bps, now_ms);
         let mut n = 0;
-        LoadReport { server: self.id.to_string(), cps, bps, ts_ms: now_ms }.attach(headers);
+        LoadReport {
+            server: self.id.to_string(),
+            cps,
+            bps,
+            ts_ms: now_ms,
+        }
+        .attach(headers);
         n += 1;
         for (sid, info) in self.glt.snapshot() {
             if n >= self.cfg.piggyback_max {
@@ -269,6 +314,7 @@ impl ServerEngine {
     /// Periodic control-plane work. Call at least every few hundred
     /// simulated/real milliseconds; internal timers gate the actual work.
     pub fn tick(&mut self, now_ms: u64) -> TickOutput {
+        self.now_ms = self.now_ms.max(now_ms);
         let mut out = TickOutput::default();
         // Statistics recalculation + migration, every T_st.
         if now_ms.saturating_sub(self.last_stat_ms) >= self.cfg.stat_interval_ms {
@@ -299,8 +345,7 @@ impl ServerEngine {
             .coop_docs
             .iter()
             .filter(|(_, d)| {
-                !d.revoked
-                    && now_ms.saturating_sub(d.fetched_at) >= self.cfg.validation_interval_ms
+                !d.revoked && now_ms.saturating_sub(d.fetched_at) >= self.cfg.validation_interval_ms
             })
             .map(|(k, _)| k.clone())
             .collect();
@@ -312,13 +357,9 @@ impl ServerEngine {
             // it, every copy validated in the same tick stays in lockstep
             // forever, and the periodic wave of validations can swamp the
             // home server's socket queue.
-            let jitter = key
-                .1
-                .bytes()
-                .fold(0xcbf2_9ce4_8422_2325u64, |a, b| {
-                    (a ^ b as u64).wrapping_mul(0x100_0000_01b3)
-                })
-                % (self.cfg.validation_interval_ms / 4).max(1);
+            let jitter = key.1.bytes().fold(0xcbf2_9ce4_8422_2325u64, |a, b| {
+                (a ^ b as u64).wrapping_mul(0x100_0000_01b3)
+            }) % (self.cfg.validation_interval_ms / 4).max(1);
             doc.fetched_at = now_ms.saturating_sub(jitter);
             let version = doc.version;
             let (home, path) = key.clone();
@@ -367,7 +408,7 @@ impl ServerEngine {
         let mut acted = false;
         for (name, coop, coop_load) in due {
             if self.dead_peers.contains(&coop) {
-                self.revoke_doc(&name, out);
+                self.revoke_doc(&name, out, RevokeReason::DeadCoop);
                 continue;
             }
             let mut done = false;
@@ -375,14 +416,25 @@ impl ServerEngine {
                 let mut excl = exclude.clone();
                 excl.push(coop.clone());
                 if let Some(target) = self.glt.least_loaded(metric, &excl) {
-                    let target_load =
-                        self.glt.get(&target).map(|i| i.value(metric)).unwrap_or(0.0);
+                    let target_load = self
+                        .glt
+                        .get(&target)
+                        .map(|i| i.value(metric))
+                        .unwrap_or(0.0);
                     if coop_load > 2.0 * self.cfg.overload_ratio * target_load.max(0.001) {
                         self.ldg.migrate(&name, target.clone(), now_ms);
                         self.coop_last_migration.insert(target.clone(), now_ms);
                         self.stats.remigrations += 1;
+                        self.emit(EngineEvent::Remigrated {
+                            doc: name.clone(),
+                            from: coop.clone(),
+                            to: target.clone(),
+                            from_load: coop_load,
+                            to_load: target_load,
+                        });
                         if self.cfg.eager_migration {
-                            out.pushes.push((target.clone(), self.make_push_request(&name, now_ms)));
+                            out.pushes
+                                .push((target.clone(), self.make_push_request(&name, now_ms)));
                         }
                         out.migrated.push((name.clone(), target));
                         out.revoked.push((name.clone(), coop.clone()));
@@ -401,7 +453,7 @@ impl ServerEngine {
     }
 
     /// Revoke one migration: LDG back to Home, sources dirtied, stats.
-    fn revoke_doc(&mut self, name: &str, out: &mut TickOutput) {
+    fn revoke_doc(&mut self, name: &str, out: &mut TickOutput, reason: RevokeReason) {
         let coop = match self.ldg.get(name).map(|e| e.location.clone()) {
             Some(Location::Coop(c)) => c,
             _ => return,
@@ -409,6 +461,11 @@ impl ServerEngine {
         self.ldg.revoke(name);
         self.replicas.remove(name);
         self.stats.revocations += 1;
+        self.emit(EngineEvent::MigrationRevoked {
+            doc: name.to_string(),
+            coop: coop.clone(),
+            reason,
+        });
         out.revoked.push((name.to_string(), coop));
     }
 
@@ -437,7 +494,11 @@ impl ServerEngine {
         let Some(target) = self.glt.least_loaded(metric, &exclude) else {
             return;
         };
-        let target_load = self.glt.get(&target).map(|i| i.value(metric)).unwrap_or(0.0);
+        let target_load = self
+            .glt
+            .get(&target)
+            .map(|i| i.value(metric))
+            .unwrap_or(0.0);
         if me.value(metric) <= self.cfg.overload_ratio * target_load {
             return;
         }
@@ -454,8 +515,15 @@ impl ServerEngine {
         self.coop_last_migration.insert(target.clone(), now_ms);
         self.last_migration_ms = now_ms;
         self.stats.migrations += 1;
+        self.emit(EngineEvent::MigrationStarted {
+            doc: doc.clone(),
+            coop: target.clone(),
+            self_load: me.value(metric),
+            coop_load: target_load,
+        });
         if self.cfg.eager_migration {
-            out.pushes.push((target.clone(), self.make_push_request(&doc, now_ms)));
+            out.pushes
+                .push((target.clone(), self.make_push_request(&doc, now_ms)));
         }
         out.migrated.push((doc.clone(), target.clone()));
 
@@ -468,12 +536,19 @@ impl ServerEngine {
                 let mut excl = exclude.clone();
                 excl.push(target.clone());
                 while replicas.len() < hr.max_replicas {
-                    let Some(extra) = self.glt.least_loaded(metric, &excl) else { break };
+                    let Some(extra) = self.glt.least_loaded(metric, &excl) else {
+                        break;
+                    };
                     excl.push(extra.clone());
                     self.coop_last_migration.insert(extra.clone(), now_ms);
                     self.stats.replicas_created += 1;
+                    self.emit(EngineEvent::ReplicaCreated {
+                        doc: doc.clone(),
+                        coop: extra.clone(),
+                    });
                     if self.cfg.eager_migration {
-                        out.pushes.push((extra.clone(), self.make_push_request(&doc, now_ms)));
+                        out.pushes
+                            .push((extra.clone(), self.make_push_request(&doc, now_ms)));
                     }
                     out.migrated.push((doc.clone(), extra.clone()));
                     replicas.push(extra);
@@ -491,11 +566,9 @@ impl ServerEngine {
         match self.ldg.get(doc).map(|e| e.location.clone()) {
             Some(Location::Coop(primary)) => match self.replicas.get(doc) {
                 Some(reps) if !reps.is_empty() => {
-                    let h = source_key
-                        .bytes()
-                        .fold(0xcbf2_9ce4_8422_2325u64, |a, b| {
-                            (a ^ b as u64).wrapping_mul(0x100_0000_01b3)
-                        });
+                    let h = source_key.bytes().fold(0xcbf2_9ce4_8422_2325u64, |a, b| {
+                        (a ^ b as u64).wrapping_mul(0x100_0000_01b3)
+                    });
                     Some(reps[(h % reps.len() as u64) as usize].clone())
                 }
                 _ => Some(primary),
@@ -536,7 +609,12 @@ impl ServerEngine {
     /// Record a ping outcome. After `ping_failure_limit` consecutive
     /// failures the peer is declared dead: its documents are revoked and it
     /// stops being a migration target until heard from again.
-    pub fn ping_result(&mut self, peer: &ServerId, ok: bool, headers: Option<&Headers>) -> Vec<String> {
+    pub fn ping_result(
+        &mut self,
+        peer: &ServerId,
+        ok: bool,
+        headers: Option<&Headers>,
+    ) -> Vec<String> {
         if ok {
             self.ping_failures.remove(peer);
             if let Some(h) = headers {
@@ -563,7 +641,16 @@ impl ServerEngine {
             self.ldg.revoke(d);
             self.replicas.remove(d);
             self.stats.revocations += 1;
+            self.emit(EngineEvent::MigrationRevoked {
+                doc: d.clone(),
+                coop: peer.clone(),
+                reason: RevokeReason::DeadCoop,
+            });
         }
+        self.emit(EngineEvent::PeerDeclaredDead {
+            peer: peer.clone(),
+            docs_recalled: docs.len() as u64,
+        });
         docs
     }
 
@@ -602,7 +689,9 @@ impl ServerEngine {
         let mut per_doc: HashMap<String, Vec<ServerId>> = HashMap::new();
         let mut order: Vec<String> = Vec::new();
         for line in exported.lines() {
-            let Some((doc, coop)) = line.split_once('\t') else { continue };
+            let Some((doc, coop)) = line.split_once('\t') else {
+                continue;
+            };
             if doc.is_empty() || coop.is_empty() || !self.ldg.contains(doc) {
                 continue;
             }

@@ -15,7 +15,11 @@
 //! * the **control plane** — windowed CPS/BPS measurement, gossip via
 //!   piggybacked `X-DCWS-Load` headers (§3.3), the Algorithm 1 migration
 //!   decision under the Table 1 rate limits, T_home re-migration, and the
-//!   pinger/dead-peer protocol (§4.5).
+//!   pinger/dead-peer protocol (§4.5);
+//! * **observability** — monotonic counters ([`EngineStats`]) with derived
+//!   rates, a bounded structured event log ([`events`]) recording *which*
+//!   document moved *where* and *why*, and a JSON status snapshot
+//!   ([`status`]) that transport hosts expose at `/dcws/status`.
 //!
 //! The engine is *sans-IO*: hosts inject time ([`Clock`]) and perform the
 //! network actions it returns. `dcws-net` hosts it on real TCP threads;
@@ -47,16 +51,22 @@
 pub mod clock;
 pub mod config;
 pub mod engine;
+pub mod events;
+pub mod json;
 pub mod naming;
 pub mod regen;
 pub mod serve;
 pub mod stats;
+pub mod status;
 pub mod store;
 
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use config::{HotReplication, ServerConfig};
 pub use engine::{ServerEngine, TickOutput};
+pub use events::{EngineEvent, EventLog, EventRecord, RevokeReason};
+pub use json::{Json, JsonError};
 pub use naming::{decode_migrate_path, migrate_url, MigrateTarget, MIGRATE_PREFIX};
 pub use serve::Outcome;
 pub use stats::EngineStats;
+pub use status::{HotDoc, PeerSummary, STATUS_HOT_DOCS, STATUS_RECENT_EVENTS};
 pub use store::{DiskStore, DocStore, MemStore};

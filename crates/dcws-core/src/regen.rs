@@ -13,6 +13,7 @@
 //!   links would resolve wrongly.
 
 use crate::engine::ServerEngine;
+use crate::events::EngineEvent;
 use dcws_graph::{DocKind, Location};
 use dcws_http::Url;
 
@@ -48,11 +49,16 @@ impl ServerEngine {
         if dirty {
             let regenerated = self.regenerate(name, LinkBase::Relative)?;
             let version = self.bump_version(name);
-            self.current.insert(name.to_string(), (regenerated, version));
+            self.current
+                .insert(name.to_string(), (regenerated, version));
             if let Some(e) = self.ldg.get_mut(name) {
                 e.dirty = false;
             }
             self.stats.regenerations += 1;
+            self.emit(EngineEvent::DocRegenerated {
+                doc: name.to_string(),
+                at_home: true,
+            });
         }
         match self.current.get(name) {
             Some((bytes, _)) => Some((bytes.clone(), content_type)),
@@ -79,11 +85,7 @@ impl ServerEngine {
                 e.dirty = false;
             }
         }
-        let kind = self
-            .ldg
-            .get(name)
-            .map(|e| e.kind)
-            .unwrap_or(DocKind::Image);
+        let kind = self.ldg.get(name).map(|e| e.kind).unwrap_or(DocKind::Image);
         let content_type = kind.content_type().to_string();
         let version = self.doc_version(name);
         let bytes = if kind == DocKind::Html {
@@ -93,6 +95,10 @@ impl ServerEngine {
                     // A real parse + reconstruct (§4.3) — counted so hosts
                     // can charge its CPU cost — then cached per version.
                     self.stats.regenerations += 1;
+                    self.emit(EngineEvent::DocRegenerated {
+                        doc: name.to_string(),
+                        at_home: false,
+                    });
                     let bytes = self
                         .regenerate(name, LinkBase::AbsoluteHome)
                         .or_else(|| self.originals.get(name))

@@ -1,6 +1,7 @@
 //! Request handling — the data plane of §4.2–§4.4.
 
 use crate::engine::{CoopDoc, ServerEngine};
+use crate::events::EngineEvent;
 use crate::naming::decode_migrate_path;
 use dcws_graph::{Location, ServerId};
 use dcws_http::{Request, Response, StatusCode, Url};
@@ -44,6 +45,7 @@ impl ServerEngine {
     /// queue belongs to the host); by the time a request reaches the
     /// engine it will be answered.
     pub fn handle_request(&mut self, req: &Request, now_ms: u64) -> Outcome {
+        self.now_ms = self.now_ms.max(now_ms);
         self.stats.requests += 1;
         self.ingest_reports(&req.headers);
 
@@ -179,7 +181,9 @@ impl ServerEngine {
     /// host `path`. `None` (no identity header) is trusted for backward
     /// compatibility.
     fn is_current_coop(&self, path: &str, requester: Option<&ServerId>) -> bool {
-        let Some(requester) = requester else { return true };
+        let Some(requester) = requester else {
+            return true;
+        };
         match self.ldg.get(path).map(|e| &e.location) {
             Some(Location::Coop(c)) => {
                 c == requester
@@ -230,7 +234,11 @@ impl ServerEngine {
             return resp;
         }
         self.stats.validations_refreshed += 1;
-        self.answer_pull(path)
+        self.emit(EngineEvent::ValidationRefreshed {
+            doc: path.to_string(),
+            coop: requester.cloned(),
+        });
+        self.answer_pull(path, requester)
     }
 
     /// Answer a pull, but bounce pulls from a co-op that is no longer the
@@ -240,7 +248,7 @@ impl ServerEngine {
         let location = self.ldg.get(path).map(|e| e.location.clone());
         match location {
             Some(Location::Coop(_)) if self.is_current_coop(path, requester) => {
-                self.answer_pull(path)
+                self.answer_pull(path, requester)
             }
             Some(Location::Coop(_)) => {
                 // Re-targeted elsewhere: point at the current co-op.
@@ -261,10 +269,14 @@ impl ServerEngine {
     }
 
     /// Serve a pull: freshly regenerated content with absolute links.
-    fn answer_pull(&mut self, path: &str) -> Response {
+    fn answer_pull(&mut self, path: &str, requester: Option<&ServerId>) -> Response {
         let (bytes, version, ct) = self.pull_content(path);
         self.stats.pulls_served += 1;
         self.stats.bytes_sent += bytes.len() as u64;
+        self.emit(EngineEvent::PullServed {
+            doc: path.to_string(),
+            coop: requester.cloned(),
+        });
         Response::ok(bytes, &ct).with_header("X-DCWS-Version", &version.to_string())
     }
 
@@ -315,6 +327,7 @@ impl ServerEngine {
         resp: &Response,
         now_ms: u64,
     ) -> bool {
+        self.now_ms = self.now_ms.max(now_ms);
         self.ingest_reports(&resp.headers);
         if resp.status != StatusCode::Ok {
             return false;
@@ -350,11 +363,14 @@ impl ServerEngine {
     /// of pulling again; it expires after T_val so the assignment is
     /// eventually re-checked.
     pub fn pull_rejected(&mut self, home: &ServerId, path: &str, resp: &Response, now_ms: u64) {
+        self.now_ms = self.now_ms.max(now_ms);
         self.ingest_reports(&resp.headers);
         if !resp.status.is_redirect() {
             return;
         }
-        let Some(location) = resp.location() else { return };
+        let Some(location) = resp.location() else {
+            return;
+        };
         let key = (home.clone(), path.to_string());
         // The old copy, if any, is superseded.
         self.coop_docs.remove(&key);
@@ -370,6 +386,7 @@ impl ServerEngine {
         resp: &Response,
         now_ms: u64,
     ) {
+        self.now_ms = self.now_ms.max(now_ms);
         self.ingest_reports(&resp.headers);
         let key = (home.clone(), path.to_string());
         let Some(doc) = self.coop_docs.get_mut(&key) else {

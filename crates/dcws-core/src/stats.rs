@@ -5,7 +5,7 @@
 /// The Figure 8 time series, the §5.3 overhead numbers, and the ablation
 /// benches are all reductions over these counters (sampled per interval by
 /// the harness).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Total requests handled (all outcomes).
     pub requests: u64,
@@ -72,6 +72,77 @@ impl EngineStats {
     pub fn served_total(&self) -> u64 {
         self.served_home + self.served_coop
     }
+
+    /// Every counter as a `(name, value)` pair, in declaration order.
+    ///
+    /// The single source of truth for anything that enumerates the
+    /// counters — the `/dcws/status` JSON, CSV headers, and the tests
+    /// that check the endpoint exposes *all* of them.
+    pub fn fields(&self) -> [(&'static str, u64); 17] {
+        [
+            ("requests", self.requests),
+            ("served_home", self.served_home),
+            ("served_coop", self.served_coop),
+            ("redirects", self.redirects),
+            ("not_found", self.not_found),
+            ("bad_requests", self.bad_requests),
+            ("pulls_served", self.pulls_served),
+            ("validations_not_modified", self.validations_not_modified),
+            ("validations_refreshed", self.validations_refreshed),
+            ("regenerations", self.regenerations),
+            ("migrations", self.migrations),
+            ("revocations", self.revocations),
+            ("remigrations", self.remigrations),
+            ("pings_sent", self.pings_sent),
+            ("peers_declared_dead", self.peers_declared_dead),
+            ("bytes_sent", self.bytes_sent),
+            ("replicas_created", self.replicas_created),
+        ]
+    }
+
+    /// Fraction of requests answered 200 (either role); 0 when idle.
+    pub fn success_ratio(&self) -> f64 {
+        ratio(self.served_total(), self.requests)
+    }
+
+    /// Fraction of 200s served in the co-op role — the paper's measure
+    /// of how much work migration actually offloaded.
+    pub fn coop_serve_share(&self) -> f64 {
+        ratio(self.served_coop, self.served_total())
+    }
+
+    /// Fraction of requests answered with a 301 (§4.4 old-address
+    /// penalty, the effect Figure 7 prices).
+    pub fn redirect_ratio(&self) -> f64 {
+        ratio(self.redirects, self.requests)
+    }
+
+    /// Fraction of validations answered 304 — high means T_val traffic
+    /// is cheap header exchanges, low means copies churn (§4.5).
+    pub fn validation_hit_ratio(&self) -> f64 {
+        ratio(
+            self.validations_not_modified,
+            self.validations_not_modified + self.validations_refreshed,
+        )
+    }
+
+    /// Mean body bytes per 200 response; 0 when nothing served.
+    pub fn mean_body_bytes(&self) -> f64 {
+        let served = self.served_total();
+        if served == 0 {
+            0.0
+        } else {
+            self.bytes_sent as f64 / served as f64
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
 }
 
 #[cfg(test)]
@@ -80,8 +151,18 @@ mod tests {
 
     #[test]
     fn delta_subtracts_fieldwise() {
-        let a = EngineStats { requests: 10, served_home: 7, redirects: 2, ..Default::default() };
-        let b = EngineStats { requests: 25, served_home: 15, redirects: 5, ..Default::default() };
+        let a = EngineStats {
+            requests: 10,
+            served_home: 7,
+            redirects: 2,
+            ..Default::default()
+        };
+        let b = EngineStats {
+            requests: 25,
+            served_home: 15,
+            redirects: 5,
+            ..Default::default()
+        };
         let d = b.delta(&a);
         assert_eq!(d.requests, 15);
         assert_eq!(d.served_home, 8);
@@ -91,7 +172,75 @@ mod tests {
 
     #[test]
     fn served_total_sums_roles() {
-        let s = EngineStats { served_home: 3, served_coop: 4, ..Default::default() };
+        let s = EngineStats {
+            served_home: 3,
+            served_coop: 4,
+            ..Default::default()
+        };
         assert_eq!(s.served_total(), 7);
+    }
+
+    #[test]
+    fn fields_cover_every_counter() {
+        // Setting every field to a distinct value and summing via
+        // fields() catches a counter added to the struct but forgotten
+        // in the enumeration.
+        let s = EngineStats {
+            requests: 1,
+            served_home: 2,
+            served_coop: 3,
+            redirects: 4,
+            not_found: 5,
+            bad_requests: 6,
+            pulls_served: 7,
+            validations_not_modified: 8,
+            validations_refreshed: 9,
+            regenerations: 10,
+            migrations: 11,
+            revocations: 12,
+            remigrations: 13,
+            pings_sent: 14,
+            peers_declared_dead: 15,
+            bytes_sent: 16,
+            replicas_created: 17,
+        };
+        let fields = s.fields();
+        assert_eq!(fields.len(), 17);
+        let sum: u64 = fields.iter().map(|(_, v)| v).sum();
+        assert_eq!(sum, (1..=17).sum::<u64>());
+        // Names are unique.
+        let mut names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 17);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let s = EngineStats {
+            requests: 10,
+            served_home: 6,
+            served_coop: 2,
+            redirects: 1,
+            validations_not_modified: 3,
+            validations_refreshed: 1,
+            bytes_sent: 1600,
+            ..Default::default()
+        };
+        assert!((s.success_ratio() - 0.8).abs() < 1e-12);
+        assert!((s.coop_serve_share() - 0.25).abs() < 1e-12);
+        assert!((s.redirect_ratio() - 0.1).abs() < 1e-12);
+        assert!((s.validation_hit_ratio() - 0.75).abs() < 1e-12);
+        assert!((s.mean_body_bytes() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_rates_zero_when_idle() {
+        let s = EngineStats::default();
+        assert_eq!(s.success_ratio(), 0.0);
+        assert_eq!(s.coop_serve_share(), 0.0);
+        assert_eq!(s.redirect_ratio(), 0.0);
+        assert_eq!(s.validation_hit_ratio(), 0.0);
+        assert_eq!(s.mean_body_bytes(), 0.0);
     }
 }

@@ -32,13 +32,22 @@ fn make_home(cfg: ServerConfig) -> ServerEngine {
         DocKind::Html,
         false,
     );
-    e.publish("/e.html", b"<html><body>doc E</body></html>".to_vec(), DocKind::Html, false);
+    e.publish(
+        "/e.html",
+        b"<html><body>doc E</body></html>".to_vec(),
+        DocKind::Html,
+        false,
+    );
     e.publish("/i.gif", vec![0xAB; 64], DocKind::Image, false);
     e
 }
 
 fn make_coop() -> ServerEngine {
-    ServerEngine::new(coop_id(), ServerConfig::paper_defaults(), Box::new(MemStore::new()))
+    ServerEngine::new(
+        coop_id(),
+        ServerConfig::paper_defaults(),
+        Box::new(MemStore::new()),
+    )
 }
 
 fn get(engine: &mut ServerEngine, path: &str, now: u64) -> Response {
@@ -160,7 +169,10 @@ fn dirty_sources_regenerate_with_rewritten_links() {
         body.contains(r#"href="http://coop1:8001/~migrate/home/8000/d.html""#),
         "rewritten: {body}"
     );
-    assert!(body.contains(r#"href="/e.html""#), "unmigrated link untouched");
+    assert!(
+        body.contains(r#"href="/e.html""#),
+        "unmigrated link untouched"
+    );
     assert!(!home.ldg().get("/index.html").unwrap().dirty);
     assert_eq!(home.stats().regenerations, 1);
     // Second request serves the cached regeneration.
@@ -221,10 +233,19 @@ fn piggyback_gossip_updates_glt() {
     // Co-op pulls; home's response carries piggybacked load reports.
     let pull = coop.make_pull_request("/d.html", T_ST + 5);
     // The pull request itself carries coop's (zero) load to home.
-    let resp = home.handle_request(&pull, T_ST + 5).into_response().unwrap();
-    assert!(home.glt().get(&coop_id()).is_some(), "home learned of coop via request");
+    let resp = home
+        .handle_request(&pull, T_ST + 5)
+        .into_response()
+        .unwrap();
+    assert!(
+        home.glt().get(&coop_id()).is_some(),
+        "home learned of coop via request"
+    );
     coop.store_pulled(&home_id(), "/d.html", &resp, T_ST + 5);
-    let info = coop.glt().get(&home_id()).expect("coop learned home's load");
+    let info = coop
+        .glt()
+        .get(&home_id())
+        .expect("coop learned home's load");
     assert!(info.cps > 0.0, "home was busy: {}", info.cps);
 }
 
@@ -319,9 +340,15 @@ fn revocation_via_validation_then_redirect_home() {
         panic!("revoked copy must be re-checked with the home");
     };
     let pull = coop.make_pull_request(&path, later + 1);
-    let pull_resp = home.handle_request(&pull, later + 1).into_response().unwrap();
+    let pull_resp = home
+        .handle_request(&pull, later + 1)
+        .into_response()
+        .unwrap();
     assert_eq!(pull_resp.status, StatusCode::MovedPermanently);
-    assert_eq!(pull_resp.headers.get("Location"), Some("http://home:8000/d.html"));
+    assert_eq!(
+        pull_resp.headers.get("Location"),
+        Some("http://home:8000/d.html")
+    );
     assert!(!coop.store_pulled(&h, &path, &pull_resp, later + 1));
     coop.pull_rejected(&h, &path, &pull_resp, later + 1);
 
@@ -481,7 +508,10 @@ fn eager_migration_pushes_content() {
 #[test]
 fn hot_replication_creates_replicas() {
     let mut cfg = ServerConfig::paper_defaults();
-    cfg.hot_replication = Some(dcws_core::HotReplication { hot_fraction: 0.5, max_replicas: 3 });
+    cfg.hot_replication = Some(dcws_core::HotReplication {
+        hot_fraction: 0.5,
+        max_replicas: 3,
+    });
     let mut home = make_home(cfg);
     home.add_peer(ServerId::new("c1:1"));
     home.add_peer(ServerId::new("c2:1"));
@@ -494,8 +524,7 @@ fn hot_replication_creates_replicas() {
     // One primary migration plus replicas, all for /d.html.
     assert!(out.migrated.len() >= 2, "migrated: {:?}", out.migrated);
     assert!(out.migrated.iter().all(|(d, _)| d == "/d.html"));
-    let coops: std::collections::HashSet<_> =
-        out.migrated.iter().map(|(_, c)| c.clone()).collect();
+    let coops: std::collections::HashSet<_> = out.migrated.iter().map(|(_, c)| c.clone()).collect();
     assert_eq!(coops.len(), out.migrated.len(), "distinct replica targets");
     assert!(home.stats().replicas_created >= 1);
 }

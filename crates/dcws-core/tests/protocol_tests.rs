@@ -17,7 +17,11 @@ fn coop_b() -> ServerId {
 }
 
 fn engine(id: ServerId) -> ServerEngine {
-    ServerEngine::new(id, ServerConfig::paper_defaults(), Box::new(MemStore::new()))
+    ServerEngine::new(
+        id,
+        ServerConfig::paper_defaults(),
+        Box::new(MemStore::new()),
+    )
 }
 
 /// Home with /index.html (entry) -> /d.html, peers a and b.
@@ -53,7 +57,10 @@ fn migrate_d(home: &mut ServerEngine, now: u64) -> ServerId {
 /// Simulate one coop pulling /d.html from home.
 fn pull_to(coop: &mut ServerEngine, home: &mut ServerEngine, now: u64) -> bool {
     let pull = coop.make_pull_request("/d.html", now);
-    let resp = home.handle_request(&pull, now).into_response().expect("pull answered");
+    let resp = home
+        .handle_request(&pull, now)
+        .into_response()
+        .expect("pull answered");
     if resp.status == StatusCode::Ok {
         assert!(coop.store_pulled(&home_id(), "/d.html", &resp, now));
         true
@@ -69,12 +76,22 @@ fn pull_from_wrong_coop_redirects_to_current() {
     let first = migrate_d(&mut home, 10_000);
     // The *other* co-op (stale assignment) pulls: it must get a 301 to the
     // current host, not content.
-    let mut wrong = engine(if first == coop_a() { coop_b() } else { coop_a() });
+    let mut wrong = engine(if first == coop_a() {
+        coop_b()
+    } else {
+        coop_a()
+    });
     let pull = wrong.make_pull_request("/d.html", 10_001);
-    let resp = home.handle_request(&pull, 10_001).into_response().expect("answered");
+    let resp = home
+        .handle_request(&pull, 10_001)
+        .into_response()
+        .expect("answered");
     assert_eq!(resp.status, StatusCode::MovedPermanently);
     let loc = resp.headers.get("Location").expect("location");
-    assert!(loc.contains(&first.host_port().0.to_string()), "points at {first}: {loc}");
+    assert!(
+        loc.contains(&first.host_port().0.to_string()),
+        "points at {first}: {loc}"
+    );
     assert!(loc.contains("/~migrate/"), "migrate-form URL: {loc}");
 }
 
@@ -82,7 +99,11 @@ fn pull_from_wrong_coop_redirects_to_current() {
 fn moved_tombstone_redirects_then_expires() {
     let mut home = make_home();
     let first = migrate_d(&mut home, 10_000);
-    let mut wrong = engine(if first == coop_a() { coop_b() } else { coop_a() });
+    let mut wrong = engine(if first == coop_a() {
+        coop_b()
+    } else {
+        coop_a()
+    });
 
     // Wrong co-op receives a client for /d.html (stale link), pulls, is
     // rejected, and learns the tombstone.
@@ -99,7 +120,11 @@ fn moved_tombstone_redirects_then_expires() {
         .into_response()
         .expect("tombstone answers directly");
     assert_eq!(r.status, StatusCode::MovedPermanently);
-    assert!(r.headers.get("Location").expect("loc").contains(first.host_port().0));
+    assert!(r
+        .headers
+        .get("Location")
+        .expect("loc")
+        .contains(first.host_port().0));
 
     // After T_val the tombstone expires and the co-op re-checks.
     let later = 10_004 + ServerConfig::paper_defaults().validation_interval_ms + 1;
@@ -114,7 +139,12 @@ fn no_redirect_loop_after_revoke_and_remigrate_to_same_coop() {
     let mut cfg = ServerConfig::paper_defaults();
     cfg.ping_failure_limit = 1;
     let mut home = ServerEngine::new(home_id(), cfg, Box::new(MemStore::new()));
-    home.publish("/index.html", br#"<a href="/d.html">D</a>"#.to_vec(), DocKind::Html, true);
+    home.publish(
+        "/index.html",
+        br#"<a href="/d.html">D</a>"#.to_vec(),
+        DocKind::Html,
+        true,
+    );
     home.publish("/d.html", b"<p>D</p>".to_vec(), DocKind::Html, false);
     home.add_peer(coop_a());
     let target = migrate_d(&mut home, 10_000);
@@ -129,7 +159,10 @@ fn no_redirect_loop_after_revoke_and_remigrate_to_same_coop() {
     let later = 10_001 + 130_000;
     let out = coop.tick(later);
     let (_, vreq) = &out.validations[0];
-    let vresp = home.handle_request(vreq, later).into_response().expect("validation");
+    let vresp = home
+        .handle_request(vreq, later)
+        .into_response()
+        .expect("validation");
     coop.handle_validation_response(&home_id(), "/d.html", &vresp, later);
 
     // ...then the co-op comes back and home re-migrates /d.html to it.
@@ -166,7 +199,12 @@ fn remigration_retargets_to_less_loaded_coop() {
     let mut cfg = ServerConfig::paper_defaults();
     cfg.remigration_interval_ms = 50_000;
     let mut home = ServerEngine::new(home_id(), cfg, Box::new(MemStore::new()));
-    home.publish("/index.html", br#"<a href="/d.html">D</a>"#.to_vec(), DocKind::Html, true);
+    home.publish(
+        "/index.html",
+        br#"<a href="/d.html">D</a>"#.to_vec(),
+        DocKind::Html,
+        true,
+    );
     home.publish("/d.html", b"<p>D</p>".to_vec(), DocKind::Html, false);
     home.add_peer(coop_a());
     home.add_peer(coop_b());
@@ -174,7 +212,11 @@ fn remigration_retargets_to_less_loaded_coop() {
     let first = migrate_d(&mut home, 10_000);
     // Feed load reports: the hosting co-op is slammed, the other idle.
     let mut slammed = engine(first.clone());
-    let other = if first == coop_a() { coop_b() } else { coop_a() };
+    let other = if first == coop_a() {
+        coop_b()
+    } else {
+        coop_a()
+    };
     for t in 0..300u64 {
         slammed.handle_request(&Request::get("/nope"), 60_000 + t);
     }
@@ -189,9 +231,17 @@ fn remigration_retargets_to_less_loaded_coop() {
         .iter()
         .filter(|(d, _)| d == "/d.html")
         .collect();
-    assert_eq!(retargeted.len(), 1, "re-target expected: {:?}", out.migrated);
+    assert_eq!(
+        retargeted.len(),
+        1,
+        "re-target expected: {:?}",
+        out.migrated
+    );
     assert_eq!(retargeted[0].1, other);
-    assert!(out.revoked.iter().any(|(d, c)| d == "/d.html" && *c == first));
+    assert!(out
+        .revoked
+        .iter()
+        .any(|(d, c)| d == "/d.html" && *c == first));
     assert_eq!(
         home.ldg().get("/d.html").expect("exists").location,
         Location::Coop(other)
@@ -202,11 +252,18 @@ fn remigration_retargets_to_less_loaded_coop() {
 fn validation_from_stale_coop_gets_revocation_notice() {
     let mut home = make_home();
     let first = migrate_d(&mut home, 10_000);
-    let stale = if first == coop_a() { coop_b() } else { coop_a() };
+    let stale = if first == coop_a() {
+        coop_b()
+    } else {
+        coop_a()
+    };
     let vreq = Request::get("/d.html")
         .with_header("X-DCWS-Validate", "1")
         .with_header("X-DCWS-Coop", stale.as_str());
-    let resp = home.handle_request(&vreq, 10_002).into_response().expect("answered");
+    let resp = home
+        .handle_request(&vreq, 10_002)
+        .into_response()
+        .expect("answered");
     assert_eq!(resp.status, StatusCode::Ok);
     assert!(resp.headers.contains("X-DCWS-Revoked"));
 
@@ -215,7 +272,10 @@ fn validation_from_stale_coop_gets_revocation_notice() {
     let vreq = Request::get("/d.html")
         .with_header("X-DCWS-Validate", &version.to_string())
         .with_header("X-DCWS-Coop", first.as_str());
-    let resp = home.handle_request(&vreq, 10_003).into_response().expect("answered");
+    let resp = home
+        .handle_request(&vreq, 10_003)
+        .into_response()
+        .expect("answered");
     assert_eq!(resp.status, StatusCode::NotModified);
 }
 
@@ -225,7 +285,12 @@ fn dirty_migrated_doc_validation_refreshes_links() {
     // d links to — d's copy must refresh on next validation even though
     // nobody republished it.
     let mut home = engine(home_id());
-    home.publish("/index.html", br#"<a href="/d.html">D</a><a href="/e.html">E</a>"#.to_vec(), DocKind::Html, true);
+    home.publish(
+        "/index.html",
+        br#"<a href="/d.html">D</a><a href="/e.html">E</a>"#.to_vec(),
+        DocKind::Html,
+        true,
+    );
     home.publish(
         "/d.html",
         br#"<a href="/e.html">E</a>"#.to_vec(),
@@ -258,7 +323,10 @@ fn dirty_migrated_doc_validation_refreshes_links() {
     let later = 10_001 + 130_000;
     let out = coop.tick(later);
     let (_, vreq) = &out.validations[0];
-    let vresp = home.handle_request(vreq, later).into_response().expect("validation");
+    let vresp = home
+        .handle_request(vreq, later)
+        .into_response()
+        .expect("validation");
     assert_eq!(vresp.status, StatusCode::Ok, "dirty copy must refresh");
     coop.handle_validation_response(&home_id(), "/d.html", &vresp, later);
     let r = coop
@@ -266,7 +334,10 @@ fn dirty_migrated_doc_validation_refreshes_links() {
         .into_response()
         .expect("served");
     let body = String::from_utf8_lossy(&r.body);
-    assert!(body.contains("/~migrate/home/8000/e.html"), "stale link not refreshed: {body}");
+    assert!(
+        body.contains("/~migrate/home/8000/e.html"),
+        "stale link not refreshed: {body}"
+    );
 }
 
 #[test]
@@ -292,7 +363,10 @@ fn validation_times_are_jittered() {
         .with_header("X-DCWS-Version", "1")
         .with_header("Content-Type", "text/html")
         .with_body(format!("<p>{d}</p>").into_bytes());
-        let r = coop.handle_request(&push, 20_000).into_response().expect("push ok");
+        let r = coop
+            .handle_request(&push, 20_000)
+            .into_response()
+            .expect("push ok");
         assert_eq!(r.status, StatusCode::Ok);
     }
     assert_eq!(coop.coop_doc_count(), 2);
@@ -330,7 +404,12 @@ fn ping_response_with_503_is_still_alive() {
     let mut cfg = ServerConfig::paper_defaults();
     cfg.ping_failure_limit = 2;
     let mut home = ServerEngine::new(home_id(), cfg, Box::new(MemStore::new()));
-    home.publish("/index.html", br#"<a href="/d.html">D</a>"#.to_vec(), DocKind::Html, true);
+    home.publish(
+        "/index.html",
+        br#"<a href="/d.html">D</a>"#.to_vec(),
+        DocKind::Html,
+        true,
+    );
     home.publish("/d.html", b"<p>D</p>".to_vec(), DocKind::Html, false);
     home.add_peer(coop_a());
     migrate_d(&mut home, 10_000);
@@ -349,8 +428,10 @@ fn replicas_can_pull_and_serve() {
     // migrated to several co-ops at once; each replica's pull is accepted
     // by the home, and rewritten links spread across the replica set.
     let mut cfg = ServerConfig::paper_defaults();
-    cfg.hot_replication =
-        Some(dcws_core::HotReplication { hot_fraction: 0.5, max_replicas: 3 });
+    cfg.hot_replication = Some(dcws_core::HotReplication {
+        hot_fraction: 0.5,
+        max_replicas: 3,
+    });
     let mut home = ServerEngine::new(home_id(), cfg, Box::new(MemStore::new()));
     // Several pages all embed the same hot image.
     let mut body = String::from("<html><body>");
@@ -391,7 +472,10 @@ fn replicas_can_pull_and_serve() {
             Box::new(MemStore::new()),
         );
         let pull = coop.make_pull_request("/hot.gif", 10_001);
-        let resp = home.handle_request(&pull, 10_001).into_response().expect("pull");
+        let resp = home
+            .handle_request(&pull, 10_001)
+            .into_response()
+            .expect("pull");
         assert_eq!(resp.status, StatusCode::Ok, "replica {rep} pull accepted");
         assert!(coop.store_pulled(&home_id(), "/hot.gif", &resp, 10_001));
     }
@@ -427,9 +511,7 @@ fn replicas_can_pull_and_serve() {
     assert_eq!(r.status, StatusCode::MovedPermanently);
     let loc = r.headers.get("Location").expect("location").to_string();
     assert!(
-        replicas
-            .iter()
-            .any(|c| loc.contains(c.host_port().0)),
+        replicas.iter().any(|c| loc.contains(c.host_port().0)),
         "redirect {loc} targets a replica"
     );
 }
@@ -444,7 +526,12 @@ fn warm_restart_restores_migrations() {
     // "Restart": a fresh engine re-publishes the site from disk, then
     // restores the exported migration state.
     let mut restarted = make_home();
-    assert!(restarted.ldg().get("/d.html").expect("doc").location.is_home());
+    assert!(restarted
+        .ldg()
+        .get("/d.html")
+        .expect("doc")
+        .location
+        .is_home());
     let n = restarted.restore_migrations(&exported, 20_000);
     assert_eq!(n, 1);
     assert_eq!(
@@ -459,5 +546,8 @@ fn warm_restart_restores_migrations() {
     assert!(String::from_utf8_lossy(&r.body).contains("~migrate"));
 
     // Malformed or stale lines are ignored.
-    assert_eq!(restarted.restore_migrations("garbage\n/nope.html\tc:1\n\t\n", 20_002), 0);
+    assert_eq!(
+        restarted.restore_migrations("garbage\n/nope.html\tc:1\n\t\n", 20_002),
+        0
+    );
 }

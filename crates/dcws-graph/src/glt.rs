@@ -11,7 +11,7 @@ use crate::ServerId;
 use std::collections::HashMap;
 
 /// One server's load measurement as stored in the GLT.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadInfo {
     /// Connections per second over the measurement window.
     pub cps: f64,
@@ -42,7 +42,14 @@ impl GlobalLoadTable {
     /// A table for server `self_id`, knowing only itself (at zero load).
     pub fn new(self_id: ServerId) -> Self {
         let mut map = HashMap::new();
-        map.insert(self_id.clone(), LoadInfo { cps: 0.0, bps: 0.0, ts_ms: 0 });
+        map.insert(
+            self_id.clone(),
+            LoadInfo {
+                cps: 0.0,
+                bps: 0.0,
+                ts_ms: 0,
+            },
+        );
         GlobalLoadTable { self_id, map }
     }
 
@@ -54,9 +61,11 @@ impl GlobalLoadTable {
     /// Register a peer with no load information yet (joins at ts 0, so any
     /// real report immediately supersedes it).
     pub fn add_peer(&mut self, peer: ServerId) {
-        self.map
-            .entry(peer)
-            .or_insert(LoadInfo { cps: 0.0, bps: 0.0, ts_ms: 0 });
+        self.map.entry(peer).or_insert(LoadInfo {
+            cps: 0.0,
+            bps: 0.0,
+            ts_ms: 0,
+        });
     }
 
     /// Remove a peer entirely (it was declared dead by the pinger).
@@ -155,7 +164,11 @@ mod tests {
     use super::*;
 
     fn info(cps: f64, ts: u64) -> LoadInfo {
-        LoadInfo { cps, bps: cps * 1000.0, ts_ms: ts }
+        LoadInfo {
+            cps,
+            bps: cps * 1000.0,
+            ts_ms: ts,
+        }
     }
 
     #[test]
@@ -223,8 +236,22 @@ mod tests {
     #[test]
     fn bps_metric_changes_choice() {
         let mut t = GlobalLoadTable::new(ServerId::new("me:1"));
-        t.update(ServerId::new("a:1"), LoadInfo { cps: 1.0, bps: 9e6, ts_ms: 1 });
-        t.update(ServerId::new("b:1"), LoadInfo { cps: 9.0, bps: 1e3, ts_ms: 1 });
+        t.update(
+            ServerId::new("a:1"),
+            LoadInfo {
+                cps: 1.0,
+                bps: 9e6,
+                ts_ms: 1,
+            },
+        );
+        t.update(
+            ServerId::new("b:1"),
+            LoadInfo {
+                cps: 9.0,
+                bps: 1e3,
+                ts_ms: 1,
+            },
+        );
         assert_eq!(
             t.least_loaded(BalanceMetric::Cps, &[]),
             Some(ServerId::new("a:1"))
@@ -240,10 +267,7 @@ mod tests {
         let mut t = GlobalLoadTable::new(ServerId::new("me:1"));
         t.update(ServerId::new("old:1"), info(1.0, 1_000));
         t.update(ServerId::new("new:1"), info(1.0, 9_000));
-        assert_eq!(
-            t.stale_peers(10_000, 5_000),
-            vec![ServerId::new("old:1")]
-        );
+        assert_eq!(t.stale_peers(10_000, 5_000), vec![ServerId::new("old:1")]);
         assert!(t.stale_peers(10_000, 60_000).is_empty());
     }
 

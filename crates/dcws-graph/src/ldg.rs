@@ -381,7 +381,10 @@ mod tests {
         assert!(g.get("B").unwrap().dirty);
         assert!(g.get("E").unwrap().dirty);
         assert!(!g.get("A").unwrap().dirty);
-        assert!(!g.get("D").unwrap().dirty, "the migrated doc itself is not dirty");
+        assert!(
+            !g.get("D").unwrap().dirty,
+            "the migrated doc itself is not dirty"
+        );
         assert_eq!(
             g.get("D").unwrap().location,
             Location::Coop(ServerId::new("#2"))

@@ -10,7 +10,7 @@
 use std::collections::VecDeque;
 
 /// Which measurement drives load-balancing decisions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BalanceMetric {
     /// Connections per second — the paper's default, because real-world
     /// web transfers are small and connection overhead dominates.
@@ -42,7 +42,11 @@ impl RateWindow {
     pub fn new(window_ms: u64, n_buckets: usize) -> Self {
         assert!(window_ms > 0 && n_buckets > 0, "degenerate window");
         let bucket_ms = (window_ms / n_buckets as u64).max(1);
-        RateWindow { bucket_ms, n_buckets, buckets: VecDeque::new() }
+        RateWindow {
+            bucket_ms,
+            n_buckets,
+            buckets: VecDeque::new(),
+        }
     }
 
     /// The paper's statistics window: 10 s in 10 buckets (T_st).
@@ -143,7 +147,7 @@ mod tests {
         let mut w = RateWindow::new(1000, 10);
         w.record(0, 100); // bucket 0
         w.record(900, 100); // bucket 9
-        // At t=1050 (bucket 10), bucket 0 is out, bucket 9 still in.
+                            // At t=1050 (bucket 10), bucket 0 is out, bucket 9 still in.
         assert_eq!(w.connections(1050), 1);
     }
 

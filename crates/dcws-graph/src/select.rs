@@ -36,11 +36,7 @@ pub fn select_for_migration(ldg: &LocalDocGraph, threshold: u64) -> Option<DocNa
     // Step 3: threshold filter with geometric back-off.
     let mut t = threshold;
     let hot: Vec<&crate::ldg::DocEntry> = loop {
-        let survivors: Vec<_> = candidates
-            .iter()
-            .copied()
-            .filter(|e| e.hits >= t)
-            .collect();
+        let survivors: Vec<_> = candidates.iter().copied().filter(|e| e.hits >= t).collect();
         if !survivors.is_empty() {
             break survivors;
         }
@@ -113,7 +109,10 @@ mod tests {
         let g = figure1();
         for t in [0, 1, 50, 1000] {
             let pick = select_for_migration(&g, t).unwrap();
-            assert!(pick != "A" && pick != "B", "picked entry point {pick} at T={t}");
+            assert!(
+                pick != "A" && pick != "B",
+                "picked entry point {pick} at T={t}"
+            );
         }
     }
 

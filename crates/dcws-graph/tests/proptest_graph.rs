@@ -29,7 +29,13 @@ fn build(spec: &[(Vec<usize>, bool, u64)]) -> LocalDocGraph {
             .filter(|&&t| t < n)
             .map(|t| format!("/doc{t}.html"))
             .collect();
-        g.insert_doc(format!("/doc{i}.html"), 1000, DocKind::Html, link_to, *entry);
+        g.insert_doc(
+            format!("/doc{i}.html"),
+            1000,
+            DocKind::Html,
+            link_to,
+            *entry,
+        );
         for _ in 0..*hits {
             g.record_hit(&format!("/doc{i}.html"), 1000);
         }

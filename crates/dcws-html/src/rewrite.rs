@@ -31,7 +31,9 @@ pub fn rewrite_links(html: &str, mut map: impl FnMut(&str) -> Option<String>) ->
             if classify(&tag.name, &attr.name).is_none() {
                 continue;
             }
-            let Some(value) = attr.value.as_deref() else { continue };
+            let Some(value) = attr.value.as_deref() else {
+                continue;
+            };
             if let Some(new) = map(value) {
                 if new != value {
                     updates.push((i, new));
@@ -66,7 +68,10 @@ mod tests {
         assert_eq!(n, 1);
         assert!(out.contains(r#"href="http://coop:8001/~migrate/home/80/d.html""#));
         assert!(out.contains(r#"href="/e.html""#), "other links untouched");
-        assert!(out.contains("with /d.html inline"), "text content untouched");
+        assert!(
+            out.contains("with /d.html inline"),
+            "text content untouched"
+        );
     }
 
     #[test]
@@ -87,7 +92,8 @@ mod tests {
     #[test]
     fn rewrites_images() {
         let (out, n) = rewrite_links(DOC, |u| {
-            u.ends_with(".gif").then(|| format!("http://coop:9/{}", &u[1..]))
+            u.ends_with(".gif")
+                .then(|| format!("http://coop:9/{}", &u[1..]))
         });
         assert_eq!(n, 1);
         assert!(out.contains(r#"src="http://coop:9/btn.gif""#));

@@ -47,8 +47,11 @@ impl Attr {
             // Choose a quoting style that can represent the value. Rewritten
             // URLs never contain quotes, but be defensive.
             let quote = match self.quote {
-                Quote::None if v.is_empty()
-                    || v.contains(|c: char| c.is_ascii_whitespace() || c == '>' || c == '"' || c == '\'') =>
+                Quote::None
+                    if v.is_empty()
+                        || v.contains(|c: char| {
+                            c.is_ascii_whitespace() || c == '>' || c == '"' || c == '\''
+                        }) =>
                 {
                     Quote::Double
                 }

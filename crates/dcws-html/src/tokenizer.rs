@@ -72,8 +72,8 @@ pub fn tokenize(input: &str) -> Vec<Token> {
             match parse_start_tag(input, pos) {
                 Some((tag, end)) => {
                     flush_text!(pos);
-                    let raw_text = RAW_TEXT_ELEMENTS.contains(&tag.name.as_str())
-                        && !tag.self_closing;
+                    let raw_text =
+                        RAW_TEXT_ELEMENTS.contains(&tag.name.as_str()) && !tag.self_closing;
                     let name = tag.name.clone();
                     tokens.push(Token::Tag(tag));
                     pos = end;
@@ -236,7 +236,11 @@ fn parse_start_tag(input: &str, lt: usize) -> Option<(Tag, usize)> {
                             i = v_end + 1;
                             (
                                 Some(input[v_start..v_end].to_string()),
-                                if q == b'"' { Quote::Double } else { Quote::Single },
+                                if q == b'"' {
+                                    Quote::Double
+                                } else {
+                                    Quote::Single
+                                },
                             )
                         }
                         Some(_) => {
@@ -273,7 +277,11 @@ mod tests {
     use crate::serialize;
 
     fn roundtrip(doc: &str) {
-        assert_eq!(serialize(&tokenize(doc)), doc, "round-trip failed for {doc:?}");
+        assert_eq!(
+            serialize(&tokenize(doc)),
+            doc,
+            "round-trip failed for {doc:?}"
+        );
     }
 
     fn tags(doc: &str) -> Vec<Tag> {
@@ -381,7 +389,10 @@ mod tests {
             .iter()
             .filter_map(|t| t.as_tag().map(|t| (t.name.clone(), t.is_end)))
             .collect();
-        assert_eq!(names, vec![("script".into(), false), ("script".into(), true)]);
+        assert_eq!(
+            names,
+            vec![("script".into(), false), ("script".into(), true)]
+        );
         roundtrip(doc);
     }
 
@@ -446,7 +457,10 @@ mod tests {
 <!-- footer -->
 </body></html>"##;
         roundtrip(doc);
-        let n_links = tags(doc).iter().filter(|t| t.attr("href").is_some() || t.attr("src").is_some()).count();
+        let n_links = tags(doc)
+            .iter()
+            .filter(|t| t.attr("href").is_some() || t.attr("src").is_some())
+            .count();
         assert_eq!(n_links, 6);
     }
 }

@@ -11,8 +11,8 @@ use crate::tokenizer::tokenize;
 
 /// Elements that never have children or end tags.
 const VOID_ELEMENTS: &[&str] = &[
-    "area", "base", "basefont", "br", "col", "embed", "frame", "hr", "img",
-    "input", "isindex", "link", "meta", "param", "source", "track", "wbr",
+    "area", "base", "basefont", "br", "col", "embed", "frame", "hr", "img", "input", "isindex",
+    "link", "meta", "param", "source", "track", "wbr",
 ];
 
 /// Whether `name` is an HTML void element.
@@ -138,7 +138,14 @@ pub fn parse_tree(input: &str) -> Document {
             Token::Decl(d) => push(&mut stack, &mut top, Node::Decl(d)),
             Token::Tag(tag) if !tag.is_end => {
                 if tag.self_closing || is_void_element(&tag.name) {
-                    push(&mut stack, &mut top, Node::Element { tag, children: Vec::new() });
+                    push(
+                        &mut stack,
+                        &mut top,
+                        Node::Element {
+                            tag,
+                            children: Vec::new(),
+                        },
+                    );
                 } else {
                     stack.push((tag, Vec::new()));
                 }

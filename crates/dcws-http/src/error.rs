@@ -64,7 +64,10 @@ mod tests {
     fn display_is_informative() {
         let e = HttpError::BadRequestLine("GETX".into());
         assert!(e.to_string().contains("GETX"));
-        let e = HttpError::TooLarge { what: "head", limit: 64 };
+        let e = HttpError::TooLarge {
+            what: "head",
+            limit: 64,
+        };
         assert!(e.to_string().contains("64"));
         assert!(e.to_string().contains("head"));
     }

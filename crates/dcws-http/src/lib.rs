@@ -40,6 +40,7 @@ pub mod method;
 pub mod parser;
 pub mod piggyback;
 pub mod request;
+pub mod reserved;
 pub mod response;
 pub mod status;
 pub mod url;
@@ -50,6 +51,7 @@ pub use method::Method;
 pub use parser::{parse_request, parse_response, Parsed};
 pub use piggyback::{LoadReport, PIGGYBACK_HEADER};
 pub use request::Request;
+pub use reserved::{is_reserved_path, RESERVED_PREFIX, STATUS_PATH};
 pub use response::Response;
 pub use status::StatusCode;
 pub use url::Url;

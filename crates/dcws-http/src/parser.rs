@@ -57,13 +57,19 @@ fn head_text(buf: &[u8]) -> Result<Option<(String, usize)>> {
         Some(e) => e,
         None => {
             if buf.len() > MAX_HEAD_BYTES {
-                return Err(HttpError::TooLarge { what: "head", limit: MAX_HEAD_BYTES });
+                return Err(HttpError::TooLarge {
+                    what: "head",
+                    limit: MAX_HEAD_BYTES,
+                });
             }
             return Ok(None);
         }
     };
     if head_end > MAX_HEAD_BYTES {
-        return Err(HttpError::TooLarge { what: "head", limit: MAX_HEAD_BYTES });
+        return Err(HttpError::TooLarge {
+            what: "head",
+            limit: MAX_HEAD_BYTES,
+        });
     }
     // HTTP heads are ASCII; lossy decoding maps stray bytes to U+FFFD which
     // then fail token validation downstream.
@@ -74,7 +80,10 @@ fn head_text(buf: &[u8]) -> Result<Option<(String, usize)>> {
 /// Extract a body of `len` bytes following the head, if fully buffered.
 fn take_body(buf: &[u8], head_end: usize, len: usize) -> Result<Option<Vec<u8>>> {
     if len > MAX_BODY_BYTES {
-        return Err(HttpError::TooLarge { what: "body", limit: MAX_BODY_BYTES });
+        return Err(HttpError::TooLarge {
+            what: "body",
+            limit: MAX_BODY_BYTES,
+        });
     }
     if buf.len() < head_end + len {
         return Ok(None);
@@ -111,7 +120,13 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<Parsed<Request>>> {
         None => return Ok(None),
     };
     Ok(Some(Parsed {
-        message: Request { method, target: t.to_string(), version, headers, body },
+        message: Request {
+            method,
+            target: t.to_string(),
+            version,
+            headers,
+            body,
+        },
         consumed: head_end + body_len,
     }))
 }
@@ -154,7 +169,12 @@ pub fn parse_response(buf: &[u8], request_method: Method) -> Result<Option<Parse
         None => return Ok(None),
     };
     Ok(Some(Parsed {
-        message: Response { version, status, headers, body },
+        message: Response {
+            version,
+            status,
+            headers,
+            body,
+        },
         consumed: head_end + body_len,
     }))
 }

@@ -65,19 +65,25 @@ impl LoadReport {
             match k.trim() {
                 "server" => server = Some(v.trim().to_string()),
                 "cps" => {
-                    cps = Some(v.trim().parse::<f64>().map_err(|_| {
-                        HttpError::BadPiggyback(value.to_string())
-                    })?)
+                    cps = Some(
+                        v.trim()
+                            .parse::<f64>()
+                            .map_err(|_| HttpError::BadPiggyback(value.to_string()))?,
+                    )
                 }
                 "bps" => {
-                    bps = Some(v.trim().parse::<f64>().map_err(|_| {
-                        HttpError::BadPiggyback(value.to_string())
-                    })?)
+                    bps = Some(
+                        v.trim()
+                            .parse::<f64>()
+                            .map_err(|_| HttpError::BadPiggyback(value.to_string()))?,
+                    )
                 }
                 "ts" => {
-                    ts = Some(v.trim().parse::<u64>().map_err(|_| {
-                        HttpError::BadPiggyback(value.to_string())
-                    })?)
+                    ts = Some(
+                        v.trim()
+                            .parse::<u64>()
+                            .map_err(|_| HttpError::BadPiggyback(value.to_string()))?,
+                    )
                 }
                 // Forward compatibility: ignore unknown keys.
                 _ => {}
@@ -87,7 +93,12 @@ impl LoadReport {
             (Some(server), Some(cps), Some(bps), Some(ts_ms))
                 if cps.is_finite() && bps.is_finite() && cps >= 0.0 && bps >= 0.0 =>
             {
-                Ok(LoadReport { server, cps, bps, ts_ms })
+                Ok(LoadReport {
+                    server,
+                    cps,
+                    bps,
+                    ts_ms,
+                })
             }
             _ => Err(HttpError::BadPiggyback(value.to_string())),
         }
@@ -116,7 +127,12 @@ mod tests {
     use super::*;
 
     fn sample() -> LoadReport {
-        LoadReport { server: "h1:8001".into(), cps: 123.456, bps: 9_876_543.25, ts_ms: 42_000 }
+        LoadReport {
+            server: "h1:8001".into(),
+            cps: 123.456,
+            bps: 9_876_543.25,
+            ts_ms: 42_000,
+        }
     }
 
     #[test]

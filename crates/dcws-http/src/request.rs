@@ -38,7 +38,10 @@ impl Request {
 
     /// A `HEAD` request for `target` (pinger traffic).
     pub fn head(target: impl Into<String>) -> Self {
-        Request { method: Method::Head, ..Request::get(target) }
+        Request {
+            method: Method::Head,
+            ..Request::get(target)
+        }
     }
 
     /// Builder-style header insertion. Panics on invalid header syntax, so

@@ -1,0 +1,44 @@
+//! Reserved URL namespace for server self-description.
+//!
+//! The DCWS naming convention (§3.4) already reserves `/~migrate/` for
+//! migrated-document addressing. This module reserves a second prefix,
+//! `/dcws/`, for transport-level introspection endpoints that must never
+//! collide with published documents — today just [`STATUS_PATH`], served
+//! directly by the transport host without entering the engine's document
+//! path.
+
+/// Prefix under which all introspection endpoints live.
+pub const RESERVED_PREFIX: &str = "/dcws/";
+
+/// The runtime status endpoint: returns a JSON snapshot of engine
+/// counters, derived rates, the GLT view, active migrations, latency
+/// histograms, and the recent event ring.
+pub const STATUS_PATH: &str = "/dcws/status";
+
+/// Whether `path` falls in the reserved introspection namespace.
+/// Matching is on the decoded URL path, exact prefix, case-sensitive
+/// (like document paths themselves).
+pub fn is_reserved_path(path: &str) -> bool {
+    path.starts_with(RESERVED_PREFIX) || path == RESERVED_PREFIX.trim_end_matches('/')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_path_is_reserved() {
+        assert!(is_reserved_path(STATUS_PATH));
+        assert!(is_reserved_path("/dcws/"));
+        assert!(is_reserved_path("/dcws"));
+        assert!(is_reserved_path("/dcws/anything/else"));
+    }
+
+    #[test]
+    fn document_paths_are_not_reserved() {
+        assert!(!is_reserved_path("/index.html"));
+        assert!(!is_reserved_path("/dcwsdoc.html"));
+        assert!(!is_reserved_path("/~migrate/home:80/doc.html"));
+        assert!(!is_reserved_path("/docs/dcws/status"));
+    }
+}

@@ -43,9 +43,11 @@ impl Response {
             "<html><head><title>301 Moved</title></head>\
              <body>The document has moved <a href=\"{loc}\">here</a>.</body></html>"
         );
-        let mut r = Response::new(StatusCode::MovedPermanently)
-            .with_body(body.into_bytes(), "text/html");
-        r.headers.set("Location", loc).expect("url is a valid header value");
+        let mut r =
+            Response::new(StatusCode::MovedPermanently).with_body(body.into_bytes(), "text/html");
+        r.headers
+            .set("Location", loc)
+            .expect("url is a valid header value");
         r
     }
 
@@ -62,8 +64,10 @@ impl Response {
 
     /// A `404 Not Found`.
     pub fn not_found() -> Self {
-        Response::new(StatusCode::NotFound)
-            .with_body(b"<html><body>404 Not Found</body></html>".to_vec(), "text/html")
+        Response::new(StatusCode::NotFound).with_body(
+            b"<html><body>404 Not Found</body></html>".to_vec(),
+            "text/html",
+        )
     }
 
     /// A `304 Not Modified` — co-op revalidation hit (§4.5).
@@ -94,7 +98,9 @@ impl Response {
 
     /// The `Location` header parsed as a URL, if present and valid.
     pub fn location(&self) -> Option<Url> {
-        self.headers.get("Location").and_then(|l| Url::parse(l).ok())
+        self.headers
+            .get("Location")
+            .and_then(|l| Url::parse(l).ok())
     }
 
     /// Serialize to wire bytes. When `head` is true the body is omitted

@@ -30,12 +30,20 @@ impl Url {
         if host.is_empty() || host.contains('/') || host.contains(':') {
             return Err(HttpError::BadUrl(format!("bad host {host:?}")));
         }
-        Ok(Url { host: Some(host), port, path })
+        Ok(Url {
+            host: Some(host),
+            port,
+            path,
+        })
     }
 
     /// Build a server-relative URL (path only).
     pub fn relative(path: impl Into<String>) -> Result<Self> {
-        Ok(Url { host: None, port: DEFAULT_HTTP_PORT, path: normalize_path(path.into())? })
+        Ok(Url {
+            host: None,
+            port: DEFAULT_HTTP_PORT,
+            path: normalize_path(path.into())?,
+        })
     }
 
     /// Parse either `http://host[:port]/path` or `/path`.
@@ -108,7 +116,11 @@ impl Url {
 
     /// Drop the authority, producing a server-relative URL.
     pub fn to_relative(&self) -> Url {
-        Url { host: None, port: DEFAULT_HTTP_PORT, path: self.path.clone() }
+        Url {
+            host: None,
+            port: DEFAULT_HTTP_PORT,
+            path: self.path.clone(),
+        }
     }
 
     /// Resolve `reference` against this URL as base (RFC 1808 subset):
@@ -143,10 +155,17 @@ impl Url {
 /// Validate and dot-normalize an absolute path.
 fn normalize_path(path: String) -> Result<String> {
     if !path.starts_with('/') {
-        return Err(HttpError::BadUrl(format!("path must start with '/': {path:?}")));
+        return Err(HttpError::BadUrl(format!(
+            "path must start with '/': {path:?}"
+        )));
     }
-    if path.bytes().any(|b| b == b' ' || b == b'\r' || b == b'\n' || b == 0) {
-        return Err(HttpError::BadUrl(format!("path contains whitespace: {path:?}")));
+    if path
+        .bytes()
+        .any(|b| b == b' ' || b == b'\r' || b == b'\n' || b == 0)
+    {
+        return Err(HttpError::BadUrl(format!(
+            "path contains whitespace: {path:?}"
+        )));
     }
     if !path.contains("/.") {
         return Ok(path); // fast path: nothing to normalize

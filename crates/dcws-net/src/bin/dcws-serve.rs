@@ -36,7 +36,9 @@ fn parse_args() -> Result<Args, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--bind" => args.bind = it.next().ok_or("--bind needs a value")?,
-            "--docroot" => args.docroot = PathBuf::from(it.next().ok_or("--docroot needs a value")?),
+            "--docroot" => {
+                args.docroot = PathBuf::from(it.next().ok_or("--docroot needs a value")?)
+            }
             "--entry" => args.entries.push(it.next().ok_or("--entry needs a value")?),
             "--peer" => args.peers.push(it.next().ok_or("--peer needs a value")?),
             "--fast-timers" => args.fast = true,
@@ -127,7 +129,11 @@ fn main() {
         if name.starts_with("/.dcws-originals") {
             continue;
         }
-        let kind = if is_html(&name) { DocKind::Html } else { DocKind::Image };
+        let kind = if is_html(&name) {
+            DocKind::Html
+        } else {
+            DocKind::Image
+        };
         let entry = args.entries.iter().any(|e| e == &name);
         engine.publish(&name, bytes, kind, entry);
         published += 1;
@@ -151,23 +157,31 @@ fn main() {
             std::process::exit(1);
         }
     };
+    println!("introspection: http://{id}{}", dcws_http::STATUS_PATH);
 
     // Periodic status line until killed.
     loop {
         std::thread::sleep(Duration::from_secs(10));
-        let eng = server.engine().lock();
-        let st = eng.stats();
-        let migrated = eng.ldg().all_migrated().len();
+        let (st, migrated, events) = {
+            let eng = server.engine().lock();
+            (
+                eng.stats(),
+                eng.ldg().all_migrated().len(),
+                eng.events().total_recorded(),
+            )
+        };
+        let service = server.metrics().service_time.snapshot();
         println!(
             "served={} coop_served={} redirects={} migrations={} (active {migrated}) \
-             pulls={} regens={} dropped={}",
+             pulls={} regens={} dropped={} events={events} p95={:?}",
             st.served_home,
             st.served_coop,
             st.redirects,
             st.migrations,
             st.pulls_served,
             st.regenerations,
-            server.dropped_connections()
+            server.dropped_connections(),
+            service.percentile(95.0),
         );
     }
 }

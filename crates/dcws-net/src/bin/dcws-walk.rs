@@ -10,6 +10,11 @@
 //! point, walk `random(1..max-steps)` hyperlinks (fetching embedded images
 //! through four helper threads, following 301s, exponentially backing off
 //! on 503), and reports aggregate CPS/BPS — the §5.3 measures.
+//!
+//! With `--status`, after the run each entry-point server's
+//! `GET /dcws/status` document is fetched and a one-line server-side
+//! summary (counters, migrations, service-time p95) is printed next to
+//! the client-side totals.
 
 use dcws_graph::ServerId;
 use dcws_http::{Request, StatusCode, Url};
@@ -34,6 +39,7 @@ struct Args {
     duration: Duration,
     max_steps: u32,
     seed: u64,
+    status: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,26 +48,30 @@ fn parse_args() -> Result<Args, String> {
     let mut duration = Duration::from_secs(30);
     let mut max_steps = 25u32;
     let mut seed = 42u64;
+    let mut status = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut val = || it.next().ok_or(format!("{a} needs a value"));
         match a.as_str() {
-            "--entry" => entries.push(
-                Url::parse(&val()?).map_err(|e| format!("bad --entry: {e}"))?,
-            ),
+            "--entry" => {
+                entries.push(Url::parse(&val()?).map_err(|e| format!("bad --entry: {e}"))?)
+            }
             "--clients" => clients = val()?.parse().map_err(|e| format!("bad --clients: {e}"))?,
             "--duration" => {
-                duration = Duration::from_secs(
-                    val()?.parse().map_err(|e| format!("bad --duration: {e}"))?,
-                )
+                duration =
+                    Duration::from_secs(val()?.parse().map_err(|e| format!("bad --duration: {e}"))?)
             }
             "--max-steps" => {
-                max_steps = val()?.parse().map_err(|e| format!("bad --max-steps: {e}"))?
+                max_steps = val()?
+                    .parse()
+                    .map_err(|e| format!("bad --max-steps: {e}"))?
             }
             "--seed" => seed = val()?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--status" => status = true,
             "--help" | "-h" => {
                 return Err("usage: dcws-walk --entry URL [--entry URL]... \
-                            [--clients N] [--duration SECS] [--max-steps N] [--seed N]"
+                            [--clients N] [--duration SECS] [--max-steps N] [--seed N] \
+                            [--status]"
                     .into())
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
@@ -70,7 +80,14 @@ fn parse_args() -> Result<Args, String> {
     if entries.is_empty() {
         return Err("at least one --entry URL is required (try --help)".into());
     }
-    Ok(Args { entries, clients, duration, max_steps, seed })
+    Ok(Args {
+        entries,
+        clients,
+        duration,
+        max_steps,
+        seed,
+        status,
+    })
 }
 
 /// Minimal xorshift RNG so the binary needs no extra dependencies.
@@ -138,7 +155,9 @@ fn client_loop(entries: Vec<Url>, max_steps: u32, seed: u64, shared: Shared) {
             let (anchors, embeds): (Vec<Url>, Vec<Url>) = if cache.contains(&key) {
                 (Vec::new(), Vec::new()) // cached: no fetch, dead end for simplicity
             } else {
-                let Some((resp, final_url)) = get(&current, &shared) else { break };
+                let Some((resp, final_url)) = get(&current, &shared) else {
+                    break;
+                };
                 cache.insert(key);
                 cache.insert(final_url.to_string());
                 let is_html = resp
@@ -251,4 +270,59 @@ fn main() {
         shared.drops.load(Ordering::Relaxed),
         shared.redirects.load(Ordering::Relaxed),
     );
+    if args.status {
+        print_server_status(&args.entries);
+    }
+}
+
+/// Fetch and summarize `GET /dcws/status` from every distinct entry host.
+fn print_server_status(entries: &[Url]) {
+    let mut seen = HashSet::new();
+    for url in entries {
+        let Some(host) = url.host() else { continue };
+        let server = ServerId::new(format!("{host}:{}", url.port()));
+        if !seen.insert(server.to_string()) {
+            continue;
+        }
+        let resp = match fetch_from(&server, &Request::get(dcws_http::STATUS_PATH)) {
+            Ok(r) if r.status == StatusCode::Ok => r,
+            Ok(r) => {
+                println!("status {server}: HTTP {}", r.status.code());
+                continue;
+            }
+            Err(e) => {
+                println!("status {server}: unreachable ({e})");
+                continue;
+            }
+        };
+        let doc = match dcws_core::Json::parse(&String::from_utf8_lossy(&resp.body)) {
+            Ok(d) => d,
+            Err(e) => {
+                println!("status {server}: bad JSON ({e})");
+                continue;
+            }
+        };
+        let counter = |name: &str| {
+            doc.get("stats")
+                .and_then(|s| s.get(name))
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0)
+        };
+        let p95 = doc
+            .get("transport")
+            .and_then(|t| t.get("service_time"))
+            .and_then(|s| s.get("p95_us"))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0);
+        println!(
+            "status {server}: served_home={} served_coop={} redirects={} migrations={} \
+             pulls={} regens={} service_p95={p95}us",
+            counter("served_home"),
+            counter("served_coop"),
+            counter("redirects"),
+            counter("migrations"),
+            counter("pulls_served"),
+            counter("regenerations"),
+        );
+    }
 }

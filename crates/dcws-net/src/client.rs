@@ -33,29 +33,31 @@ pub fn fetch(url: &Url, max_redirects: usize) -> io::Result<(Response, Url)> {
     let mut current = url.clone();
     for _ in 0..=max_redirects {
         let host = current.host().ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidInput, "fetch requires an absolute URL")
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "fetch requires an absolute URL",
+            )
         })?;
         let server = ServerId::new(format!("{host}:{}", current.port()));
-        let req = Request::get(current.path())
-            .with_header("Host", &server.to_string());
+        let req = Request::get(current.path()).with_header("Host", &server.to_string());
         let resp = fetch_from(&server, &req)?;
         if resp.status.is_redirect() {
             if let Some(loc) = resp.location() {
                 current = if loc.is_absolute() {
                     loc
                 } else {
-                    current.join(&loc.to_string()).map_err(|e| {
-                        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
-                    })?
+                    current
+                        .join(&loc.to_string())
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
                 };
                 continue;
             }
         }
         return Ok((resp, current));
     }
-    Err(io::Error::other(
-        format!("redirect limit exceeded fetching {url}"),
-    ))
+    Err(io::Error::other(format!(
+        "redirect limit exceeded fetching {url}"
+    )))
 }
 
 #[cfg(test)]
@@ -105,7 +107,9 @@ mod tests {
         let self_url2 = self_url.clone();
         std::thread::spawn(move || {
             for _ in 0..10 {
-                let Ok((mut s, _)) = listener.accept() else { return };
+                let Ok((mut s, _)) = listener.accept() else {
+                    return;
+                };
                 if let Ok(Some(req)) = crate::conn::read_request(&mut s) {
                     let _ = crate::conn::write_response(
                         &mut s,

@@ -20,6 +20,13 @@
 //! paper's: workers and the statistics module share the Local Document
 //! Graph and Global Load Table through one lock.
 //!
+//! The transport also maintains **observability** state the engine
+//! cannot see: per-request service-time and queue-wait latency
+//! histograms ([`metrics`]) and the graceful-drop counter. Together with
+//! the engine's own counters and event log they are exposed as JSON at
+//! the reserved `GET /dcws/status` endpoint
+//! ([`DcwsServer::status_json`]).
+//!
 //! [`client`] provides the small blocking HTTP client used for
 //! inter-server transfers and by the examples.
 
@@ -27,7 +34,11 @@
 
 pub mod client;
 pub mod conn;
+pub mod metrics;
+pub mod queue;
 pub mod server;
 
 pub use client::{fetch, fetch_from};
+pub use metrics::{HistogramSnapshot, LatencyHistogram, TransportMetrics};
+pub use queue::{Queued, SocketQueue};
 pub use server::DcwsServer;

@@ -1,0 +1,286 @@
+//! Transport-side latency metrics: lock-free log-scale histograms.
+//!
+//! The worker pool records two durations per request into shared
+//! [`LatencyHistogram`]s using only relaxed atomics (no locks on the
+//! hot path):
+//!
+//! * **queue wait** — accept to worker pickup (time spent in the L_sq
+//!   socket queue);
+//! * **service time** — worker pickup to response written.
+//!
+//! Buckets are powers of two in microseconds: bucket `i` covers
+//! `[2^i, 2^(i+1))` µs (bucket 0 also absorbs sub-microsecond samples),
+//! so 40 buckets span 1 µs to ~18 minutes. Percentiles reported by
+//! [`HistogramSnapshot::percentile`] are upper bucket bounds — exact
+//! enough for operator dashboards, cheap enough for every request.
+//!
+//! ```
+//! use dcws_net::metrics::LatencyHistogram;
+//! use std::time::Duration;
+//!
+//! let h = LatencyHistogram::new();
+//! for ms in [1, 2, 3, 40] {
+//!     h.record(Duration::from_millis(ms));
+//! }
+//! let snap = h.snapshot();
+//! assert_eq!(snap.count, 4);
+//! assert!(snap.percentile(50.0) >= Duration::from_millis(2));
+//! assert!(snap.max >= Duration::from_millis(40));
+//! ```
+
+use dcws_core::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two microsecond buckets.
+pub const N_BUCKETS: usize = 40;
+
+/// Lock-free histogram of durations with power-of-two µs buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the bucket covering `us` microseconds.
+fn bucket_index(us: u64) -> usize {
+    // 0 and 1 µs land in bucket 0; otherwise floor(log2(us)).
+    ((63 - us.max(1).leading_zeros() as u64) as usize).min(N_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i`, in microseconds.
+fn bucket_upper_us(i: usize) -> u64 {
+    (1u64 << (i + 1)) - 1
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration (relaxed atomics; safe from any thread).
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy for percentile math and serialization.
+    /// Buckets are read without a global lock, so a snapshot taken while
+    /// writers are active can be off by the writes in flight.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; N_BUCKETS];
+        for (i, b) in self.buckets.iter().enumerate() {
+            buckets[i] = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: Duration::from_micros(self.sum_us.load(Ordering::Relaxed)),
+            max: Duration::from_micros(self.max_us.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Immutable copy of a [`LatencyHistogram`] at one instant.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Sample count per power-of-two µs bucket.
+    pub buckets: [u64; N_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (for the mean).
+    pub sum: Duration,
+    /// Largest sample seen.
+    pub max: Duration,
+}
+
+impl HistogramSnapshot {
+    /// The duration at or below which `p` percent of samples fall
+    /// (upper bound of the bucket containing that rank). Zero when
+    /// empty.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // Rank of the target sample, 1-based, ceiling — p50 of 2 samples
+        // is the 1st, p99 of 1000 is the 990th.
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Duration::from_micros(bucket_upper_us(i).min(self.max_as_us()));
+            }
+        }
+        self.max
+    }
+
+    fn max_as_us(&self) -> u64 {
+        self.max.as_micros().min(u64::MAX as u128) as u64
+    }
+
+    /// Mean sample duration; zero when empty.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.sum / self.count as u32
+        }
+    }
+
+    /// JSON object with count, mean/max and the standard percentile
+    /// trio in microseconds, plus the non-empty buckets (lower-bound µs
+    /// to count) for clients that want the full shape.
+    pub fn to_json(&self) -> Json {
+        let buckets = Json::Arr(
+            self.buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| {
+                    Json::obj(vec![
+                        ("ge_us", Json::U64(if i == 0 { 0 } else { 1u64 << i })),
+                        ("lt_us", Json::U64(1u64 << (i + 1))),
+                        ("count", Json::U64(c)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("count", Json::U64(self.count)),
+            ("mean_us", Json::U64(self.mean().as_micros() as u64)),
+            (
+                "p50_us",
+                Json::U64(self.percentile(50.0).as_micros() as u64),
+            ),
+            (
+                "p95_us",
+                Json::U64(self.percentile(95.0).as_micros() as u64),
+            ),
+            (
+                "p99_us",
+                Json::U64(self.percentile(99.0).as_micros() as u64),
+            ),
+            ("max_us", Json::U64(self.max.as_micros() as u64)),
+            ("buckets", buckets),
+        ])
+    }
+}
+
+/// The pair of histograms the worker pool maintains.
+#[derive(Debug, Default)]
+pub struct TransportMetrics {
+    /// Accept-to-pickup time in the socket queue.
+    pub queue_wait: LatencyHistogram,
+    /// Pickup-to-response-written time per request.
+    pub service_time: LatencyHistogram,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let snap = LatencyHistogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.percentile(50.0), Duration::ZERO);
+        assert_eq!(snap.mean(), Duration::ZERO);
+        assert_eq!(snap.max, Duration::ZERO);
+    }
+
+    #[test]
+    fn percentiles_rank_correctly() {
+        let h = LatencyHistogram::new();
+        // 90 fast samples at ~10 µs, 10 slow at ~10 ms.
+        for _ in 0..90 {
+            h.record(Duration::from_micros(10));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(10));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        // p50 and p90 fall in the 8–16 µs bucket.
+        assert!(snap.percentile(50.0) < Duration::from_micros(16));
+        assert!(snap.percentile(90.0) < Duration::from_micros(16));
+        // p95 and p99 fall in the slow bucket.
+        assert!(snap.percentile(95.0) >= Duration::from_millis(8));
+        assert!(snap.percentile(99.0) >= Duration::from_millis(8));
+        assert_eq!(snap.max, Duration::from_millis(10));
+        // Percentile never exceeds the observed max.
+        assert!(snap.percentile(100.0) <= snap.max);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let hc = h.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    hc.record(Duration::from_micros(t * 13 + i % 97));
+                }
+            }));
+        }
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.snapshot().buckets.iter().sum::<u64>(), 4000);
+    }
+
+    #[test]
+    fn json_shape() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(5));
+        h.record(Duration::from_micros(300));
+        let json = h.snapshot().to_json();
+        assert_eq!(json.get("count").and_then(|v| v.as_u64()), Some(2));
+        assert!(json.get("p50_us").and_then(|v| v.as_u64()).is_some());
+        assert!(json.get("p95_us").is_some() && json.get("p99_us").is_some());
+        let buckets = json.get("buckets").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(buckets.len(), 2);
+        let total: u64 = buckets
+            .iter()
+            .filter_map(|b| b.get("count").and_then(|v| v.as_u64()))
+            .sum();
+        assert_eq!(total, 2);
+    }
+}

@@ -1,10 +1,13 @@
-//! The threaded DCWS server: front-end, worker pool, pinger (§5.1).
+//! The threaded DCWS server: front-end, worker pool, pinger (§5.1),
+//! plus the `/dcws/status` introspection endpoint.
 
 use crate::client::fetch_from_timeout;
 use crate::conn::{read_request, write_response, READ_TIMEOUT};
-use dcws_core::{Outcome, ServerEngine};
+use crate::metrics::TransportMetrics;
+use crate::queue::SocketQueue;
+use dcws_core::{Json, Outcome, ServerEngine};
 use dcws_graph::ServerId;
-use dcws_http::{Response, StatusCode};
+use dcws_http::{is_reserved_path, Response, StatusCode, STATUS_PATH};
 use parking_lot::Mutex;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -16,13 +19,71 @@ use std::time::{Duration, Instant};
 /// client's exponential back-off starts at one second (§5.2).
 const RETRY_AFTER_SECS: u32 = 1;
 
+/// Everything the worker and front-end threads share.
+struct Shared {
+    engine: Mutex<ServerEngine>,
+    metrics: TransportMetrics,
+    dropped: AtomicU64,
+    queue: SocketQueue<TcpStream>,
+    epoch: Instant,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// The full `/dcws/status` document: the engine's introspection
+    /// object (see `dcws_core::status`) extended with a `transport`
+    /// section describing this host.
+    fn status_json(&self) -> Json {
+        let engine_status = self.engine.lock().status_json();
+        let transport = Json::obj(vec![
+            ("addr", Json::from(self.addr.to_string())),
+            ("uptime_ms", Json::U64(self.now_ms())),
+            (
+                "dropped_connections",
+                Json::U64(self.dropped.load(Ordering::Relaxed)),
+            ),
+            (
+                "socket_queue",
+                Json::obj(vec![
+                    ("depth", Json::from(self.queue.len())),
+                    ("capacity", Json::from(self.queue.capacity())),
+                ]),
+            ),
+            ("queue_wait", self.metrics.queue_wait.snapshot().to_json()),
+            (
+                "service_time",
+                self.metrics.service_time.snapshot().to_json(),
+            ),
+        ]);
+        match engine_status {
+            Json::Obj(mut pairs) => {
+                pairs.push(("transport".to_string(), transport));
+                Json::Obj(pairs)
+            }
+            other => other,
+        }
+    }
+
+    /// Answer a request in the reserved `/dcws/` namespace.
+    fn reserved_response(&self, path: &str) -> Response {
+        if path == STATUS_PATH {
+            let body = self.status_json().to_string().into_bytes();
+            Response::ok(body, "application/json")
+        } else {
+            Response::not_found()
+        }
+    }
+}
+
 /// A running DCWS server; dropping the handle shuts it down.
 pub struct DcwsServer {
-    addr: SocketAddr,
-    engine: Arc<Mutex<ServerEngine>>,
+    shared: Arc<Shared>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<std::thread::JoinHandle<()>>,
-    dropped: Arc<AtomicU64>,
 }
 
 impl DcwsServer {
@@ -38,18 +99,22 @@ impl DcwsServer {
         let addr = listener.local_addr()?;
         let queue_len = engine.config().socket_queue_len;
         let n_workers = engine.config().n_workers;
-        let engine = Arc::new(Mutex::new(engine));
+        let shared = Arc::new(Shared {
+            engine: Mutex::new(engine),
+            metrics: TransportMetrics::default(),
+            dropped: AtomicU64::new(0),
+            queue: SocketQueue::new(queue_len),
+            epoch: Instant::now(),
+            addr,
+        });
         let shutdown = Arc::new(AtomicBool::new(false));
-        let dropped = Arc::new(AtomicU64::new(0));
-        let epoch = Instant::now();
-        let (tx, rx) = crossbeam::channel::bounded::<TcpStream>(queue_len);
 
         let mut threads = Vec::new();
 
         // Front-end thread: accept + enqueue, 503 on overflow (§5.2).
         {
+            let shared = shared.clone();
             let shutdown = shutdown.clone();
-            let dropped = dropped.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name("dcws-frontend".into())
@@ -59,14 +124,13 @@ impl DcwsServer {
                                 break;
                             }
                             let Ok(stream) = stream else { continue };
-                            if let Err(crossbeam::channel::TrySendError::Full(mut s)) =
-                                tx.try_send(stream)
-                            {
-                                dropped.fetch_add(1, Ordering::Relaxed);
+                            if let Err(mut s) = shared.queue.try_push(stream) {
+                                shared.dropped.fetch_add(1, Ordering::Relaxed);
                                 let resp = Response::service_unavailable(RETRY_AFTER_SECS);
                                 let _ = s.write_all(&resp.to_bytes());
                             }
                         }
+                        shared.queue.close();
                     })
                     .expect("spawn front-end"),
             );
@@ -74,21 +138,21 @@ impl DcwsServer {
 
         // Worker threads.
         for i in 0..n_workers {
-            let rx = rx.clone();
-            let engine = engine.clone();
+            let shared = shared.clone();
             let shutdown = shutdown.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("dcws-worker-{i}"))
                     .spawn(move || {
-                        while let Ok(mut stream) = rx.recv() {
+                        while let Some(q) = shared.queue.pop() {
                             if shutdown.load(Ordering::Relaxed) {
                                 break;
                             }
+                            shared.metrics.queue_wait.record(q.enqueued_at.elapsed());
+                            let mut stream = q.item;
                             let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
                             let _ = stream.set_nodelay(true);
-                            let now = epoch.elapsed().as_millis() as u64;
-                            let _ = serve_connection(&engine, &mut stream, now);
+                            let _ = serve_connection(&shared, &mut stream);
                         }
                     })
                     .expect("spawn worker"),
@@ -97,7 +161,7 @@ impl DcwsServer {
 
         // Pinger / statistics thread.
         {
-            let engine = engine.clone();
+            let shared = shared.clone();
             let shutdown = shutdown.clone();
             threads.push(
                 std::thread::Builder::new()
@@ -105,36 +169,56 @@ impl DcwsServer {
                     .spawn(move || {
                         while !shutdown.load(Ordering::Relaxed) {
                             std::thread::sleep(control_interval);
-                            let now = epoch.elapsed().as_millis() as u64;
-                            let out = engine.lock().tick(now);
-                            run_tick_actions(&engine, out, now);
+                            let now = shared.now_ms();
+                            let out = shared.engine.lock().tick(now);
+                            run_tick_actions(&shared, out, now);
                         }
                     })
                     .expect("spawn pinger"),
             );
         }
 
-        Ok(DcwsServer { addr, engine, shutdown, threads, dropped })
+        Ok(DcwsServer {
+            shared,
+            shutdown,
+            threads,
+        })
     }
 
     /// The bound address.
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.shared.addr
     }
 
     /// This server's group identity (`host:port` of the bound address).
     pub fn server_id(&self) -> ServerId {
-        ServerId::new(format!("{}:{}", self.addr.ip(), self.addr.port()))
+        ServerId::new(format!(
+            "{}:{}",
+            self.shared.addr.ip(),
+            self.shared.addr.port()
+        ))
     }
 
     /// Shared engine handle (lock to publish documents or read stats).
-    pub fn engine(&self) -> &Arc<Mutex<ServerEngine>> {
-        &self.engine
+    pub fn engine(&self) -> &Mutex<ServerEngine> {
+        &self.shared.engine
     }
 
     /// Connections dropped with 503 by the front end so far.
     pub fn dropped_connections(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The transport latency histograms (queue wait + service time).
+    pub fn metrics(&self) -> &TransportMetrics {
+        &self.shared.metrics
+    }
+
+    /// The document served at `/dcws/status`: engine counters, derived
+    /// rates, GLT view, active migrations, hot documents, recent events,
+    /// and this host's transport section (histograms, queue, drops).
+    pub fn status_json(&self) -> Json {
+        self.shared.status_json()
     }
 
     /// Stop all threads and wait for them.
@@ -147,8 +231,10 @@ impl DcwsServer {
 
     fn stop(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        // Unblock the acceptor.
-        let _ = TcpStream::connect(self.addr);
+        // Unblock the acceptor (it then closes the queue, unblocking
+        // the workers).
+        let _ = TcpStream::connect(self.shared.addr);
+        self.shared.queue.close();
     }
 }
 
@@ -165,11 +251,7 @@ impl Drop for DcwsServer {
 /// close, or speaks HTTP/1.0 (persistent connections are the HTTP/1.1
 /// default; the benchmark clients open one connection per transfer, as
 /// the paper's CPS metric assumes, but real browsers keep alive).
-fn serve_connection(
-    engine: &Arc<Mutex<ServerEngine>>,
-    stream: &mut TcpStream,
-    now: u64,
-) -> std::io::Result<()> {
+fn serve_connection(shared: &Arc<Shared>, stream: &mut TcpStream) -> std::io::Result<()> {
     loop {
         let req = match read_request(stream) {
             Ok(Some(req)) => req,
@@ -183,14 +265,16 @@ fn serve_connection(
             }
             Err(e) => return Err(e),
         };
+        let started = Instant::now();
         let keep_alive = req.version == dcws_http::Version::Http11
             && !req
                 .headers
                 .get("Connection")
                 .is_some_and(|c| c.eq_ignore_ascii_case("close"));
         let method = req.method;
-        let resp = serve_one(engine, req, now)?;
+        let resp = serve_one(shared, req)?;
         write_response(stream, &resp, method)?;
+        shared.metrics.service_time.record(started.elapsed());
         if !keep_alive {
             return Ok(());
         }
@@ -198,20 +282,24 @@ fn serve_connection(
 }
 
 /// Produce the response for one request, performing any lazy pull.
-fn serve_one(
-    engine: &Arc<Mutex<ServerEngine>>,
-    req: dcws_http::Request,
-    now: u64,
-) -> std::io::Result<Response> {
-    let outcome = engine.lock().handle_request(&req, now);
+fn serve_one(shared: &Arc<Shared>, req: dcws_http::Request) -> std::io::Result<Response> {
+    // Reserved introspection namespace: answered by the transport, never
+    // entering the engine's document path.
+    if let Ok(url) = req.url() {
+        if is_reserved_path(url.path()) {
+            return Ok(shared.reserved_response(url.path()));
+        }
+    }
+    let now = shared.now_ms();
+    let outcome = shared.engine.lock().handle_request(&req, now);
     let resp = match outcome {
         Outcome::Response(r) => r,
         Outcome::FetchNeeded { home, path } => {
             // Lazy physical migration (§4.2): pull from home, store, retry.
-            let pull = engine.lock().make_pull_request(&path, now);
+            let pull = shared.engine.lock().make_pull_request(&path, now);
             match fetch_from_timeout(&home, &pull, READ_TIMEOUT) {
                 Ok(pull_resp) => {
-                    let mut eng = engine.lock();
+                    let mut eng = shared.engine.lock();
                     if eng.store_pulled(&home, &path, &pull_resp, now) {
                         match eng.handle_request(&req, now) {
                             Outcome::Response(r) => r,
@@ -235,10 +323,10 @@ fn serve_one(
 }
 
 /// Perform the network side of a tick: pings, validations, eager pushes.
-fn run_tick_actions(engine: &Arc<Mutex<ServerEngine>>, out: dcws_core::TickOutput, now: u64) {
+fn run_tick_actions(shared: &Arc<Shared>, out: dcws_core::TickOutput, now: u64) {
     for (peer, req) in out.pings {
         let result = fetch_from_timeout(&peer, &req, Duration::from_secs(2));
-        let mut eng = engine.lock();
+        let mut eng = shared.engine.lock();
         match result {
             Ok(resp) => {
                 eng.ping_result(&peer, true, Some(&resp.headers));
@@ -251,7 +339,10 @@ fn run_tick_actions(engine: &Arc<Mutex<ServerEngine>>, out: dcws_core::TickOutpu
     for (home, req) in out.validations {
         let path = req.target.clone();
         if let Ok(resp) = fetch_from_timeout(&home, &req, READ_TIMEOUT) {
-            engine.lock().handle_validation_response(&home, &path, &resp, now);
+            shared
+                .engine
+                .lock()
+                .handle_validation_response(&home, &path, &resp, now);
         }
     }
     for (coop, req) in out.pushes {

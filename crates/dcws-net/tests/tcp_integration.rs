@@ -88,8 +88,8 @@ fn migration_redirect_and_pull_over_tcp() {
         Duration::from_millis(25),
     )
     .unwrap();
-    let home = DcwsServer::spawn(home_engine, &home_id.to_string(), Duration::from_millis(25))
-        .unwrap();
+    let home =
+        DcwsServer::spawn(home_engine, &home_id.to_string(), Duration::from_millis(25)).unwrap();
 
     // Hammer the home server so it decides to migrate /d.html.
     for _ in 0..60 {
@@ -149,8 +149,11 @@ fn graceful_503_when_socket_queue_full() {
     // Subsequent connections must be dropped gracefully with 503.
     let got_503 = wait_for(Duration::from_secs(3), || {
         use std::io::Read;
-        let Ok(mut s) = std::net::TcpStream::connect(addr) else { return false };
-        s.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+        let Ok(mut s) = std::net::TcpStream::connect(addr) else {
+            return false;
+        };
+        s.set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
         let mut buf = Vec::new();
         let _ = s.read_to_end(&mut buf);
         String::from_utf8_lossy(&buf).starts_with("HTTP/1.1 503")
@@ -175,12 +178,23 @@ fn pinger_declares_dead_coop_and_recalls_documents() {
     let coop_id = ServerId::new(format!("127.0.0.1:{p_coop}"));
 
     let mut home_engine = engine(&home_id, cfg.clone());
-    home_engine.publish("/index.html", br#"<a href="/d.html">D</a>"#.to_vec(), DocKind::Html, true);
+    home_engine.publish(
+        "/index.html",
+        br#"<a href="/d.html">D</a>"#.to_vec(),
+        DocKind::Html,
+        true,
+    );
     home_engine.publish("/d.html", b"<p>D</p>".to_vec(), DocKind::Html, false);
     home_engine.add_peer(coop_id.clone());
 
-    let coop = DcwsServer::spawn(engine(&coop_id, cfg.clone()), &coop_id.to_string(), Duration::from_millis(25)).unwrap();
-    let home = DcwsServer::spawn(home_engine, &home_id.to_string(), Duration::from_millis(25)).unwrap();
+    let coop = DcwsServer::spawn(
+        engine(&coop_id, cfg.clone()),
+        &coop_id.to_string(),
+        Duration::from_millis(25),
+    )
+    .unwrap();
+    let home =
+        DcwsServer::spawn(home_engine, &home_id.to_string(), Duration::from_millis(25)).unwrap();
 
     for _ in 0..60 {
         let _ = fetch_from(&home_id, &Request::get("/d.html"));
@@ -206,6 +220,123 @@ fn pinger_declares_dead_coop_and_recalls_documents() {
     let r = fetch_from(&home_id, &Request::get("/d.html")).unwrap();
     assert_eq!(r.status, StatusCode::Ok);
     home.shutdown();
+}
+
+#[test]
+fn status_endpoint_reports_engine_and_transport_state() {
+    use dcws_core::Json;
+
+    // Same two-server topology as the migration test: the status document
+    // is checked after a real migrate → redirect → pull sequence so every
+    // section has non-trivial content.
+    let l1 = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let p_home = l1.local_addr().unwrap().port();
+    let l2 = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let p_coop = l2.local_addr().unwrap().port();
+    drop((l1, l2));
+    let home_id = ServerId::new(format!("127.0.0.1:{p_home}"));
+    let coop_id = ServerId::new(format!("127.0.0.1:{p_coop}"));
+
+    let mut home_engine = engine(&home_id, fast_config());
+    home_engine.publish(
+        "/index.html",
+        br#"<a href="/d.html">D</a>"#.to_vec(),
+        DocKind::Html,
+        true,
+    );
+    home_engine.publish(
+        "/d.html",
+        b"<p>payload-D</p>".to_vec(),
+        DocKind::Html,
+        false,
+    );
+    home_engine.add_peer(coop_id.clone());
+
+    let coop = DcwsServer::spawn(
+        engine(&coop_id, fast_config()),
+        &coop_id.to_string(),
+        Duration::from_millis(25),
+    )
+    .unwrap();
+    let home =
+        DcwsServer::spawn(home_engine, &home_id.to_string(), Duration::from_millis(25)).unwrap();
+
+    for _ in 0..60 {
+        let r = fetch_from(&home_id, &Request::get("/d.html")).unwrap();
+        assert!(r.status.is_success() || r.status.is_redirect());
+    }
+    assert!(wait_for(Duration::from_secs(5), || {
+        home.engine().lock().stats().migrations >= 1
+    }));
+    // Follow the redirect so the co-op pulls and serves the document.
+    let url = Url::absolute("127.0.0.1", p_home, "/d.html").unwrap();
+    let (resp, _) = fetch(&url, 3).unwrap();
+    assert_eq!(resp.status, StatusCode::Ok);
+
+    // The reserved endpoint answers with valid JSON.
+    let resp = fetch_from(&home_id, &Request::get(dcws_http::STATUS_PATH)).unwrap();
+    assert_eq!(resp.status, StatusCode::Ok);
+    assert_eq!(resp.headers.get("Content-Type"), Some("application/json"));
+    let doc = Json::parse(&String::from_utf8_lossy(&resp.body)).expect("valid JSON");
+
+    // Every EngineStats counter appears under "stats" and matches the
+    // engine's live value (stats only move forward, so re-read and allow
+    // growth from requests that raced the fetch).
+    let before = home.engine().lock().stats();
+    let stats = doc.get("stats").expect("stats section");
+    for (name, value) in before.fields() {
+        let reported = stats
+            .get(name)
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("counter {name} missing from /dcws/status"));
+        assert!(
+            reported <= value,
+            "counter {name}: reported {reported} > live {value}"
+        );
+    }
+    assert!(stats.get("migrations").unwrap().as_u64().unwrap() >= 1);
+    assert!(stats.get("pulls_served").unwrap().as_u64().unwrap() >= 1);
+    assert!(stats.get("redirects").unwrap().as_u64().unwrap() >= 1);
+
+    // Identity, GLT, and the event ring reflect the scenario.
+    assert_eq!(
+        doc.get("server").unwrap().as_str().unwrap(),
+        home_id.to_string()
+    );
+    let glt = doc.get("glt").unwrap().as_arr().unwrap();
+    let coop_name = coop_id.to_string();
+    assert!(
+        glt.iter()
+            .any(|p| p.get("server").and_then(|s| s.as_str()) == Some(coop_name.as_str())),
+        "co-op missing from GLT section"
+    );
+    let events = doc.get("events").unwrap();
+    assert!(events.get("total").unwrap().as_u64().unwrap() >= 1);
+    let recent = events.get("recent").unwrap().as_arr().unwrap();
+    assert!(
+        recent
+            .iter()
+            .any(|e| e.get("kind").and_then(|k| k.as_str()) == Some("migration_started")),
+        "migration_started not in recent events"
+    );
+
+    // The transport section carries the service-time histogram; every
+    // request above passed through the worker pool.
+    let service = doc.get("transport").unwrap().get("service_time").unwrap();
+    assert!(service.get("count").unwrap().as_u64().unwrap() >= 60);
+    assert!(service.get("p50_us").unwrap().as_u64().is_some());
+    assert!(service.get("p95_us").unwrap().as_u64().is_some());
+    assert!(service.get("p99_us").unwrap().as_u64().is_some());
+
+    // Reserved paths other than /dcws/status are 404, and the namespace
+    // never shadows documents.
+    let r = fetch_from(&home_id, &Request::get("/dcws/nope")).unwrap();
+    assert_eq!(r.status, StatusCode::NotFound);
+    let r = fetch_from(&home_id, &Request::get("/index.html")).unwrap();
+    assert_eq!(r.status, StatusCode::Ok);
+
+    home.shutdown();
+    coop.shutdown();
 }
 
 #[test]

@@ -6,8 +6,11 @@ fn main() {
     let accel: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(10);
     let ds = args.get(5).map(|s| s.as_str()).unwrap_or("lod");
     let mut cfg = dcws_sim::SimConfig::paper(
-        dcws_workloads::Dataset::by_name(ds, 1).unwrap(), n_servers, n_clients)
-        .accelerate(accel);
+        dcws_workloads::Dataset::by_name(ds, 1).unwrap(),
+        n_servers,
+        n_clients,
+    )
+    .accelerate(accel);
     cfg.duration_ms = dur;
     cfg.sample_interval_ms = 10_000;
     let t0 = std::time::Instant::now();
@@ -15,7 +18,17 @@ fn main() {
     println!("wall={:?} migrations={} remig/revoc={} regens={} redirects={} completed={} drops={} failures={} sessions={}",
         t0.elapsed(), r.migrations, r.revocations, r.regenerations, r.totals.redirects, r.totals.completed, r.totals.drops, r.totals.failures, r.totals.sessions);
     for s in &r.samples {
-        println!("t={}ms cps={:.0} bps={:.0} drops/s={:.0} redir/s={:.0} per_server={:?}", s.t_ms, s.cps, s.bps, s.drops_per_sec, s.redirects_per_sec,
-            s.per_server_cps.iter().map(|c| *c as u64).collect::<Vec<_>>());
+        println!(
+            "t={}ms cps={:.0} bps={:.0} drops/s={:.0} redir/s={:.0} per_server={:?}",
+            s.t_ms,
+            s.cps,
+            s.bps,
+            s.drops_per_sec,
+            s.redirects_per_sec,
+            s.per_server_cps
+                .iter()
+                .map(|c| *c as u64)
+                .collect::<Vec<_>>()
+        );
     }
 }

@@ -10,7 +10,7 @@ use crate::config::SimConfig;
 use crate::event::{Delivery, Event, EventQueue, Origin, Purpose, SimTime};
 use crate::metrics::{Counters, Sample, SimResult};
 use dcws_baselines::{CentralRouter, RoundRobinDns, Strategy};
-use dcws_core::{MemStore, Outcome, ServerEngine};
+use dcws_core::{EventRecord, MemStore, Outcome, ServerEngine};
 use dcws_graph::{DocKind, ServerId};
 use dcws_http::{Request, Response, StatusCode, Url};
 use dcws_workloads::{materialize::materialize, PageKind};
@@ -42,7 +42,10 @@ struct ServerSt {
 
 #[derive(Debug, Clone)]
 enum CacheEntry {
-    Html { anchors: Vec<String>, embeds: Vec<String> },
+    Html {
+        anchors: Vec<String>,
+        embeds: Vec<String>,
+    },
     Other,
 }
 
@@ -103,6 +106,10 @@ pub struct SimCluster {
     parse_cache: HashMap<(String, u64), (Vec<String>, Vec<String>)>,
     /// Access log accumulated when `record_trace` is set.
     trace_out: Vec<crate::trace::TraceEvent>,
+    /// Engine events drained from every server at each sample point
+    /// (so the bounded per-engine ring never overflows between samples),
+    /// tagged with the server index.
+    engine_events: Vec<(usize, EventRecord)>,
     /// Outstanding open-loop replay fetches: token -> (client, redirects left).
     replay_pending: HashMap<u64, (usize, u32)>,
     replay_next_token: u64,
@@ -169,7 +176,11 @@ impl SimCluster {
 
         // Distribute the dataset.
         let replicated = cfg.strategy.replicated();
-        let targets: Vec<usize> = if replicated { (0..servers.len()).collect() } else { vec![0] };
+        let targets: Vec<usize> = if replicated {
+            (0..servers.len()).collect()
+        } else {
+            vec![0]
+        };
         for &t in &targets {
             for doc in &cfg.dataset.docs {
                 let kind = match doc.kind {
@@ -182,8 +193,12 @@ impl SimCluster {
             }
         }
 
-        let id_to_idx: HashMap<ServerId, usize> =
-            ids.iter().cloned().enumerate().map(|(i, id)| (id, i)).collect();
+        let id_to_idx: HashMap<ServerId, usize> = ids
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, id)| (id, i))
+            .collect();
 
         // Entry-point URLs always name the home server (server 0); for
         // replicated strategies routing overrides the host anyway.
@@ -244,6 +259,7 @@ impl SimCluster {
             crashes,
             parse_cache: HashMap::new(),
             trace_out: Vec::new(),
+            engine_events: Vec::new(),
             replay_pending: HashMap::new(),
             replay_next_token: 0,
         }
@@ -255,8 +271,10 @@ impl SimCluster {
         // Prime the schedule: ticks, samples, staggered client starts,
         // crashes.
         for s in 0..self.servers.len() {
-            self.queue
-                .push(self.cfg.tick_interval_ms * 1_000, Event::ServerTick { server: s });
+            self.queue.push(
+                self.cfg.tick_interval_ms * 1_000,
+                Event::ServerTick { server: s },
+            );
         }
         self.queue
             .push(self.cfg.sample_interval_ms * 1_000, Event::Sample);
@@ -304,26 +322,40 @@ impl SimCluster {
         srv.in_service = None;
         // Connections die: every queued requester sees a failure.
         let dead: Vec<(Request, Origin)> = srv.queue.drain(..).collect();
-        let parked: Vec<(Request, Origin)> =
-            srv.parked.drain().flat_map(|(_, v)| v).collect();
+        let parked: Vec<(Request, Origin)> = srv.parked.drain().flat_map(|(_, v)| v).collect();
         for (_, origin) in dead.into_iter().chain(parked) {
             self.queue.push(
                 self.now + 1,
-                Event::Deliver { origin, delivery: Delivery::Failed, from: FROM_NONE },
+                Event::Deliver {
+                    origin,
+                    delivery: Delivery::Failed,
+                    from: FROM_NONE,
+                },
             );
         }
     }
 
-    fn finish(self) -> SimResult {
+    fn finish(mut self) -> SimResult {
         let mut regenerations = 0;
         let mut migrations = 0;
         let mut revocations = 0;
-        for s in &self.servers {
+        for (i, s) in self.servers.iter_mut().enumerate() {
             let st = s.engine.stats();
             regenerations += st.regenerations;
             migrations += st.migrations;
             revocations += st.revocations;
+            let tail: Vec<(usize, EventRecord)> = s
+                .engine
+                .drain_events()
+                .into_iter()
+                .map(|r| (i, r))
+                .collect();
+            self.engine_events.extend(tail);
         }
+        // Causal order across the cluster: engine time, then server, then
+        // each engine's own sequence number.
+        self.engine_events
+            .sort_by_key(|(srv, r)| (r.t_ms, *srv, r.seq));
         SimResult {
             samples: self.samples,
             totals: self.counters,
@@ -336,14 +368,23 @@ impl SimCluster {
             } else {
                 None
             },
+            engine_events: self.engine_events,
         }
     }
 
     fn handle(&mut self, ev: Event) {
         match ev {
-            Event::RequestArrive { server, req, origin } => self.request_arrive(server, req, origin),
+            Event::RequestArrive {
+                server,
+                req,
+                origin,
+            } => self.request_arrive(server, req, origin),
             Event::ServiceDone { server } => self.service_done(server),
-            Event::Deliver { origin, delivery, from } => self.deliver(origin, delivery, from),
+            Event::Deliver {
+                origin,
+                delivery,
+                from,
+            } => self.deliver(origin, delivery, from),
             Event::ServerTick { server } => self.server_tick(server),
             Event::ClientWake { client } => self.client_wake(client),
             Event::Sample => self.sample(),
@@ -367,7 +408,11 @@ impl SimCluster {
         if srv.crashed {
             self.queue.push(
                 self.now + latency,
-                Event::Deliver { origin, delivery: Delivery::Failed, from: FROM_NONE },
+                Event::Deliver {
+                    origin,
+                    delivery: Delivery::Failed,
+                    from: FROM_NONE,
+                },
             );
             return;
         }
@@ -377,7 +422,11 @@ impl SimCluster {
             let resp = Response::service_unavailable(1);
             self.queue.push(
                 self.now + latency + self.cfg.cost.drop_cpu_us,
-                Event::Deliver { origin, delivery: Delivery::Response(resp), from: server },
+                Event::Deliver {
+                    origin,
+                    delivery: Delivery::Response(resp),
+                    from: server,
+                },
             );
             return;
         }
@@ -391,7 +440,9 @@ impl SimCluster {
         let now_ms = self.now / 1_000;
         let cost = self.cfg.cost.clone();
         let srv = &mut self.servers[server];
-        let Some((req, origin)) = srv.queue.pop_front() else { return };
+        let Some((req, origin)) = srv.queue.pop_front() else {
+            return;
+        };
         let regen_before = srv.engine.stats().regenerations;
         let outcome = srv.engine.handle_request(&req, now_ms);
         let regens = srv.engine.stats().regenerations - regen_before;
@@ -419,7 +470,10 @@ impl SimCluster {
                         req: pull,
                         origin: Origin::Server {
                             id: server,
-                            purpose: Purpose::Pull { home: home.clone(), path },
+                            purpose: Purpose::Pull {
+                                home: home.clone(),
+                                path,
+                            },
                         },
                     };
                     match home_idx {
@@ -468,7 +522,11 @@ impl SimCluster {
             self.switch_free_at = sw_end;
             self.queue.push(
                 sw_end + cost.latency_us,
-                Event::Deliver { origin, delivery: Delivery::Response(resp), from: server },
+                Event::Deliver {
+                    origin,
+                    delivery: Delivery::Response(resp),
+                    from: server,
+                },
             );
         }
         if !self.servers[server].queue.is_empty() {
@@ -488,7 +546,10 @@ impl SimCluster {
                         Event::RequestArrive {
                             server: idx,
                             req,
-                            origin: Origin::Server { id: server, purpose: Purpose::Ping { peer } },
+                            origin: Origin::Server {
+                                id: server,
+                                purpose: Purpose::Ping { peer },
+                            },
                         },
                     );
                 }
@@ -516,7 +577,10 @@ impl SimCluster {
                         Event::RequestArrive {
                             server: idx,
                             req,
-                            origin: Origin::Server { id: server, purpose: Purpose::Push },
+                            origin: Origin::Server {
+                                id: server,
+                                purpose: Purpose::Push,
+                            },
                         },
                     );
                 }
@@ -529,8 +593,12 @@ impl SimCluster {
     }
 
     fn router_start(&mut self) {
-        let Some(router) = self.router.as_mut() else { return };
-        let Some((req, origin)) = self.router_queue.pop_front() else { return };
+        let Some(router) = self.router.as_mut() else {
+            return;
+        };
+        let Some((req, origin)) = self.router_queue.pop_front() else {
+            return;
+        };
         let backend = router.forward();
         let cpu = router.forward_cpu_us;
         let idx = self.id_to_idx[&backend];
@@ -538,13 +606,21 @@ impl SimCluster {
         // after that plus a hop.
         self.queue.push(
             self.now + cpu + self.cfg.cost.latency_us,
-            Event::RequestArrive { server: idx, req, origin },
+            Event::RequestArrive {
+                server: idx,
+                req,
+                origin,
+            },
         );
         // Model the router CPU as serial: next forward after `cpu`.
         self.router_busy = true;
         let n = self.servers.len();
-        self.queue
-            .push(self.now + cpu, Event::ServiceDone { server: router_idx(n) });
+        self.queue.push(
+            self.now + cpu,
+            Event::ServiceDone {
+                server: router_idx(n),
+            },
+        );
     }
 
     // --------------------------------------------------------------- delivery
@@ -605,7 +681,8 @@ impl SimCluster {
                 if redirects_left > 0 {
                     if let Some(loc) = resp.location() {
                         if loc.is_absolute() {
-                            self.replay_pending.insert(token, (client, redirects_left - 1));
+                            self.replay_pending
+                                .insert(token, (client, redirects_left - 1));
                             self.send_client_request(client, &loc, token);
                         }
                     }
@@ -792,7 +869,10 @@ impl SimCluster {
         c.next_token += 1;
         c.pending_doc = Some((
             token,
-            PendingFetch { url: url.clone(), redirects_left: self.cfg.client.max_redirects },
+            PendingFetch {
+                url: url.clone(),
+                redirects_left: self.cfg.client.max_redirects,
+            },
         ));
         c.state = CState::AwaitDoc;
         self.send_client_request(client, &url, token);
@@ -805,7 +885,9 @@ impl SimCluster {
             if c.images_pending.len() >= helpers {
                 break;
             }
-            let Some(next) = c.images_queue.pop_front() else { break };
+            let Some(next) = c.images_queue.pop_front() else {
+                break;
+            };
             if self.cfg.client.cache_enabled && c.cache.contains_key(&next) {
                 continue;
             }
@@ -814,7 +896,10 @@ impl SimCluster {
             c.next_token += 1;
             c.images_pending.insert(
                 token,
-                PendingFetch { url: url.clone(), redirects_left: self.cfg.client.max_redirects },
+                PendingFetch {
+                    url: url.clone(),
+                    redirects_left: self.cfg.client.max_redirects,
+                },
             );
             self.send_client_request(client, &url, token);
         }
@@ -894,7 +979,8 @@ impl SimCluster {
                 c.backoff_pow = (c.backoff_pow + 1).min(self.cfg.client.max_backoff_pow);
                 c.state = CState::NewSession;
                 let delay = self.backoff_us(client, pow);
-                self.queue.push(self.now + delay, Event::ClientWake { client });
+                self.queue
+                    .push(self.now + delay, Event::ClientWake { client });
                 return;
             }
             Delivery::Response(r) => r,
@@ -960,7 +1046,9 @@ impl SimCluster {
                             let mut anchors = Vec::new();
                             let mut embeds = Vec::new();
                             for l in dcws_html::extract_links(&html) {
-                                let Ok(abs) = final_url.join(&l.url) else { continue };
+                                let Ok(abs) = final_url.join(&l.url) else {
+                                    continue;
+                                };
                                 let s = abs.to_string();
                                 match l.kind {
                                     dcws_html::LinkKind::Hyperlink => anchors.push(s),
@@ -975,7 +1063,10 @@ impl SimCluster {
                         }
                     };
                     let c = &mut self.clients[client];
-                    let entry = CacheEntry::Html { anchors: anchors.clone(), embeds: embeds.clone() };
+                    let entry = CacheEntry::Html {
+                        anchors: anchors.clone(),
+                        embeds: embeds.clone(),
+                    };
                     c.cache.insert(final_url.to_string(), entry.clone());
                     if let Some(req_key) = requested {
                         c.cache.insert(req_key, entry);
@@ -1126,11 +1217,15 @@ impl SimCluster {
         self.last_counters = self.counters;
         let mut per_server_cps = Vec::with_capacity(self.servers.len());
         let mut migrations_total = 0;
-        for (i, s) in self.servers.iter().enumerate() {
+        for (i, s) in self.servers.iter_mut().enumerate() {
             let served = s.engine.stats().served_total();
             per_server_cps.push((served - self.last_server_served[i]) as f64 / dt_s);
             self.last_server_served[i] = served;
             migrations_total += s.engine.stats().migrations;
+            // Drain the bounded per-engine ring every sample so long runs
+            // never overflow it between observations.
+            self.engine_events
+                .extend(s.engine.drain_events().into_iter().map(|r| (i, r)));
         }
         self.samples.push(Sample {
             t_ms: self.now / 1_000,

@@ -11,7 +11,7 @@
 //! documents, ≈ 12.5 MB/s NIC-bound on Sequoia-sized ones).
 
 /// Resource costs for the simulated cluster.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Server CPU per connection: TCP setup/teardown + HTTP parsing, µs.
     pub conn_cpu_us: u64,

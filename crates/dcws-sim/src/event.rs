@@ -156,7 +156,11 @@ impl EventQueue {
     /// Schedule `event` at absolute time `at`.
     pub fn push(&mut self, at: SimTime, event: Event) {
         self.seq += 1;
-        self.heap.push(Scheduled { at, seq: self.seq, event });
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
     }
 
     /// Pop the earliest event, if any.

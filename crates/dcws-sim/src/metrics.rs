@@ -1,7 +1,12 @@
-//! Metric collection and reduction — the CPS/BPS measures of §5.3.
+//! Metric collection and reduction — the CPS/BPS measures of §5.3 —
+//! plus the merged engine event trace for causal analysis.
+
+use dcws_core::EventRecord;
+use std::io::Write;
+use std::path::Path;
 
 /// Raw cluster counters, monotonic.
-#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Counters {
     /// Successful (200) client-side completions.
     pub completed: u64,
@@ -18,7 +23,7 @@ pub struct Counters {
 }
 
 /// One sampling point (the paper samples every 10 s).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Sample {
     /// Sample time, ms.
     pub t_ms: u64,
@@ -37,7 +42,7 @@ pub struct Sample {
 }
 
 /// Result of one simulation run.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct SimResult {
     /// Time series, one entry per sample interval.
     pub samples: Vec<Sample>,
@@ -53,8 +58,13 @@ pub struct SimResult {
     pub duration_ms: u64,
     /// The access log recorded during the run, when
     /// [`crate::SimConfig::record_trace`] was set.
-    #[serde(skip)]
     pub trace: Option<crate::trace::Trace>,
+    /// Every [`EngineEvent`](dcws_core::EngineEvent) emitted by every
+    /// server during the run, tagged with the server index and merged in
+    /// causal order (engine time, then server, then per-engine sequence).
+    /// Lets a single dump answer "which migration caused that CPS dip" —
+    /// the cross-server causality the per-figure CSVs cannot show.
+    pub engine_events: Vec<(usize, EventRecord)>,
 }
 
 impl SimResult {
@@ -92,10 +102,34 @@ impl SimResult {
         tail.iter().map(f).sum::<f64>() / tail.len() as f64
     }
 
+    /// Write the merged engine event trace as CSV, one line per event:
+    /// `t_ms,server,seq,kind,detail`. Event details are comma-free by
+    /// construction (see `dcws_core::events`), so the format needs no
+    /// quoting and loads into any spreadsheet or plotting tool next to
+    /// the per-figure CSVs.
+    pub fn save_event_trace(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(f, "t_ms,server,seq,kind,detail")?;
+        for (server, r) in &self.engine_events {
+            writeln!(
+                f,
+                "{},{},{},{},{}",
+                r.t_ms,
+                server,
+                r.seq,
+                r.event.kind(),
+                r.event.detail()
+            )?;
+        }
+        f.flush()
+    }
+
     /// Coefficient of variation of per-server load in the final sample —
     /// the load-balance quality measure (0 = perfectly even).
     pub fn final_load_imbalance(&self) -> f64 {
-        let Some(last) = self.samples.last() else { return 0.0 };
+        let Some(last) = self.samples.last() else {
+            return 0.0;
+        };
         let v = &last.per_server_cps;
         if v.is_empty() {
             return 0.0;
@@ -138,6 +172,7 @@ mod tests {
             revocations: 0,
             duration_ms: cps.len() as u64 * 10_000,
             trace: None,
+            engine_events: Vec::new(),
         }
     }
 
@@ -154,6 +189,53 @@ mod tests {
         assert_eq!(r.peak_cps(), 0.0);
         assert_eq!(r.steady_cps(), 0.0);
         assert_eq!(r.final_load_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn event_trace_csv_round_trips_lines() {
+        use dcws_core::EngineEvent;
+        use dcws_graph::ServerId;
+        let mut r = result(&[1.0]);
+        r.engine_events = vec![
+            (
+                0,
+                EventRecord {
+                    seq: 0,
+                    t_ms: 1_000,
+                    event: EngineEvent::MigrationStarted {
+                        doc: "/hot.html".into(),
+                        coop: ServerId::new("s1:80"),
+                        self_load: 40.0,
+                        coop_load: 2.0,
+                    },
+                },
+            ),
+            (
+                1,
+                EventRecord {
+                    seq: 0,
+                    t_ms: 2_500,
+                    event: EngineEvent::PullServed {
+                        doc: "/hot.html".into(),
+                        coop: Some(ServerId::new("s0:80")),
+                    },
+                },
+            ),
+        ];
+        let path = std::env::temp_dir().join(format!("dcws-events-{}.csv", std::process::id()));
+        r.save_event_trace(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "t_ms,server,seq,kind,detail");
+        assert_eq!(lines.len(), 3);
+        // Exactly five comma-separated columns per line: details are
+        // comma-free by construction.
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), 5, "bad line: {line}");
+        }
+        assert!(lines[1].starts_with("1000,0,0,migration_started,"));
+        assert!(lines[2].starts_with("2500,1,0,pull_served,"));
     }
 
     #[test]

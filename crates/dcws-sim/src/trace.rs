@@ -71,11 +71,17 @@ impl Trace {
             let (Some(t), Some(c), Some(u)) = (parts.next(), parts.next(), parts.next()) else {
                 continue;
             };
-            let (Ok(t_ms), Ok(client)) = (t.parse(), c.parse()) else { continue };
+            let (Ok(t_ms), Ok(client)) = (t.parse(), c.parse()) else {
+                continue;
+            };
             if u.is_empty() {
                 continue;
             }
-            events.push(TraceEvent { t_ms, client, url: u.to_string() });
+            events.push(TraceEvent {
+                t_ms,
+                client,
+                url: u.to_string(),
+            });
         }
         Ok(Trace::new(events))
     }
@@ -101,9 +107,21 @@ mod tests {
 
     fn sample() -> Trace {
         Trace::new(vec![
-            TraceEvent { t_ms: 30, client: 1, url: "http://s0/b.html".into() },
-            TraceEvent { t_ms: 10, client: 0, url: "http://s0/a.html".into() },
-            TraceEvent { t_ms: 20, client: 0, url: "http://s0/i.gif".into() },
+            TraceEvent {
+                t_ms: 30,
+                client: 1,
+                url: "http://s0/b.html".into(),
+            },
+            TraceEvent {
+                t_ms: 10,
+                client: 0,
+                url: "http://s0/a.html".into(),
+            },
+            TraceEvent {
+                t_ms: 20,
+                client: 0,
+                url: "http://s0/i.gif".into(),
+            },
         ])
     }
 
@@ -129,8 +147,11 @@ mod tests {
     #[test]
     fn load_skips_malformed_lines() {
         let path = std::env::temp_dir().join(format!("dcws-trace-bad-{}.log", std::process::id()));
-        std::fs::write(&path, "10,0,http://s0/a.html\ngarbage\n,x,\n20,1,http://s0/b.html\n")
-            .unwrap();
+        std::fs::write(
+            &path,
+            "10,0,http://s0/a.html\ngarbage\n,x,\n20,1,http://s0/b.html\n",
+        )
+        .unwrap();
         let t = Trace::load(&path).unwrap();
         assert_eq!(t.len(), 2);
         let _ = std::fs::remove_file(&path);

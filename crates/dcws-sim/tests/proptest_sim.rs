@@ -7,14 +7,14 @@ use proptest::prelude::*;
 
 fn random_cfg() -> impl Strategy<Value = SimConfig> {
     (
-        1usize..4,          // servers
-        1usize..8,          // clients
-        5u64..25,           // duration (s)
-        2usize..30,         // pages
-        0usize..6,          // images
-        1usize..5,          // fanout
-        0usize..3,          // embeds per page
-        any::<u64>(),       // seed
+        1usize..4,    // servers
+        1usize..8,    // clients
+        5u64..25,     // duration (s)
+        2usize..30,   // pages
+        0usize..6,    // images
+        1usize..5,    // fanout
+        0usize..3,    // embeds per page
+        any::<u64>(), // seed
     )
         .prop_map(|(srv, cli, dur, pages, images, fanout, embeds, seed)| {
             let site = uniform_site(

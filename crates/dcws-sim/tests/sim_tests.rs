@@ -101,7 +101,9 @@ fn central_router_baseline_bottlenecks() {
     // Router at 1 ms/conn caps the cluster near 1000 CPS no matter how
     // many backends exist.
     let mut cfg = small_lod(8, 120, 40_000);
-    cfg.strategy = Strategy::CentralRouter { forward_cpu_us: 1_000 };
+    cfg.strategy = Strategy::CentralRouter {
+        forward_cpu_us: 1_000,
+    };
     let router = run_sim(cfg);
     let mut cfg = small_lod(8, 120, 40_000);
     cfg.strategy = Strategy::RoundRobinDns { ttl_ms: 10_000 };
@@ -130,15 +132,29 @@ fn load_spreads_across_servers() {
     let r = run_sim(warm_lod(4, 64, 120_000));
     let last = r.samples.last().unwrap();
     let busy = last.per_server_cps.iter().filter(|&&c| c > 1.0).count();
-    assert!(busy >= 3, "expected ≥3 busy servers, got {:?}", last.per_server_cps);
-    assert!(r.final_load_imbalance() < 1.5, "imbalance {}", r.final_load_imbalance());
+    assert!(
+        busy >= 3,
+        "expected ≥3 busy servers, got {:?}",
+        last.per_server_cps
+    );
+    assert!(
+        r.final_load_imbalance() < 1.5,
+        "imbalance {}",
+        r.final_load_imbalance()
+    );
 }
 
 #[test]
 fn synthetic_hotspot_concentrates_load() {
     // One shared image: whichever co-op hosts it saturates first.
     let site = uniform_site(
-        &SyntheticConfig { pages: 60, images: 1, embeds: 3, fanout: 4, ..Default::default() },
+        &SyntheticConfig {
+            pages: 60,
+            images: 1,
+            embeds: 3,
+            fanout: 4,
+            ..Default::default()
+        },
         7,
     );
     let mut cfg = SimConfig::paper(site, 4, 48).accelerate(10);
@@ -147,7 +163,11 @@ fn synthetic_hotspot_concentrates_load() {
     let r = run_sim(cfg);
     assert!(r.totals.completed > 100);
     // The hot image forces skew: imbalance should be visible.
-    assert!(r.final_load_imbalance() > 0.1, "imbalance {}", r.final_load_imbalance());
+    assert!(
+        r.final_load_imbalance() > 0.1,
+        "imbalance {}",
+        r.final_load_imbalance()
+    );
 }
 
 #[test]
@@ -205,8 +225,7 @@ fn trace_record_then_replay() {
     let mut rep = small_lod(2, 6, 21_000);
     rep.replay = Some(trace.clone());
     let replayed = run_sim(rep);
-    let answered =
-        replayed.totals.completed + replayed.totals.drops + replayed.totals.failures;
+    let answered = replayed.totals.completed + replayed.totals.drops + replayed.totals.failures;
     assert!(
         answered as f64 > 0.95 * trace.len() as f64,
         "answered {answered} of {} trace events",

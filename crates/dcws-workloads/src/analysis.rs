@@ -155,7 +155,11 @@ mod tests {
         assert!(a.hot_spots[0].embedded);
         assert!(a.hot_spots[0].referrers > 300);
         assert!(a.max_coverage > 0.9, "coverage {}", a.max_coverage);
-        assert!(a.useful_servers_bound() <= 16, "bound {}", a.useful_servers_bound());
+        assert!(
+            a.useful_servers_bound() <= 16,
+            "bound {}",
+            a.useful_servers_bound()
+        );
         assert!(a.verdict().contains("hot-spot limited"), "{}", a.verdict());
     }
 
@@ -174,7 +178,11 @@ mod tests {
         // No image is shared; the most-referenced doc is the index with a
         // modest share.
         assert!(a.hot_spots.iter().all(|h| !h.embedded), "{:?}", a.hot_spots);
-        assert!(a.useful_servers_bound() > 16, "bound {}", a.useful_servers_bound());
+        assert!(
+            a.useful_servers_bound() > 16,
+            "bound {}",
+            a.useful_servers_bound()
+        );
     }
 
     #[test]
@@ -182,7 +190,11 @@ mod tests {
         let a = analyze(&Dataset::sequoia(1), 2);
         assert!(a.hot_spots.is_empty());
         // Every raster is referenced by exactly one page (the index).
-        assert!(a.useful_servers_bound() > 100, "bound {}", a.useful_servers_bound());
+        assert!(
+            a.useful_servers_bound() > 100,
+            "bound {}",
+            a.useful_servers_bound()
+        );
     }
 
     #[test]

@@ -37,11 +37,25 @@ pub mod targets {
 }
 
 fn html(name: String, size: u64, entry: bool) -> DocSpec {
-    DocSpec { name, size, kind: PageKind::Html, anchors: vec![], embeds: vec![], entry_point: entry }
+    DocSpec {
+        name,
+        size,
+        kind: PageKind::Html,
+        anchors: vec![],
+        embeds: vec![],
+        entry_point: entry,
+    }
 }
 
 fn image(name: String, size: u64) -> DocSpec {
-    DocSpec { name, size, kind: PageKind::Image, anchors: vec![], embeds: vec![], entry_point: false }
+    DocSpec {
+        name,
+        size,
+        kind: PageKind::Image,
+        anchors: vec![],
+        embeds: vec![],
+        entry_point: false,
+    }
 }
 
 /// Calibration: add "see also" anchors from random HTML docs (indices in
@@ -100,7 +114,10 @@ impl Dataset {
         let mut docs: Vec<DocSpec> = Vec::with_capacity(targets::MAPUG_DOCS);
         // Button images, ~1 KB each.
         for b in BUTTONS {
-            docs.push(image(format!("/buttons/{b}.gif"), 900 + rng.gen_range(0..200)));
+            docs.push(image(
+                format!("/buttons/{b}.gif"),
+                900 + rng.gen_range(0..200),
+            ));
         }
         // Index pages. The main index and thread index are the published
         // entry points.
@@ -169,7 +186,11 @@ impl Dataset {
         docs[idx_index].anchors = thread_heads
             .iter()
             .map(|&h| msg_name(h))
-            .chain(["/threads.html".into(), "/dates.html".into(), "/authors.html".into()])
+            .chain([
+                "/threads.html".into(),
+                "/dates.html".into(),
+                "/authors.html".into(),
+            ])
             .collect();
         docs[idx_threads].anchors = thread_heads.iter().map(|&h| msg_name(h)).collect();
         docs[idx_dates].anchors = (0..n_msgs).map(msg_name).collect();
@@ -178,7 +199,13 @@ impl Dataset {
         // Calibrate links: extra "References:" anchors between messages.
         let sources: Vec<usize> = (first_msg_doc..docs.len()).collect();
         let candidates: Vec<String> = (0..n_msgs).map(msg_name).collect();
-        add_filler_links(&mut docs, &sources, &candidates, targets::MAPUG_LINKS, &mut rng);
+        add_filler_links(
+            &mut docs,
+            &sources,
+            &candidates,
+            targets::MAPUG_LINKS,
+            &mut rng,
+        );
         // Calibrate bytes over message bodies.
         pad_sizes(&mut docs, &sources, targets::MAPUG_BYTES);
 
@@ -233,13 +260,19 @@ impl Dataset {
             docs[o].anchors = (0..n_details).map(detail_name).collect();
             docs[o].embeds = vec![BAR.to_string(); 25];
         }
-        docs[1].anchors.extend(
-            ["/by_date.html", "/by_ip.html", "/by_dir.html"].map(String::from),
-        );
+        docs[1]
+            .anchors
+            .extend(["/by_date.html", "/by_ip.html", "/by_dir.html"].map(String::from));
 
         let sources: Vec<usize> = (first_detail..docs.len()).collect();
         let candidates: Vec<String> = (0..n_details).map(detail_name).collect();
-        add_filler_links(&mut docs, &sources, &candidates, targets::SBLOG_LINKS, &mut rng);
+        add_filler_links(
+            &mut docs,
+            &sources,
+            &candidates,
+            targets::SBLOG_LINKS,
+            &mut rng,
+        );
         pad_sizes(&mut docs, &sources, targets::SBLOG_BYTES);
 
         Dataset::new("sblog", docs)
@@ -282,10 +315,7 @@ impl Dataset {
             docs[d].embeds = (0..per_table)
                 .map(|k| image_name(t * per_table + k))
                 .collect();
-            docs[d].anchors = vec![
-                "/index.html".into(),
-                table_name((t + 1) % n_tables),
-            ];
+            docs[d].anchors = vec!["/index.html".into(), table_name((t + 1) % n_tables)];
         }
         // Index links to tables and a sample of content pages.
         docs[0].anchors = (0..n_tables)
@@ -295,10 +325,7 @@ impl Dataset {
         // Content pages: small nav cluster.
         for c in 0..n_content {
             let d = first_content + c;
-            let mut anchors = vec![
-                "/index.html".to_string(),
-                table_name(c % n_tables),
-            ];
+            let mut anchors = vec!["/index.html".to_string(), table_name(c % n_tables)];
             if c > 0 {
                 anchors.push(content_name(c - 1));
             }
@@ -310,7 +337,13 @@ impl Dataset {
 
         let sources: Vec<usize> = (first_content..docs.len()).collect();
         let candidates: Vec<String> = (0..n_content).map(content_name).collect();
-        add_filler_links(&mut docs, &sources, &candidates, targets::LOD_LINKS, &mut rng);
+        add_filler_links(
+            &mut docs,
+            &sources,
+            &candidates,
+            targets::LOD_LINKS,
+            &mut rng,
+        );
         let html_pool: Vec<usize> = (0..docs.len())
             .filter(|&i| docs[i].kind == PageKind::Html)
             .collect();
@@ -369,7 +402,10 @@ mod tests {
             .flat_map(|x| x.embeds.iter())
             .filter(|e| *e == "/buttons/next.gif")
             .count();
-        assert_eq!(refs_to_next, n_msgs, "hot-spot structure: button on every message");
+        assert_eq!(
+            refs_to_next, n_msgs,
+            "hot-spot structure: button on every message"
+        );
     }
 
     #[test]
@@ -421,10 +457,8 @@ mod tests {
         let large = sizes.len() - small;
         assert_eq!(small, 120);
         assert_eq!(large, 120);
-        let small_avg =
-            sizes.iter().filter(|&&s| s < 2_500).sum::<u64>() as f64 / small as f64;
-        let large_avg =
-            sizes.iter().filter(|&&s| s >= 2_500).sum::<u64>() as f64 / large as f64;
+        let small_avg = sizes.iter().filter(|&&s| s < 2_500).sum::<u64>() as f64 / small as f64;
+        let large_avg = sizes.iter().filter(|&&s| s >= 2_500).sum::<u64>() as f64 / large as f64;
         assert!(within(small_avg, 1_536.0, 10.0), "small avg {small_avg}");
         assert!(within(large_avg, 3_584.0, 10.0), "large avg {large_avg}");
     }

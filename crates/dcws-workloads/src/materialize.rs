@@ -70,13 +70,9 @@ fn materialize_image(spec: &DocSpec) -> Vec<u8> {
     out.extend_from_slice(b"GIF89a");
     // xorshift64 seeded by the document name, for cheap deterministic
     // "compressed-looking" bytes.
-    let mut state: u64 = spec
-        .name
-        .bytes()
-        .fold(0x9e37_79b9_7f4a_7c15u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
-        })
-        | 1;
+    let mut state: u64 = spec.name.bytes().fold(0x9e37_79b9_7f4a_7c15u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    }) | 1;
     while out.len() < n {
         state ^= state << 13;
         state ^= state >> 7;

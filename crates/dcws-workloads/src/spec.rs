@@ -65,7 +65,11 @@ impl Dataset {
             let prev = index.insert(d.name.clone(), i);
             assert!(prev.is_none(), "duplicate document name {}", d.name);
         }
-        Dataset { name: name.into(), docs, index }
+        Dataset {
+            name: name.into(),
+            docs,
+            index,
+        }
     }
 
     /// Construct one of the four paper datasets by name.

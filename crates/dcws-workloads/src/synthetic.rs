@@ -109,7 +109,11 @@ mod tests {
 
     #[test]
     fn hot_spot_regime_single_image() {
-        let cfg = SyntheticConfig { images: 1, embeds: 3, ..Default::default() };
+        let cfg = SyntheticConfig {
+            images: 1,
+            embeds: 3,
+            ..Default::default()
+        };
         let d = uniform_site(&cfg, 1);
         let shared: usize = d
             .docs
@@ -121,7 +125,11 @@ mod tests {
 
     #[test]
     fn no_images_config() {
-        let cfg = SyntheticConfig { images: 0, embeds: 5, ..Default::default() };
+        let cfg = SyntheticConfig {
+            images: 0,
+            embeds: 5,
+            ..Default::default()
+        };
         let d = uniform_site(&cfg, 1);
         assert_eq!(d.image_count(), 0);
         assert_eq!(d.check_links(), None);
@@ -137,6 +145,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one page")]
     fn zero_pages_panics() {
-        uniform_site(&SyntheticConfig { pages: 0, ..Default::default() }, 1);
+        uniform_site(
+            &SyntheticConfig {
+                pages: 0,
+                ..Default::default()
+            },
+            1,
+        );
     }
 }

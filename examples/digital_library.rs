@@ -33,7 +33,10 @@ fn main() {
     for metric in [BalanceMetric::Cps, BalanceMetric::Bps] {
         let r = run(metric);
         println!("balancing metric = {metric:?}");
-        println!("  {:>8} {:>10} {:>12} {:>12}", "t(s)", "CPS", "MB/s", "migrations");
+        println!(
+            "  {:>8} {:>10} {:>12} {:>12}",
+            "t(s)", "CPS", "MB/s", "migrations"
+        );
         for s in &r.samples {
             println!(
                 "  {:>8} {:>10.1} {:>12.2} {:>12}",

@@ -38,8 +38,10 @@ fn crowd(replication: bool) -> SimResult {
     cfg.client.cache_enabled = false;
     cfg.client.max_steps = 8;
     if replication {
-        cfg.server_config.hot_replication =
-            Some(HotReplication { hot_fraction: 0.15, max_replicas: 6 });
+        cfg.server_config.hot_replication = Some(HotReplication {
+            hot_fraction: 0.15,
+            max_replicas: 6,
+        });
     }
     run_sim(cfg)
 }
@@ -51,7 +53,10 @@ fn main() {
     let stock = crowd(false);
     let replicated = crowd(true);
 
-    println!("{:>10} {:>14} {:>18}", "t(s)", "stock CPS", "replicated CPS");
+    println!(
+        "{:>10} {:>14} {:>18}",
+        "t(s)", "stock CPS", "replicated CPS"
+    );
     for (a, b) in stock.samples.iter().zip(&replicated.samples) {
         println!("{:>10} {:>14.0} {:>18.0}", a.t_ms / 1000, a.cps, b.cps);
     }

@@ -66,8 +66,11 @@ fn main() {
         );
         eng.publish(
             "/report.html",
-            format!("<html><body>{} annual report, edition 1</body></html>", names[i])
-                .into_bytes(),
+            format!(
+                "<html><body>{} annual report, edition 1</body></html>",
+                names[i]
+            )
+            .into_bytes(),
             DocKind::Html,
             false,
         );

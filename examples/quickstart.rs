@@ -42,7 +42,8 @@ fn main() {
 
     // The home server publishes a tiny site: a well-known entry point and
     // two internal pages.
-    let mut home_engine = ServerEngine::new(home_id.clone(), cfg.clone(), Box::new(MemStore::new()));
+    let mut home_engine =
+        ServerEngine::new(home_id.clone(), cfg.clone(), Box::new(MemStore::new()));
     home_engine.publish(
         "/index.html",
         br#"<html><body><h1>Tiny Digital Library</h1>
@@ -126,10 +127,15 @@ fn main() {
 
     let hs = home.engine().lock().stats();
     let cs = coop.engine().lock().stats();
-    println!("\nhome  stats: {} served, {} redirects, {} migrations, {} pulls served",
-        hs.served_home, hs.redirects, hs.migrations, hs.pulls_served);
-    println!("co-op stats: {} served in co-op role, {} docs held",
-        cs.served_coop, coop.engine().lock().coop_doc_count());
+    println!(
+        "\nhome  stats: {} served, {} redirects, {} migrations, {} pulls served",
+        hs.served_home, hs.redirects, hs.migrations, hs.pulls_served
+    );
+    println!(
+        "co-op stats: {} served in co-op role, {} docs held",
+        cs.served_coop,
+        coop.engine().lock().coop_doc_count()
+    );
 
     home.shutdown();
     coop.shutdown();

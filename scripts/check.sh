@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full local quality gate: everything CI runs, in the same order.
+#
+#   scripts/check.sh            # build + test + fmt + clippy + doc
+#   scripts/check.sh --quick    # skip the release build (fastest loop)
+#
+# The workspace builds fully offline: every external dependency is a
+# vendored stub under vendor/ (see vendor/README.md), so no step here
+# needs the crates registry.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+step() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+if [[ $quick -eq 0 ]]; then
+    step cargo build --workspace --release
+fi
+step cargo test -q --workspace
+step cargo fmt --all --check
+step cargo clippy --workspace --all-targets -- -D warnings
+step env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo
+echo "All checks passed."

@@ -35,8 +35,7 @@ fn engine_ldg_matches_dataset_spec_for_all_corpora() {
             let entry = engine.ldg().get(&d.name).expect("published");
             // The engine intentionally drops self-links (a document does
             // not need rewriting when *it* migrates) and de-duplicates.
-            let mut expect: Vec<&str> =
-                d.all_links().filter(|l| *l != d.name).collect();
+            let mut expect: Vec<&str> = d.all_links().filter(|l| *l != d.name).collect();
             expect.sort();
             expect.dedup();
             let mut got: Vec<&str> = entry.link_to.iter().map(String::as_str).collect();
@@ -108,7 +107,10 @@ fn full_migration_cycle_on_real_corpus() {
         body.contains("http://coop:81/~migrate/home/80/buttons/next.gif"),
         "rewritten embed missing"
     );
-    assert!(body.contains("/buttons/prev.gif"), "unmigrated embeds untouched");
+    assert!(
+        body.contains("/buttons/prev.gif"),
+        "unmigrated embeds untouched"
+    );
 
     // Client redirected to the co-op; co-op pulls and serves the bytes.
     let mig_path = "/~migrate/home/80/buttons/next.gif";
@@ -118,7 +120,10 @@ fn full_migration_cycle_on_real_corpus() {
         panic!("co-op should need a pull");
     };
     let pull = coop.make_pull_request(&path, 10_002);
-    let pull_resp = home.handle_request(&pull, 10_002).into_response().expect("pull served");
+    let pull_resp = home
+        .handle_request(&pull, 10_002)
+        .into_response()
+        .expect("pull served");
     assert!(coop.store_pulled(&h, &path, &pull_resp, 10_002));
     let served = coop
         .handle_request(&Request::get(mig_path), 10_003)

@@ -1,0 +1,225 @@
+//! Offline stand-in for the subset of the `criterion` crate used by this
+//! workspace's micro-benchmarks.
+//!
+//! The CI environment has no access to the crates registry, so the
+//! workspace vendors a minimal wall-clock harness with criterion's
+//! surface API: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`Throughput`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. It reports mean ns/iter (plus throughput
+//! when configured) to stdout; there is no statistical analysis, HTML
+//! report, or saved baseline.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units of work per iteration, used to derive a throughput figure.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to each benchmark closure; [`iter`](Bencher::iter) measures one
+/// routine.
+pub struct Bencher {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Mean nanoseconds per iteration, filled in by `iter`.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring for roughly the
+    /// configured measurement window (capped at 10k iterations).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_end {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < 10 || (start.elapsed() < self.measurement_time && iters < 10_000) {
+            black_box(routine());
+            iters += 1;
+        }
+        let total = start.elapsed();
+        self.iters = iters;
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn report(id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let per_iter = b.mean_ns;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(
+            "  {:>10.1} MiB/s",
+            n as f64 / (per_iter / 1e9) / (1024.0 * 1024.0)
+        ),
+        Throughput::Elements(n) => format!("  {:>10.0} elem/s", n as f64 / (per_iter / 1e9)),
+    });
+    println!(
+        "{id:<40} {per_iter:>12.0} ns/iter ({} iters){}",
+        b.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Benchmark driver; configure with the builder methods, then register
+/// functions via [`bench_function`](Criterion::bench_function) or
+/// [`benchmark_group`](Criterion::benchmark_group).
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the per-benchmark measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for compatibility; this harness sizes runs by time, not
+    /// sample count.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            measurement_time: self.measurement,
+            warm_up_time: self.warm_up,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(id, &b, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive a rate for subsequent
+    /// benchmarks in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for compatibility; this harness sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            measurement_time: self.criterion.measurement,
+            warm_up_time: self.criterion.warm_up,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("noop2", |b| b.iter(|| black_box(2 + 2)));
+        g.finish();
+    }
+
+    criterion_group!(trivial, run_one);
+
+    fn run_one(c: &mut Criterion) {
+        c.bench_function("in_group", |b| b.iter(|| black_box(3 * 3)));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        trivial();
+    }
+}

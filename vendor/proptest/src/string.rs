@@ -1,0 +1,387 @@
+//! Regex-directed string generation (`string_regex`).
+//!
+//! Supports the subset of regex syntax the workspace's tests use:
+//! literals, escaped literals (`\.`), `.`, character classes with ranges
+//! (`[a-z0-9_.-]`, `[ -~]`), groups, alternation (`a|b`), the quantifiers
+//! `?`, `*`, `+`, `{n}`, `{m,n}`, and the `\PC` shorthand for "any
+//! non-control character" (which draws from a printable ASCII + assorted
+//! multi-byte Unicode pool).
+
+use crate::{Strategy, TestRng};
+use std::marker::PhantomData;
+
+/// Error returned by [`string_regex`] for unsupported or malformed
+/// patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+/// Strategy generating strings matching a compiled regex.
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy<T> {
+    ast: Node,
+    _marker: PhantomData<T>,
+}
+
+/// Compiles `pattern` into a string-generating strategy.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy<String>, Error> {
+    let ast = Parser::new(pattern).parse()?;
+    Ok(RegexGeneratorStrategy {
+        ast,
+        _marker: PhantomData,
+    })
+}
+
+impl Strategy for RegexGeneratorStrategy<String> {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        generate(&self.ast, rng, &mut out);
+        out
+    }
+}
+
+/// Cap applied to the open-ended quantifiers `*` and `+`.
+const UNBOUNDED_CAP: u32 = 8;
+
+/// Pool of multi-byte characters mixed into `\PC` output so Unicode
+/// handling gets exercised, not just ASCII.
+const UNICODE_POOL: &[char] = &[
+    'à', 'é', 'ß', 'ñ', 'ü', 'λ', 'Ω', 'Ж', 'я', '中', '日', '한', '‽', '…', '—', '√', '∑', '€',
+    '🙂', '🦀',
+];
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// `a|b|c` — uniform choice between branches.
+    Alt(Vec<Node>),
+    /// Concatenation.
+    Seq(Vec<Node>),
+    /// `x{m,n}` — repeat count drawn uniformly from `m..=n`.
+    Repeat(Box<Node>, u32, u32),
+    /// `[a-z0-9]` — inclusive char ranges; singles are `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// `\PC` — any non-control character.
+    NotControl,
+    /// `.` — any printable ASCII character.
+    AnyChar,
+    Literal(char),
+}
+
+fn generate(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Alt(branches) => {
+            let i = rng.below(branches.len());
+            generate(&branches[i], rng, out);
+        }
+        Node::Seq(items) => {
+            for item in items {
+                generate(item, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = *lo + rng.below((*hi - *lo + 1) as usize) as u32;
+            for _ in 0..n {
+                generate(inner, rng, out);
+            }
+        }
+        Node::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+            let mut idx = rng.below(total as usize) as u32;
+            for (a, b) in ranges {
+                let span = *b as u32 - *a as u32 + 1;
+                if idx < span {
+                    // All class ranges in practice are within contiguous
+                    // scalar-value runs, but guard against surrogates.
+                    let c = char::from_u32(*a as u32 + idx).unwrap_or(*a);
+                    out.push(c);
+                    return;
+                }
+                idx -= span;
+            }
+            unreachable!("class offset within total size");
+        }
+        Node::NotControl => {
+            // 85% printable ASCII, 15% multi-byte Unicode.
+            if rng.below(100) < 85 {
+                out.push(char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap());
+            } else {
+                out.push(UNICODE_POOL[rng.below(UNICODE_POOL.len())]);
+            }
+        }
+        Node::AnyChar => {
+            out.push(char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap());
+        }
+        Node::Literal(c) => out.push(*c),
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(pattern: &str) -> Self {
+        Parser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+        }
+    }
+
+    fn parse(mut self) -> Result<Node, Error> {
+        let node = self.alternation()?;
+        if self.pos != self.chars.len() {
+            return Err(self.err("trailing input (unbalanced ')'?)"));
+        }
+        Ok(node)
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at offset {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn alternation(&mut self) -> Result<Node, Error> {
+        let mut branches = vec![self.sequence()?];
+        while self.peek() == Some('|') {
+            self.next();
+            branches.push(self.sequence()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Node::Alt(branches)
+        })
+    }
+
+    fn sequence(&mut self) -> Result<Node, Error> {
+        let mut items = Vec::new();
+        while !matches!(self.peek(), None | Some('|') | Some(')')) {
+            let atom = self.atom()?;
+            items.push(self.quantified(atom)?);
+        }
+        Ok(if items.len() == 1 {
+            items.pop().unwrap()
+        } else {
+            Node::Seq(items)
+        })
+    }
+
+    fn atom(&mut self) -> Result<Node, Error> {
+        match self.next() {
+            Some('(') => {
+                let inner = self.alternation()?;
+                if self.next() != Some(')') {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.class(),
+            Some('\\') => self.escape(),
+            Some('.') => Ok(Node::AnyChar),
+            Some(c @ ('*' | '+' | '?' | '{')) => {
+                Err(self.err(&format!("quantifier '{c}' with nothing to repeat")))
+            }
+            Some(c) => Ok(Node::Literal(c)),
+            None => Err(self.err("unexpected end of pattern")),
+        }
+    }
+
+    fn escape(&mut self) -> Result<Node, Error> {
+        match self.next() {
+            Some('P') => match self.next() {
+                // \PC: anything NOT in Unicode category C (control & co).
+                Some('C') => Ok(Node::NotControl),
+                other => Err(self.err(&format!("unsupported \\P category {other:?}"))),
+            },
+            Some('d') => Ok(Node::Class(vec![('0', '9')])),
+            Some('w') => Ok(Node::Class(vec![
+                ('a', 'z'),
+                ('A', 'Z'),
+                ('0', '9'),
+                ('_', '_'),
+            ])),
+            Some('n') => Ok(Node::Literal('\n')),
+            Some('r') => Ok(Node::Literal('\r')),
+            Some('t') => Ok(Node::Literal('\t')),
+            // Any other escape is a literal: \. \\ \[ \( \{ \- ...
+            Some(c) => Ok(Node::Literal(c)),
+            None => Err(self.err("dangling backslash")),
+        }
+    }
+
+    fn class(&mut self) -> Result<Node, Error> {
+        if self.peek() == Some('^') {
+            return Err(self.err("negated classes are not supported"));
+        }
+        let mut ranges = Vec::new();
+        loop {
+            let lo = match self.next() {
+                None => return Err(self.err("unterminated character class")),
+                Some(']') if !ranges.is_empty() => break,
+                Some(']') => return Err(self.err("empty character class")),
+                Some('\\') => self
+                    .next()
+                    .ok_or_else(|| self.err("dangling backslash in class"))?,
+                Some(c) => c,
+            };
+            // `a-z` is a range unless the '-' is last (then it's literal).
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.next();
+                let hi = match self.next() {
+                    None => return Err(self.err("unterminated range in class")),
+                    Some('\\') => self
+                        .next()
+                        .ok_or_else(|| self.err("dangling backslash in class"))?,
+                    Some(c) => c,
+                };
+                if hi < lo {
+                    return Err(self.err(&format!("inverted range {lo}-{hi}")));
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        Ok(Node::Class(ranges))
+    }
+
+    fn quantified(&mut self, atom: Node) -> Result<Node, Error> {
+        let (lo, hi) = match self.peek() {
+            Some('?') => (0, 1),
+            Some('*') => (0, UNBOUNDED_CAP),
+            Some('+') => (1, UNBOUNDED_CAP),
+            Some('{') => {
+                self.next();
+                let lo = self.number()?;
+                let hi = match self.next() {
+                    Some('}') => return self.repeat_node(atom, lo, lo),
+                    Some(',') => self.number()?,
+                    _ => return Err(self.err("malformed {m,n} quantifier")),
+                };
+                if self.next() != Some('}') {
+                    return Err(self.err("expected '}'"));
+                }
+                return self.repeat_node(atom, lo, hi);
+            }
+            _ => return Ok(atom),
+        };
+        self.next();
+        Ok(Node::Repeat(Box::new(atom), lo, hi))
+    }
+
+    fn repeat_node(&self, atom: Node, lo: u32, hi: u32) -> Result<Node, Error> {
+        if hi < lo {
+            return Err(self.err(&format!("inverted quantifier {{{lo},{hi}}}")));
+        }
+        Ok(Node::Repeat(Box::new(atom), lo, hi))
+    }
+
+    fn number(&mut self) -> Result<u32, Error> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.next();
+        }
+        if self.pos == start {
+            return Err(self.err("expected a number"));
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .map_err(|_| self.err("quantifier bound out of range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TestRng;
+
+    fn samples(pattern: &str, n: usize) -> Vec<String> {
+        let strat = string_regex(pattern).unwrap();
+        let mut rng = TestRng::for_test(pattern);
+        (0..n).map(|_| strat.new_value(&mut rng)).collect()
+    }
+
+    #[test]
+    fn literals_and_classes() {
+        for s in samples("/[a-z0-9][a-z0-9_.-]{0,9}\\.html", 50) {
+            assert!(s.starts_with('/'), "{s:?}");
+            assert!(s.ends_with(".html"), "{s:?}");
+            let stem = &s[1..s.len() - 5];
+            assert!((1..=10).contains(&stem.chars().count()), "{s:?}");
+            assert!(
+                stem.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "_.-".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn group_repeat_and_alternation() {
+        for s in samples("/[a-z]{1,10}\\.(gif|jpg)", 50) {
+            assert!(s.ends_with(".gif") || s.ends_with(".jpg"), "{s:?}");
+        }
+        let mut seen_empty = false;
+        let mut seen_multi = false;
+        for s in samples("(ab|cd){0,3}", 100) {
+            assert_eq!(s.len() % 2, 0, "{s:?}");
+            seen_empty |= s.is_empty();
+            seen_multi |= s.len() >= 4;
+        }
+        assert!(seen_empty && seen_multi);
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        for s in samples("[ -~]{10}", 20) {
+            assert_eq!(s.len(), 10);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let seen: String = samples("[a-c-]{40}", 10).concat();
+        assert!(seen.chars().all(|c| "abc-".contains(c)));
+        assert!(seen.contains('-'));
+    }
+
+    #[test]
+    fn not_control_excludes_controls() {
+        for s in samples("\\PC{0,200}", 20) {
+            assert!(!s.chars().any(char::is_control), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn star_and_question() {
+        for s in samples("a*b?", 50) {
+            let stars = s.chars().take_while(|&c| c == 'a').count();
+            let rest = &s[stars..];
+            assert!(rest.is_empty() || rest == "b", "{s:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_patterns_error() {
+        assert!(string_regex("(unclosed").is_err());
+        assert!(string_regex("[unclosed").is_err());
+        assert!(string_regex("a{2,1}").is_err());
+        assert!(string_regex("*dangling").is_err());
+        assert!(string_regex("[^ab]").is_err());
+    }
+}

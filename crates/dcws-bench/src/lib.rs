@@ -12,6 +12,7 @@
 //! | `table2` | Table 2 — timer tuning trade-offs |
 //! | `overhead` | §5.3 parse/reconstruction overhead measurements |
 //! | `ablation` | DCWS vs baselines, plus design-choice ablations |
+//! | `cachepress` | cache budget vs hit ratio / response time sweep |
 //!
 //! Binaries honor `DCWS_BENCH_QUICK=1` for a fast smoke pass (fewer
 //! points, shorter runs) and write machine-readable CSV next to their

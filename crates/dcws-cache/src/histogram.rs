@@ -1,0 +1,109 @@
+//! Power-of-two byte-size histogram for pulled document bodies.
+
+/// Number of power-of-two byte buckets: bucket `i` covers
+/// `[2^i, 2^(i+1))` bytes (bucket 0 also absorbs empty bodies), so 32
+/// buckets span 1 B to 4 GiB.
+pub const N_SIZE_BUCKETS: usize = 32;
+
+/// A plain (non-atomic) histogram of body sizes. The engine owns one
+/// behind its own lock and records each pulled body into it; status
+/// reporting reads the public accessors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeHistogram {
+    buckets: [u64; N_SIZE_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for SizeHistogram {
+    fn default() -> Self {
+        SizeHistogram {
+            buckets: [0; N_SIZE_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+/// Index of the bucket covering `bytes`.
+fn bucket_index(bytes: u64) -> usize {
+    ((63 - bytes.max(1).leading_zeros() as u64) as usize).min(N_SIZE_BUCKETS - 1)
+}
+
+impl SizeHistogram {
+    /// An empty histogram.
+    pub fn new() -> SizeHistogram {
+        SizeHistogram::default()
+    }
+
+    /// Record one body of `bytes` bytes.
+    pub fn record(&mut self, bytes: u64) {
+        self.buckets[bucket_index(bytes)] += 1;
+        self.count += 1;
+        self.sum += bytes;
+        self.max = self.max.max(bytes);
+    }
+
+    /// Per-bucket sample counts; bucket `i` covers `[2^i, 2^(i+1))`
+    /// bytes (bucket 0 also absorbs zero-length bodies).
+    pub fn buckets(&self) -> &[u64; N_SIZE_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Total bodies recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded sizes in bytes.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest body recorded, in bytes.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean body size in bytes; zero when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), N_SIZE_BUCKETS - 1);
+    }
+
+    #[test]
+    fn records_accumulate() {
+        let mut h = SizeHistogram::new();
+        for size in [0, 100, 2048, 2048, 1 << 20] {
+            h.record(size);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 100 + 2048 + 2048 + (1 << 20));
+        assert_eq!(h.max(), 1 << 20);
+        assert_eq!(h.buckets()[11], 2); // both 2 KiB bodies
+        assert_eq!(h.buckets().iter().sum::<u64>(), 5);
+        assert!(h.mean() > 0);
+    }
+
+    #[test]
+    fn empty_is_all_zero() {
+        let h = SizeHistogram::new();
+        assert_eq!((h.count(), h.sum(), h.max(), h.mean()), (0, 0, 0, 0));
+    }
+}

@@ -1,0 +1,269 @@
+//! Miss coalescing: N concurrent requests for the same key produce
+//! exactly one execution of the underlying work.
+//!
+//! The first caller for a key becomes the **leader**: it runs the
+//! closure (typically a network pull from the home server) outside any
+//! cache lock. Callers that arrive while the flight is pending become
+//! **followers**: they block on the leader's slot and receive a clone
+//! of its result. If a leader panics, its slot is marked abandoned and
+//! waiting followers retry for leadership, so a poisoned flight never
+//! wedges the key.
+//!
+//! ```
+//! use dcws_cache::SingleFlight;
+//!
+//! let sf: SingleFlight<u32> = SingleFlight::new();
+//! let flight = sf.run("/doc.html", || 42);
+//! assert!(flight.led());
+//! assert_eq!(flight.into_inner(), 42);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Lock a std mutex, surviving poisoning (a panicking leader must not
+/// take the whole flight table down with it).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[derive(Debug)]
+enum SlotState<T> {
+    Pending,
+    Done(T),
+    Abandoned,
+}
+
+#[derive(Debug)]
+struct FlightSlot<T> {
+    state: Mutex<SlotState<T>>,
+    cv: Condvar,
+}
+
+/// The result of [`SingleFlight::run`]: the value, tagged with whether
+/// this call did the work or reused another call's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Flight<T> {
+    /// This call executed the closure.
+    Led(T),
+    /// This call waited on a concurrent leader and reused its result.
+    Coalesced(T),
+}
+
+impl<T> Flight<T> {
+    /// The carried value, discarding the leader/follower tag.
+    pub fn into_inner(self) -> T {
+        match self {
+            Flight::Led(v) | Flight::Coalesced(v) => v,
+        }
+    }
+
+    /// `true` if this call executed the work itself.
+    pub fn led(&self) -> bool {
+        matches!(self, Flight::Led(_))
+    }
+}
+
+/// Counters snapshot for a [`SingleFlight`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlightStats {
+    /// Flights executed (leaders).
+    pub led: u64,
+    /// Calls that reused a concurrent flight's result (followers).
+    pub coalesced: u64,
+}
+
+/// Per-key in-flight work table. `T` is the (cloneable) result of the
+/// coalesced work — for a pull, typically the parsed response or an
+/// error marker.
+#[derive(Debug, Default)]
+pub struct SingleFlight<T: Clone> {
+    slots: Mutex<HashMap<String, Arc<FlightSlot<T>>>>,
+    led: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// Marks the slot abandoned and wakes followers if the leader unwinds
+/// before completing.
+struct AbandonOnPanic<'a, T: Clone> {
+    flights: &'a SingleFlight<T>,
+    key: &'a str,
+    slot: &'a Arc<FlightSlot<T>>,
+    armed: bool,
+}
+
+impl<T: Clone> Drop for AbandonOnPanic<'_, T> {
+    fn drop(&mut self) {
+        if self.armed {
+            *lock(&self.slot.state) = SlotState::Abandoned;
+            self.slot.cv.notify_all();
+            lock(&self.flights.slots).remove(self.key);
+        }
+    }
+}
+
+impl<T: Clone> SingleFlight<T> {
+    /// An empty flight table.
+    pub fn new() -> SingleFlight<T> {
+        SingleFlight {
+            slots: Mutex::new(HashMap::new()),
+            led: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Run `work` for `key`, coalescing with any concurrent call for
+    /// the same key. Exactly one of the concurrent callers executes
+    /// `work`; the rest block until it finishes and clone its result.
+    pub fn run(&self, key: &str, work: impl FnOnce() -> T) -> Flight<T> {
+        let mut work = Some(work);
+        loop {
+            let (slot, leader) = {
+                let mut slots = lock(&self.slots);
+                match slots.get(key) {
+                    Some(slot) => (slot.clone(), false),
+                    None => {
+                        let slot = Arc::new(FlightSlot {
+                            state: Mutex::new(SlotState::Pending),
+                            cv: Condvar::new(),
+                        });
+                        slots.insert(key.to_string(), slot.clone());
+                        (slot, true)
+                    }
+                }
+            };
+            if leader {
+                let mut guard = AbandonOnPanic {
+                    flights: self,
+                    key,
+                    slot: &slot,
+                    armed: true,
+                };
+                let value = (work.take().expect("leader runs work once"))();
+                *lock(&slot.state) = SlotState::Done(value.clone());
+                slot.cv.notify_all();
+                lock(&self.slots).remove(key);
+                guard.armed = false;
+                self.led.fetch_add(1, Ordering::Relaxed);
+                return Flight::Led(value);
+            }
+            // Follower: wait for the leader to finish (or abandon).
+            let mut state = lock(&slot.state);
+            loop {
+                match &*state {
+                    SlotState::Pending => {
+                        state = slot.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+                    }
+                    SlotState::Done(v) => {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        return Flight::Coalesced(v.clone());
+                    }
+                    SlotState::Abandoned => break, // retry for leadership
+                }
+            }
+        }
+    }
+
+    /// Number of flights currently pending.
+    pub fn in_flight(&self) -> usize {
+        lock(&self.slots).len()
+    }
+
+    /// Leader / follower counters so far.
+    pub fn stats(&self) -> FlightStats {
+        FlightStats {
+            led: self.led.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    #[test]
+    fn sequential_calls_each_lead() {
+        let sf: SingleFlight<u32> = SingleFlight::new();
+        assert_eq!(sf.run("/k", || 1), Flight::Led(1));
+        assert_eq!(sf.run("/k", || 2), Flight::Led(2));
+        assert_eq!(
+            sf.stats(),
+            FlightStats {
+                led: 2,
+                coalesced: 0
+            }
+        );
+        assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn concurrent_misses_coalesce_to_one_execution() {
+        const THREADS: usize = 8;
+        let sf = Arc::new(SingleFlight::<u64>::new());
+        let executions = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let (sf, executions, barrier) = (sf.clone(), executions.clone(), barrier.clone());
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    sf.run("/doc.html", || {
+                        // Hold the flight open long enough that every
+                        // other thread arrives while it is pending.
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        executions.fetch_add(1, Ordering::SeqCst);
+                        7u64
+                    })
+                    .into_inner()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 7);
+        }
+        assert_eq!(executions.load(Ordering::SeqCst), 1);
+        let stats = sf.stats();
+        assert_eq!(stats.led, 1);
+        assert_eq!(stats.coalesced as usize, THREADS - 1);
+        assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let sf = Arc::new(SingleFlight::<String>::new());
+        let a = sf.run("/a", || "a".to_string());
+        let b = sf.run("/b", || "b".to_string());
+        assert!(a.led() && b.led());
+        assert_eq!(sf.stats().led, 2);
+    }
+
+    #[test]
+    fn abandoned_flight_lets_followers_retry() {
+        let sf = Arc::new(SingleFlight::<u32>::new());
+        let barrier = Arc::new(Barrier::new(2));
+        let leader = {
+            let (sf, barrier) = (sf.clone(), barrier.clone());
+            std::thread::spawn(move || {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    sf.run("/k", || {
+                        barrier.wait(); // follower is about to queue up
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        panic!("leader dies mid-flight");
+                    })
+                }));
+            })
+        };
+        barrier.wait();
+        // This call either follows the doomed flight (then retries and
+        // leads) or arrives after the abandonment (and leads outright);
+        // either way it must complete with the value.
+        let flight = sf.run("/k", || 5);
+        assert_eq!(flight.into_inner(), 5);
+        leader.join().unwrap();
+        assert_eq!(sf.in_flight(), 0);
+    }
+}

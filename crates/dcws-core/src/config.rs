@@ -81,6 +81,11 @@ pub struct ServerConfig {
     /// buffer (see `dcws_core::events`). `0` disables retention; events
     /// are still counted but never stored.
     pub event_log_capacity: usize,
+    /// Total byte budget shared by the two document caches (regenerated
+    /// home bodies and pulled co-op copies, half each). `u64::MAX`
+    /// disables eviction; the paper's testbed never filled memory, so
+    /// the default is generous rather than unbounded.
+    pub cache_budget_bytes: u64,
 }
 
 impl ServerConfig {
@@ -104,6 +109,7 @@ impl ServerConfig {
             naive_selection: false,
             hot_replication: None,
             event_log_capacity: 512,
+            cache_budget_bytes: 64 * 1024 * 1024,
         }
     }
 }
@@ -131,6 +137,7 @@ mod tests {
         assert_eq!(c.balance_metric, BalanceMetric::Cps);
         assert!(!c.eager_migration);
         assert!(c.hot_replication.is_none());
+        assert_eq!(c.cache_budget_bytes, 64 * 1024 * 1024);
     }
 
     #[test]

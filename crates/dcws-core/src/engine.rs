@@ -14,29 +14,50 @@ use crate::events::{EngineEvent, EventLog, EventRecord, RevokeReason};
 use crate::naming::migrate_url;
 use crate::stats::EngineStats;
 use crate::store::DocStore;
+use dcws_cache::{CacheConfig, CachedDoc, DocCache, Evicted, SizeHistogram};
 use dcws_graph::{
     select_for_migration, DocKind, GlobalLoadTable, LoadInfo, LocalDocGraph, Location, RateWindow,
     ServerId,
 };
-use dcws_http::{Headers, LoadReport, Request};
+use dcws_http::{http_date, Headers, LoadReport, Request};
 use std::collections::{HashMap, HashSet};
-
-/// A migrated document held in the co-op role.
-#[derive(Debug, Clone)]
-pub(crate) struct CoopDoc {
-    pub bytes: Vec<u8>,
-    pub content_type: String,
-    /// Home's content version at pull time (for validation).
-    pub version: u64,
-    /// When the copy was (re)fetched or last validated, ms.
-    pub fetched_at: u64,
-    /// Home recalled the document: keep the bytes (crash insurance, §4.5)
-    /// but answer with a redirect home instead of serving.
-    pub revoked: bool,
-}
 
 /// Key for a co-op-held document: `(home server, original path)`.
 pub(crate) type CoopKey = (ServerId, String);
+
+/// Cache key for a co-op-held copy: `"{home} {path}"`. A space can
+/// appear in neither a `host:port` server id nor an URL path, so the
+/// encoding is unambiguous.
+pub(crate) fn coop_cache_key(home: &ServerId, path: &str) -> String {
+    format!("{home} {path}")
+}
+
+/// Split a co-op cache key back into `(home, path)`.
+pub(crate) fn split_coop_key(key: &str) -> Option<(ServerId, String)> {
+    let (home, path) = key.split_once(' ')?;
+    Some((ServerId::new(home), path.to_string()))
+}
+
+/// Regen-cache key for the home-serving (relative-link) variant.
+pub(crate) fn home_variant_key(name: &str) -> String {
+    format!("home {name}")
+}
+
+/// Regen-cache key for the pull/push (absolute-link) variant.
+pub(crate) fn pull_variant_key(name: &str) -> String {
+    format!("pull {name}")
+}
+
+/// Maximum entries staged for one-shot serving when a pulled document
+/// exceeds the co-op cache's per-shard budget slice.
+pub(crate) const PENDING_SERVE_CAP: usize = 16;
+
+/// Split the configured total budget between the two caches, half
+/// each, without losing bytes to integer division.
+fn split_cache_budget(total: u64) -> (u64, u64) {
+    let coop = total / 2;
+    (total - coop, coop)
+}
 
 /// Network actions the host must perform after a [`ServerEngine::tick`].
 #[derive(Debug, Default)]
@@ -73,16 +94,29 @@ pub struct ServerEngine {
     /// Permanent original copies of home documents (§3.2). Regeneration
     /// always starts from these, so link rewrites never compound.
     pub(crate) originals: Box<dyn DocStore>,
-    /// Regenerated current copies + version numbers for dirty home docs.
-    pub(crate) current: HashMap<String, (Vec<u8>, u64)>,
-    /// Cached pull copies (absolute-link variants) keyed by version, so
-    /// repeated pulls/validations of an unchanged document do not re-run
-    /// the §4.3 parse/reconstruct.
-    pub(crate) pull_cache: HashMap<String, (u64, Vec<u8>)>,
+    /// Regenerated bodies, LRU-bounded: home-serving (relative-link) and
+    /// pull (absolute-link) variants of each document, keyed by
+    /// [`home_variant_key`] / [`pull_variant_key`] and validated per
+    /// version, so repeated serves of an unchanged document do not
+    /// re-run the §4.3 parse/reconstruct.
+    pub(crate) regen_cache: DocCache,
     /// Content version per home document; bumped on publish/regenerate.
     pub(crate) versions: HashMap<String, u64>,
-    /// Documents held in the co-op role.
-    pub(crate) coop_docs: HashMap<CoopKey, CoopDoc>,
+    /// Last-Modified time per home document (engine ms), carried on the
+    /// wire as an RFC 1123 `Last-Modified` header.
+    pub(crate) modified: HashMap<String, u64>,
+    /// Home documents whose current served form has rewritten links: an
+    /// evicted body must be regenerated, while a never-dirtied document
+    /// serves its pristine original without touching the cache.
+    pub(crate) rewritten: HashSet<String>,
+    /// Copies held in the co-op role, keyed by [`coop_cache_key`].
+    /// Revoked copies become negative entries (crash insurance, §4.5).
+    pub(crate) coop_cache: DocCache,
+    /// One-shot staging for pulled documents too large for the co-op
+    /// cache: consumed by the next request, bounded FIFO.
+    pub(crate) pending_serve: Vec<(CoopKey, CachedDoc)>,
+    /// Sizes of bodies received by this server's co-op role pulls.
+    pub(crate) pull_sizes: SizeHistogram,
     /// Moved tombstones: a pull was answered with a redirect, so requests
     /// for this key 301 straight to the current location until the
     /// tombstone expires (T_val) and we re-check with the home.
@@ -109,15 +143,19 @@ impl ServerEngine {
     /// original-document store (usually empty; fill via [`Self::publish`]).
     pub fn new(id: ServerId, cfg: ServerConfig, originals: Box<dyn DocStore>) -> Self {
         let window_ms = cfg.stat_interval_ms.max(1_000);
+        let (regen_budget, coop_budget) = split_cache_budget(cfg.cache_budget_bytes);
         ServerEngine {
             glt: GlobalLoadTable::new(id.clone()),
             id,
             ldg: LocalDocGraph::new(),
             originals,
-            current: HashMap::new(),
-            pull_cache: HashMap::new(),
+            regen_cache: DocCache::new(CacheConfig::new(regen_budget)),
             versions: HashMap::new(),
-            coop_docs: HashMap::new(),
+            modified: HashMap::new(),
+            rewritten: HashSet::new(),
+            coop_cache: DocCache::new(CacheConfig::new(coop_budget)),
+            pending_serve: Vec::new(),
+            pull_sizes: SizeHistogram::new(),
             coop_moved: HashMap::new(),
             replicas: HashMap::new(),
             window: RateWindow::new(window_ms, 10),
@@ -185,7 +223,57 @@ impl ServerEngine {
     /// Number of documents currently held in the co-op role (including
     /// revoked copies retained as crash insurance).
     pub fn coop_doc_count(&self) -> usize {
-        self.coop_docs.len()
+        self.coop_cache.len()
+    }
+
+    /// The LRU cache of regenerated bodies (home and pull variants).
+    pub fn regen_cache(&self) -> &DocCache {
+        &self.regen_cache
+    }
+
+    /// The LRU cache of co-op-held document copies.
+    pub fn coop_cache(&self) -> &DocCache {
+        &self.coop_cache
+    }
+
+    /// Histogram of body sizes this server's co-op role has pulled.
+    pub fn pull_size_histogram(&self) -> &SizeHistogram {
+        &self.pull_sizes
+    }
+
+    /// Total bytes of permanent original documents (the corpus size),
+    /// as reported by the backing store.
+    pub fn corpus_bytes(&self) -> u64 {
+        self.originals.total_bytes()
+    }
+
+    /// Re-split `total` bytes across the two caches (half each) and
+    /// evict down to the new budgets. Lets a server pick its budget
+    /// after the corpus is published (e.g. corpus/4).
+    pub fn set_cache_budget(&mut self, total: u64) {
+        self.cfg.cache_budget_bytes = total;
+        let (regen_budget, coop_budget) = split_cache_budget(total);
+        let evicted = self.regen_cache.set_budget(regen_budget);
+        self.note_evictions("regen", evicted);
+        let evicted = self.coop_cache.set_budget(coop_budget);
+        self.note_evictions("coop", evicted);
+    }
+
+    /// Record an eviction event for every entry `cache` pushed out.
+    pub(crate) fn note_evictions(&mut self, cache: &'static str, evicted: Vec<Evicted>) {
+        for e in evicted {
+            self.emit(EngineEvent::CacheEvict {
+                cache,
+                key: e.key,
+                bytes: e.bytes,
+            });
+        }
+    }
+
+    /// Last-Modified time (engine ms) of home document `name`; zero for
+    /// documents never published here.
+    pub fn doc_modified_ms(&self, name: &str) -> u64 {
+        self.modified.get(name).copied().unwrap_or(0)
     }
 
     /// Register a peer server in the group (static membership, as in the
@@ -210,8 +298,12 @@ impl ServerEngine {
         };
         let size = bytes.len() as u64;
         self.originals.put(name, bytes);
-        self.current.remove(name);
-        self.pull_cache.remove(name);
+        self.regen_cache.remove(&home_variant_key(name));
+        self.regen_cache.remove(&pull_variant_key(name));
+        // The fresh original is the current form again (until a
+        // migration dirties it); its change time is now.
+        self.rewritten.remove(name);
+        self.modified.insert(name.to_string(), self.now_ms);
         *self.versions.entry(name.to_string()).or_insert(0) += 1;
         let was_migrated = self
             .ldg
@@ -341,31 +433,29 @@ impl ServerEngine {
             out.pings.push((peer, req));
         }
         // Co-op validation: re-request copies older than T_val.
-        let due: Vec<CoopKey> = self
-            .coop_docs
-            .iter()
-            .filter(|(_, d)| {
-                !d.revoked && now_ms.saturating_sub(d.fetched_at) >= self.cfg.validation_interval_ms
-            })
-            .map(|(k, _)| k.clone())
-            .collect();
-        for key in due {
-            let doc = self.coop_docs.get_mut(&key).expect("key from iteration");
+        for (key, meta) in self.coop_cache.entries_meta() {
+            if meta.negative
+                || now_ms.saturating_sub(meta.fetched_at) < self.cfg.validation_interval_ms
+            {
+                continue;
+            }
+            let Some((home, path)) = split_coop_key(&key) else {
+                continue;
+            };
             // Re-arm so the request isn't re-emitted every tick while the
             // response is in flight; a lost response retries next T_val.
             // A per-document jitter de-synchronizes the re-arm: without
             // it, every copy validated in the same tick stays in lockstep
             // forever, and the periodic wave of validations can swamp the
             // home server's socket queue.
-            let jitter = key.1.bytes().fold(0xcbf2_9ce4_8422_2325u64, |a, b| {
+            let jitter = path.bytes().fold(0xcbf2_9ce4_8422_2325u64, |a, b| {
                 (a ^ b as u64).wrapping_mul(0x100_0000_01b3)
             }) % (self.cfg.validation_interval_ms / 4).max(1);
-            doc.fetched_at = now_ms.saturating_sub(jitter);
-            let version = doc.version;
-            let (home, path) = key.clone();
+            self.coop_cache.touch(&key, now_ms.saturating_sub(jitter));
             let mut req = Request::get(path.as_str())
-                .with_header("X-DCWS-Validate", &version.to_string())
-                .with_header("X-DCWS-Coop", self.id.as_str());
+                .with_header("X-DCWS-Validate", &meta.version.to_string())
+                .with_header("X-DCWS-Coop", self.id.as_str())
+                .with_header("If-Modified-Since", &http_date(meta.modified_ms));
             self.attach_reports(&mut req.headers, now_ms);
             out.validations.push((home, req));
         }
@@ -590,6 +680,7 @@ impl ServerEngine {
         .with_header("X-DCWS-Push", "1")
         .with_header("X-DCWS-Home", self.id.as_str())
         .with_header("X-DCWS-Version", &version.to_string())
+        .with_header("Last-Modified", &http_date(self.doc_modified_ms(doc)))
         .with_header("Content-Type", &content_type)
         .with_body(bytes);
         self.attach_reports(&mut req.headers, now_ms);

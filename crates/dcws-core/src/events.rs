@@ -136,6 +136,25 @@ pub enum EngineEvent {
         /// Requesting co-op, when the request identified itself.
         coop: Option<ServerId>,
     },
+    /// A cache entry was pushed out by LRU byte-budget pressure.
+    CacheEvict {
+        /// Which cache evicted: `"regen"` or `"coop"`.
+        cache: &'static str,
+        /// Cache key of the evicted entry.
+        key: String,
+        /// Body bytes the eviction freed.
+        bytes: u64,
+    },
+    /// A pulled copy was stored in the co-op cache (lazy migration's
+    /// receive side).
+    CachePull {
+        /// Original document path on the home server.
+        doc: String,
+        /// Home server the copy was pulled from.
+        home: ServerId,
+        /// Body bytes received.
+        bytes: u64,
+    },
 }
 
 impl EngineEvent {
@@ -152,6 +171,8 @@ impl EngineEvent {
             EngineEvent::PeerResurrected { .. } => "peer_resurrected",
             EngineEvent::ValidationRefreshed { .. } => "validation_refreshed",
             EngineEvent::PullServed { .. } => "pull_served",
+            EngineEvent::CacheEvict { .. } => "cache_evict",
+            EngineEvent::CachePull { .. } => "cache_pull",
         }
     }
 
@@ -203,6 +224,12 @@ impl EngineEvent {
                 Some(c) => format!("{doc} to {}", c.as_str()),
                 None => doc.clone(),
             },
+            EngineEvent::CacheEvict { cache, key, bytes } => {
+                format!("{key} from {cache} cache ({bytes}B)")
+            }
+            EngineEvent::CachePull { doc, home, bytes } => {
+                format!("{doc} from {} ({bytes}B)", home.as_str())
+            }
         }
     }
 
@@ -271,6 +298,16 @@ impl EngineEvent {
                     "coop",
                     coop.as_ref().map_or(Json::Null, |c| Json::from(c.as_str())),
                 ));
+            }
+            EngineEvent::CacheEvict { cache, key, bytes } => {
+                pairs.push(("cache", Json::from(*cache)));
+                pairs.push(("key", Json::from(key.as_str())));
+                pairs.push(("bytes", Json::from(*bytes)));
+            }
+            EngineEvent::CachePull { doc, home, bytes } => {
+                pairs.push(("doc", Json::from(doc.as_str())));
+                pairs.push(("home", Json::from(home.as_str())));
+                pairs.push(("bytes", Json::from(*bytes)));
             }
         }
         Json::obj(pairs)
@@ -510,6 +547,16 @@ mod tests {
             EngineEvent::PullServed {
                 doc: "a".into(),
                 coop: Some(ServerId::new("c:1")),
+            },
+            EngineEvent::CacheEvict {
+                cache: "coop",
+                key: "h:1 /a".into(),
+                bytes: 100,
+            },
+            EngineEvent::CachePull {
+                doc: "a".into(),
+                home: ServerId::new("h:1"),
+                bytes: 100,
             },
         ];
         for ev in &events {

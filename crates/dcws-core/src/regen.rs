@@ -12,8 +12,9 @@
 //!   the document will be served from a different host where relative
 //!   links would resolve wrongly.
 
-use crate::engine::ServerEngine;
+use crate::engine::{home_variant_key, pull_variant_key, ServerEngine};
 use crate::events::EngineEvent;
+use dcws_cache::CachedDoc;
 use dcws_graph::{DocKind, Location};
 use dcws_http::Url;
 
@@ -28,11 +29,30 @@ pub(crate) enum LinkBase {
 }
 
 impl ServerEngine {
-    /// Current version of a home document (bumped on publish and on every
-    /// regeneration, so co-op validation detects both author updates and
-    /// link-rewrite changes).
+    /// Current version of a home document (bumped on publish and whenever
+    /// a link rewrite changes the served form, so co-op validation detects
+    /// both author updates and link-rewrite changes).
     pub fn doc_version(&self, name: &str) -> u64 {
         self.versions.get(name).copied().unwrap_or(0)
+    }
+
+    /// The single Dirty-bit settlement path, shared by home serving, pull
+    /// serving, and validation answering: if `name` is dirty, bump its
+    /// version, stamp a new modification time, mark it rewritten, and
+    /// invalidate both regen-cache variants. Idempotent when clean, so
+    /// every entry point may call it without double-bumping.
+    pub(crate) fn settle_dirty(&mut self, name: &str) {
+        if !self.ldg.get(name).is_some_and(|e| e.dirty) {
+            return;
+        }
+        self.bump_version(name);
+        if let Some(e) = self.ldg.get_mut(name) {
+            e.dirty = false;
+        }
+        self.modified.insert(name.to_string(), self.now_ms);
+        self.rewritten.insert(name.to_string());
+        self.regen_cache.remove(&home_variant_key(name));
+        self.regen_cache.remove(&pull_variant_key(name));
     }
 
     /// The bytes to serve for home document `name`, regenerating first if
@@ -41,77 +61,88 @@ impl ServerEngine {
     pub(crate) fn home_content(&mut self, name: &str) -> Option<(Vec<u8>, String)> {
         let entry = self.ldg.get(name)?;
         let kind = entry.kind;
-        let dirty = entry.dirty;
         let content_type = kind.content_type().to_string();
         if kind != DocKind::Html {
             return Some((self.originals.get(name)?, content_type));
         }
-        if dirty {
-            let regenerated = self.regenerate(name, LinkBase::Relative)?;
-            let version = self.bump_version(name);
-            self.current
-                .insert(name.to_string(), (regenerated, version));
-            if let Some(e) = self.ldg.get_mut(name) {
-                e.dirty = false;
-            }
-            self.stats.regenerations += 1;
-            self.emit(EngineEvent::DocRegenerated {
-                doc: name.to_string(),
-                at_home: true,
-            });
+        self.settle_dirty(name);
+        // A never-rewritten document serves its pristine original without
+        // touching the cache — no regeneration work to save, so no cache
+        // misses charged either.
+        if !self.rewritten.contains(name) {
+            return Some((self.originals.get(name)?, content_type));
         }
-        match self.current.get(name) {
-            Some((bytes, _)) => Some((bytes.clone(), content_type)),
-            None => Some((self.originals.get(name)?, content_type)),
+        let key = home_variant_key(name);
+        let version = self.doc_version(name);
+        match self.regen_cache.get(&key) {
+            Some(cached) if cached.version == version => Some((cached.bytes, content_type)),
+            _ => {
+                let regenerated = self.regenerate(name, LinkBase::Relative)?;
+                self.count_regeneration(name, true);
+                self.cache_regen(name, &key, regenerated.clone(), &content_type, version);
+                Some((regenerated, content_type))
+            }
         }
     }
 
     /// The bytes shipped to a co-op pulling `name` (or pushed eagerly):
-    /// always freshly regenerated with absolute home links. Returns
+    /// regenerated with absolute home links (cached per version). Returns
     /// `(bytes, version, content_type)`.
     ///
-    /// A *migrated* document whose `Dirty` bit is set (one of its link
-    /// targets moved after it was shipped) gets a version bump here, so
-    /// the co-op's next T_val validation sees a mismatch and refreshes its
-    /// copy instead of serving stale hyperlinks forever.
+    /// A document whose `Dirty` bit is set (one of its link targets moved
+    /// after it was shipped) gets its version bump here via
+    /// [`Self::settle_dirty`], so the co-op's next T_val validation sees a
+    /// mismatch and refreshes its copy instead of serving stale hyperlinks
+    /// forever.
     pub(crate) fn pull_content(&mut self, name: &str) -> (Vec<u8>, u64, String) {
-        let migrated_dirty = self
-            .ldg
-            .get(name)
-            .is_some_and(|e| e.dirty && !e.location.is_home());
-        if migrated_dirty {
-            self.bump_version(name);
-            if let Some(e) = self.ldg.get_mut(name) {
-                e.dirty = false;
-            }
-        }
+        self.settle_dirty(name);
         let kind = self.ldg.get(name).map(|e| e.kind).unwrap_or(DocKind::Image);
         let content_type = kind.content_type().to_string();
         let version = self.doc_version(name);
-        let bytes = if kind == DocKind::Html {
-            match self.pull_cache.get(name) {
-                Some((v, cached)) if *v == version => cached.clone(),
-                _ => {
-                    // A real parse + reconstruct (§4.3) — counted so hosts
-                    // can charge its CPU cost — then cached per version.
-                    self.stats.regenerations += 1;
-                    self.emit(EngineEvent::DocRegenerated {
-                        doc: name.to_string(),
-                        at_home: false,
-                    });
-                    let bytes = self
-                        .regenerate(name, LinkBase::AbsoluteHome)
-                        .or_else(|| self.originals.get(name))
-                        .unwrap_or_default();
-                    self.pull_cache
-                        .insert(name.to_string(), (version, bytes.clone()));
-                    bytes
-                }
+        if kind != DocKind::Html {
+            let bytes = self.originals.get(name).unwrap_or_default();
+            return (bytes, version, content_type);
+        }
+        let key = pull_variant_key(name);
+        match self.regen_cache.get(&key) {
+            Some(cached) if cached.version == version => (cached.bytes, version, content_type),
+            _ => {
+                // A real parse + reconstruct (§4.3) — counted so hosts
+                // can charge its CPU cost — then cached per version.
+                let bytes = self
+                    .regenerate(name, LinkBase::AbsoluteHome)
+                    .or_else(|| self.originals.get(name))
+                    .unwrap_or_default();
+                self.count_regeneration(name, false);
+                self.cache_regen(name, &key, bytes.clone(), &content_type, version);
+                (bytes, version, content_type)
             }
-        } else {
-            self.originals.get(name).unwrap_or_default()
-        };
-        (bytes, version, content_type)
+        }
+    }
+
+    fn count_regeneration(&mut self, name: &str, at_home: bool) {
+        self.stats.regenerations += 1;
+        self.emit(EngineEvent::DocRegenerated {
+            doc: name.to_string(),
+            at_home,
+        });
+    }
+
+    /// Insert a freshly regenerated body for `name` into the regen cache
+    /// under `key`, carrying the document's modification time for
+    /// `Last-Modified`.
+    fn cache_regen(
+        &mut self,
+        name: &str,
+        key: &str,
+        bytes: Vec<u8>,
+        content_type: &str,
+        version: u64,
+    ) {
+        let mut doc = CachedDoc::new(bytes, content_type, version, self.now_ms);
+        doc.modified_ms = self.doc_modified_ms(name);
+        let result = self.regen_cache.insert(key, doc);
+        self.note_evictions("regen", result.evicted);
     }
 
     fn bump_version(&mut self, name: &str) -> u64 {

@@ -1,10 +1,11 @@
 //! Request handling — the data plane of §4.2–§4.4.
 
-use crate::engine::{CoopDoc, ServerEngine};
+use crate::engine::{coop_cache_key, ServerEngine, PENDING_SERVE_CAP};
 use crate::events::EngineEvent;
 use crate::naming::decode_migrate_path;
+use dcws_cache::CachedDoc;
 use dcws_graph::{Location, ServerId};
-use dcws_http::{Request, Response, StatusCode, Url};
+use dcws_http::{http_date, parse_http_date, Request, Response, StatusCode, Url};
 
 /// Result of handing a request to the engine.
 #[derive(Debug)]
@@ -78,7 +79,7 @@ impl ServerEngine {
                 self.stats.bad_requests += 1;
                 Outcome::Response(Response::new(StatusCode::BadRequest))
             }
-            Ok(Some(t)) if t.home != self.id => self.serve_coop(t.home, t.path, now_ms),
+            Ok(Some(t)) if t.home != self.id => self.serve_coop(t.home, t.path, req, now_ms),
             Ok(Some(t)) => self.serve_home(&t.path, req, now_ms),
             Ok(None) => self.serve_home(&path, req, now_ms),
         };
@@ -92,7 +93,7 @@ impl ServerEngine {
     }
 
     /// Serve in the co-op role: a `~migrate` URL for another home's doc.
-    fn serve_coop(&mut self, home: ServerId, path: String, now_ms: u64) -> Outcome {
+    fn serve_coop(&mut self, home: ServerId, path: String, req: &Request, now_ms: u64) -> Outcome {
         let key = (home.clone(), path.clone());
         // A fresh moved-tombstone answers immediately with the current
         // location; an expired one triggers a re-check via pull.
@@ -103,32 +104,56 @@ impl ServerEngine {
             }
             self.coop_moved.remove(&key);
         }
-        match self.coop_docs.get(&key) {
-            Some(doc) if doc.revoked => {
-                // Recalled copy. If home is known dead, best-effort serve
-                // the stale bytes (§4.5 case 4). Otherwise re-pull: if the
-                // home re-migrated the document to us meanwhile, the pull
-                // re-validates the copy; if not, the home's answer (a 301
-                // to wherever it lives now) is relayed to the client.
-                // Never blind-redirect home — the home may point right
-                // back here, and that loop would never break because
-                // revoked copies are excluded from T_val validation.
+        match self.coop_cache.get(&coop_cache_key(&home, &path)) {
+            Some(doc) if doc.negative => {
+                // Recalled copy (negative entry). If home is known dead,
+                // best-effort serve the stale bytes (§4.5 case 4).
+                // Otherwise re-pull: if the home re-migrated the document
+                // to us meanwhile, the pull re-validates the copy; if
+                // not, the home's answer (a 301 to wherever it lives now)
+                // is relayed to the client. Never blind-redirect home —
+                // the home may point right back here, and that loop would
+                // never break because revoked copies are excluded from
+                // T_val validation.
                 if self.dead_peers.contains(&home) {
-                    let (bytes, ct) = (doc.bytes.clone(), doc.content_type.clone());
-                    self.stats.served_coop += 1;
-                    self.stats.bytes_sent += bytes.len() as u64;
-                    return Outcome::Response(Response::ok(bytes, &ct));
+                    return Outcome::Response(self.serve_coop_doc(&doc, req));
                 }
                 Outcome::FetchNeeded { home, path }
             }
-            Some(doc) => {
-                let (bytes, ct) = (doc.bytes.clone(), doc.content_type.clone());
-                self.stats.served_coop += 1;
-                self.stats.bytes_sent += bytes.len() as u64;
-                Outcome::Response(Response::ok(bytes, &ct))
+            Some(doc) => Outcome::Response(self.serve_coop_doc(&doc, req)),
+            None => {
+                // A pulled body too large for the cache may be staged for
+                // exactly one serve; without this the retry after a pull
+                // would miss again and loop on FetchNeeded.
+                if let Some(i) = self.pending_serve.iter().position(|(k, _)| *k == key) {
+                    let (_, doc) = self.pending_serve.remove(i);
+                    return Outcome::Response(self.serve_coop_doc(&doc, req));
+                }
+                Outcome::FetchNeeded { home, path }
             }
-            None => Outcome::FetchNeeded { home, path },
         }
+    }
+
+    /// Ship a co-op-held copy: a 304 when the client's
+    /// `If-Modified-Since` covers it, the body otherwise, `Last-Modified`
+    /// either way.
+    fn serve_coop_doc(&mut self, doc: &CachedDoc, req: &Request) -> Response {
+        let last_modified = http_date(doc.modified_ms);
+        if let Some(since) = req
+            .headers
+            .get("If-Modified-Since")
+            .and_then(parse_http_date)
+        {
+            // HTTP dates have second granularity; compare at that grain.
+            if doc.modified_ms / 1000 * 1000 <= since {
+                self.stats.conditional_not_modified += 1;
+                return Response::not_modified().with_header("Last-Modified", &last_modified);
+            }
+        }
+        self.stats.served_coop += 1;
+        self.stats.bytes_sent += doc.bytes.len() as u64;
+        Response::ok(doc.bytes.clone(), &doc.content_type)
+            .with_header("Last-Modified", &last_modified)
     }
 
     /// Serve in the home role.
@@ -164,6 +189,25 @@ impl ServerEngine {
                 Outcome::Response(Response::moved_permanently(&url))
             }
             Location::Home => {
+                // Settle the Dirty bit first so the modification time the
+                // conditional check compares against is current.
+                self.settle_dirty(path);
+                let modified = self.doc_modified_ms(path);
+                let last_modified = http_date(modified);
+                if let Some(since) = req
+                    .headers
+                    .get("If-Modified-Since")
+                    .and_then(parse_http_date)
+                {
+                    // Second granularity: HTTP dates carry no millis.
+                    if modified / 1000 * 1000 <= since {
+                        self.stats.conditional_not_modified += 1;
+                        self.ldg.record_hit(path, 0);
+                        return Outcome::Response(
+                            Response::not_modified().with_header("Last-Modified", &last_modified),
+                        );
+                    }
+                }
                 let Some((bytes, ct)) = self.home_content(path) else {
                     // LDG/store inconsistency — treat as missing.
                     self.stats.not_found += 1;
@@ -172,7 +216,9 @@ impl ServerEngine {
                 self.ldg.record_hit(path, bytes.len() as u64);
                 self.stats.served_home += 1;
                 self.stats.bytes_sent += bytes.len() as u64;
-                Outcome::Response(Response::ok(bytes, &ct))
+                Outcome::Response(
+                    Response::ok(bytes, &ct).with_header("Last-Modified", &last_modified),
+                )
             }
         }
     }
@@ -223,14 +269,19 @@ impl ServerEngine {
             self.stats.validations_refreshed += 1;
             return resp;
         }
+        // Settle the Dirty bit first: a pending link rewrite bumps the
+        // version, so the compare below sees it as a mismatch.
+        self.settle_dirty(path);
         let version = self.doc_version(path);
-        let dirty = self.ldg.get(path).is_some_and(|e| e.dirty);
-        if peer_version == version && !dirty {
+        if peer_version == version {
             self.stats.validations_not_modified += 1;
             let mut resp = Response::not_modified();
             resp.headers
                 .set("X-DCWS-Version", version.to_string())
                 .expect("numeric header");
+            resp.headers
+                .set("Last-Modified", http_date(self.doc_modified_ms(path)))
+                .expect("static header");
             return resp;
         }
         self.stats.validations_refreshed += 1;
@@ -277,7 +328,9 @@ impl ServerEngine {
             doc: path.to_string(),
             coop: requester.cloned(),
         });
-        Response::ok(bytes, &ct).with_header("X-DCWS-Version", &version.to_string())
+        Response::ok(bytes, &ct)
+            .with_header("X-DCWS-Version", &version.to_string())
+            .with_header("Last-Modified", &http_date(self.doc_modified_ms(path)))
     }
 
     /// Accept an eager-migration push into the co-op store.
@@ -300,16 +353,17 @@ impl ServerEngine {
             .get("Content-Type")
             .unwrap_or("application/octet-stream")
             .to_string();
-        self.coop_docs.insert(
-            (home, url.path().to_string()),
-            CoopDoc {
-                bytes: req.body.clone(),
-                content_type,
-                version,
-                fetched_at: now_ms,
-                revoked: false,
-            },
-        );
+        let modified = req
+            .headers
+            .get("Last-Modified")
+            .and_then(parse_http_date)
+            .unwrap_or(now_ms);
+        let mut doc = CachedDoc::new(req.body.clone(), content_type, version, now_ms);
+        doc.modified_ms = modified;
+        let result = self
+            .coop_cache
+            .insert(&coop_cache_key(&home, url.path()), doc);
+        self.note_evictions("coop", result.evicted);
         let mut resp = Response::new(StatusCode::Ok);
         resp.headers
             .set("Content-Length", "0")
@@ -342,18 +396,34 @@ impl ServerEngine {
             .get("Content-Type")
             .unwrap_or("application/octet-stream")
             .to_string();
+        let modified = resp
+            .headers
+            .get("Last-Modified")
+            .and_then(parse_http_date)
+            .unwrap_or(now_ms);
         let key = (home.clone(), path.to_string());
         self.coop_moved.remove(&key);
-        self.coop_docs.insert(
-            key,
-            CoopDoc {
-                bytes: resp.body.clone(),
-                content_type,
-                version,
-                fetched_at: now_ms,
-                revoked: false,
-            },
-        );
+        let bytes = resp.body.len() as u64;
+        self.pull_sizes.record(bytes);
+        self.emit(EngineEvent::CachePull {
+            doc: path.to_string(),
+            home: home.clone(),
+            bytes,
+        });
+        let mut doc = CachedDoc::new(resp.body.clone(), content_type, version, now_ms);
+        doc.modified_ms = modified;
+        let result = self
+            .coop_cache
+            .insert(&coop_cache_key(home, path), doc.clone());
+        self.note_evictions("coop", result.evicted);
+        if !result.stored {
+            // Too large for our budget slice: stage the body so the
+            // retry that follows this pull can serve it exactly once.
+            if self.pending_serve.len() >= PENDING_SERVE_CAP {
+                self.pending_serve.remove(0);
+            }
+            self.pending_serve.push((key, doc));
+        }
         true
     }
 
@@ -373,7 +443,8 @@ impl ServerEngine {
         };
         let key = (home.clone(), path.to_string());
         // The old copy, if any, is superseded.
-        self.coop_docs.remove(&key);
+        self.coop_cache.remove(&coop_cache_key(home, path));
+        self.pending_serve.retain(|(k, _)| *k != key);
         self.coop_moved
             .insert(key, (location, now_ms + self.cfg.validation_interval_ms));
     }
@@ -388,31 +459,41 @@ impl ServerEngine {
     ) {
         self.now_ms = self.now_ms.max(now_ms);
         self.ingest_reports(&resp.headers);
-        let key = (home.clone(), path.to_string());
-        let Some(doc) = self.coop_docs.get_mut(&key) else {
+        let cache_key = coop_cache_key(home, path);
+        // Peek, not get: the control path must not skew hit/miss counts
+        // or LRU order.
+        let Some(doc) = self.coop_cache.peek(&cache_key) else {
             return;
         };
         match resp.status {
             StatusCode::NotModified => {
-                doc.fetched_at = now_ms;
+                self.coop_cache.touch(&cache_key, now_ms);
             }
             StatusCode::Ok if resp.headers.contains("X-DCWS-Revoked") => {
                 // Keep the bytes as crash insurance, stop serving them.
-                doc.revoked = true;
-                doc.fetched_at = now_ms;
+                self.coop_cache.set_negative(&cache_key, true);
+                self.coop_cache.touch(&cache_key, now_ms);
             }
             StatusCode::Ok => {
-                doc.bytes = resp.body.clone();
-                doc.version = resp
+                let version = resp
                     .headers
                     .get("X-DCWS-Version")
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(doc.version + 1);
-                if let Some(ct) = resp.headers.get("Content-Type") {
-                    doc.content_type = ct.to_string();
-                }
-                doc.fetched_at = now_ms;
-                doc.revoked = false;
+                let content_type = resp
+                    .headers
+                    .get("Content-Type")
+                    .map(|ct| ct.to_string())
+                    .unwrap_or(doc.content_type);
+                let modified = resp
+                    .headers
+                    .get("Last-Modified")
+                    .and_then(parse_http_date)
+                    .unwrap_or(now_ms);
+                let mut fresh = CachedDoc::new(resp.body.clone(), content_type, version, now_ms);
+                fresh.modified_ms = modified;
+                let result = self.coop_cache.insert(&cache_key, fresh);
+                self.note_evictions("coop", result.evicted);
             }
             _ => {} // transient failure: retry at next T_val
         }

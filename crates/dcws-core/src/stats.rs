@@ -25,6 +25,9 @@ pub struct EngineStats {
     pub validations_not_modified: u64,
     /// Validation requests answered with fresh content.
     pub validations_refreshed: u64,
+    /// Plain conditional GETs (`If-Modified-Since`) answered 304 with
+    /// zero body bytes.
+    pub conditional_not_modified: u64,
     /// Documents re-parsed and regenerated with rewritten hyperlinks.
     pub regenerations: u64,
     /// Logical migrations performed.
@@ -57,6 +60,8 @@ impl EngineStats {
             validations_not_modified: self.validations_not_modified
                 - earlier.validations_not_modified,
             validations_refreshed: self.validations_refreshed - earlier.validations_refreshed,
+            conditional_not_modified: self.conditional_not_modified
+                - earlier.conditional_not_modified,
             regenerations: self.regenerations - earlier.regenerations,
             migrations: self.migrations - earlier.migrations,
             revocations: self.revocations - earlier.revocations,
@@ -78,7 +83,7 @@ impl EngineStats {
     /// The single source of truth for anything that enumerates the
     /// counters — the `/dcws/status` JSON, CSV headers, and the tests
     /// that check the endpoint exposes *all* of them.
-    pub fn fields(&self) -> [(&'static str, u64); 17] {
+    pub fn fields(&self) -> [(&'static str, u64); 18] {
         [
             ("requests", self.requests),
             ("served_home", self.served_home),
@@ -89,6 +94,7 @@ impl EngineStats {
             ("pulls_served", self.pulls_served),
             ("validations_not_modified", self.validations_not_modified),
             ("validations_refreshed", self.validations_refreshed),
+            ("conditional_not_modified", self.conditional_not_modified),
             ("regenerations", self.regenerations),
             ("migrations", self.migrations),
             ("revocations", self.revocations),
@@ -195,24 +201,25 @@ mod tests {
             pulls_served: 7,
             validations_not_modified: 8,
             validations_refreshed: 9,
-            regenerations: 10,
-            migrations: 11,
-            revocations: 12,
-            remigrations: 13,
-            pings_sent: 14,
-            peers_declared_dead: 15,
-            bytes_sent: 16,
-            replicas_created: 17,
+            conditional_not_modified: 10,
+            regenerations: 11,
+            migrations: 12,
+            revocations: 13,
+            remigrations: 14,
+            pings_sent: 15,
+            peers_declared_dead: 16,
+            bytes_sent: 17,
+            replicas_created: 18,
         };
         let fields = s.fields();
-        assert_eq!(fields.len(), 17);
+        assert_eq!(fields.len(), 18);
         let sum: u64 = fields.iter().map(|(_, v)| v).sum();
-        assert_eq!(sum, (1..=17).sum::<u64>());
+        assert_eq!(sum, (1..=18).sum::<u64>());
         // Names are unique.
         let mut names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 17);
+        assert_eq!(names.len(), 18);
     }
 
     #[test]

@@ -25,7 +25,25 @@
 
 use crate::engine::ServerEngine;
 use crate::json::Json;
+use dcws_cache::CacheStats;
 use dcws_graph::{Location, ServerId};
+
+/// Render one cache's stats snapshot as a JSON object.
+fn cache_stats_json(s: &CacheStats) -> Json {
+    Json::obj(vec![
+        ("hits", Json::from(s.hits)),
+        ("misses", Json::from(s.misses)),
+        ("hit_ratio", Json::from(s.hit_ratio())),
+        ("negative_hits", Json::from(s.negative_hits)),
+        ("insertions", Json::from(s.insertions)),
+        ("evictions", Json::from(s.evictions)),
+        ("oversize_rejects", Json::from(s.oversize_rejects)),
+        ("coalesced_waits", Json::from(s.coalesced_waits)),
+        ("bytes_resident", Json::from(s.bytes_resident)),
+        ("entries", Json::from(s.entries)),
+        ("budget_bytes", Json::from(s.budget_bytes)),
+    ])
+}
 
 /// How many recent event records `status_json` embeds.
 pub const STATUS_RECENT_EVENTS: usize = 64;
@@ -199,11 +217,44 @@ impl ServerEngine {
                 .collect(),
         );
 
-        let revoked_coop_docs = self.coop_docs.values().filter(|d| d.revoked).count();
+        let coop_meta = self.coop_cache.entries_meta();
+        let revoked_coop_docs = coop_meta.iter().filter(|(_, m)| m.negative).count();
         let coop_role = Json::obj(vec![
-            ("docs_held", Json::from(self.coop_docs.len())),
+            ("docs_held", Json::from(coop_meta.len())),
             ("docs_revoked", Json::from(revoked_coop_docs)),
             ("moved_tombstones", Json::from(self.coop_moved.len())),
+        ]);
+
+        let regen_stats = self.regen_cache.stats();
+        let coop_stats = self.coop_cache.stats();
+        let merged = regen_stats.merged(&coop_stats);
+        let pulled_sizes = Json::obj(vec![
+            ("count", Json::from(self.pull_sizes.count())),
+            ("sum_bytes", Json::from(self.pull_sizes.sum())),
+            ("max_bytes", Json::from(self.pull_sizes.max())),
+            ("mean_bytes", Json::from(self.pull_sizes.mean())),
+            (
+                "buckets",
+                Json::Arr(
+                    self.pull_sizes
+                        .buckets()
+                        .iter()
+                        .map(|c| Json::from(*c))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let cache = Json::obj(vec![
+            ("hit_ratio", Json::from(merged.hit_ratio())),
+            ("bytes_resident", Json::from(merged.bytes_resident)),
+            ("budget_bytes", Json::from(merged.budget_bytes)),
+            ("evictions", Json::from(merged.evictions)),
+            ("coalesced_waits", Json::from(merged.coalesced_waits)),
+            ("oversize_rejects", Json::from(merged.oversize_rejects)),
+            ("pending_serve", Json::from(self.pending_serve.len())),
+            ("regen", cache_stats_json(&regen_stats)),
+            ("coop", cache_stats_json(&coop_stats)),
+            ("pulled_body_sizes", pulled_sizes),
         ]);
 
         let events = Json::obj(vec![
@@ -232,6 +283,7 @@ impl ServerEngine {
             ("active_migrations", migrations),
             ("hot_docs", hot),
             ("coop_role", coop_role),
+            ("cache", cache),
             ("events", events),
         ])
     }
@@ -286,9 +338,26 @@ mod tests {
             "active_migrations",
             "hot_docs",
             "coop_role",
+            "cache",
             "events",
         ] {
             assert!(status.get(section).is_some(), "missing section {section}");
+        }
+        // The acceptance keys of the cache section are present.
+        let cache = status.get("cache").unwrap();
+        for key in [
+            "hit_ratio",
+            "bytes_resident",
+            "evictions",
+            "coalesced_waits",
+        ] {
+            assert!(cache.get(key).is_some(), "missing cache.{key}");
+        }
+        for sub in ["regen", "coop"] {
+            assert!(
+                cache.get(sub).and_then(|s| s.get("hit_ratio")).is_some(),
+                "missing cache.{sub}.hit_ratio"
+            );
         }
         // Round-trips through the serializer and parser.
         let text = status.to_string();

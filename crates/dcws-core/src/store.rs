@@ -26,6 +26,9 @@ pub trait DocStore: Send {
     }
     /// Number of stored documents.
     fn len(&self) -> usize;
+    /// Total bytes across all stored documents — the corpus size, used
+    /// to print store footprints and pick default cache budgets.
+    fn total_bytes(&self) -> u64;
     /// Whether the store is empty.
     fn is_empty(&self) -> bool {
         self.len() == 0
@@ -61,6 +64,9 @@ impl DocStore for MemStore {
     }
     fn len(&self) -> usize {
         self.map.len()
+    }
+    fn total_bytes(&self) -> u64 {
+        self.map.values().map(|b| b.len() as u64).sum()
     }
 }
 
@@ -148,6 +154,26 @@ impl DocStore for DiskStore {
         }
         count(&self.root)
     }
+
+    fn total_bytes(&self) -> u64 {
+        fn sum(dir: &Path) -> u64 {
+            std::fs::read_dir(dir)
+                .map(|rd| {
+                    rd.flatten()
+                        .map(|e| {
+                            let p = e.path();
+                            if p.is_dir() {
+                                sum(&p)
+                            } else {
+                                e.metadata().map(|m| m.len()).unwrap_or(0)
+                            }
+                        })
+                        .sum()
+                })
+                .unwrap_or(0)
+        }
+        sum(&self.root)
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +188,7 @@ mod tests {
         assert_eq!(s.get("/a.html").unwrap(), b"hello");
         assert!(s.contains("/a.html"));
         assert_eq!(s.len(), 1);
+        assert_eq!(s.total_bytes(), 5);
         s.put("/a.html", b"world".to_vec());
         assert_eq!(s.get("/a.html").unwrap(), b"world");
         assert!(s.remove("/a.html"));
@@ -182,6 +209,7 @@ mod tests {
         s.put("/sub/dir/x.html", b"content".to_vec());
         assert_eq!(s.get("/sub/dir/x.html").unwrap(), b"content");
         assert_eq!(s.len(), 1);
+        assert_eq!(s.total_bytes(), 7);
         assert!(s.remove("/sub/dir/x.html"));
         assert!(s.get("/sub/dir/x.html").is_none());
         let _ = std::fs::remove_dir_all(&dir);

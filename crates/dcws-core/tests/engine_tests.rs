@@ -579,3 +579,194 @@ fn stats_counters_consistent() {
     assert_eq!(s.bad_requests, 1);
     assert!(s.bytes_sent > 0);
 }
+
+#[test]
+fn dirty_migrated_doc_refreshes_once_then_converges() {
+    // Regression for double regeneration: the Dirty bit used to be
+    // checked (and the version bumped) in more than one serving path.
+    // A migrated document whose links went stale must settle exactly
+    // once — one version bump, one refresh — after which validation
+    // answers 304 forever.
+    let mut home = make_home(ServerConfig::paper_defaults());
+    let mut coop = make_coop();
+    force_migration(&mut home, T_ST); // /d.html -> coop1
+    let now = T_ST + 5;
+    let pull = coop.make_pull_request("/d.html", now);
+    let resp = home.handle_request(&pull, now).into_response().unwrap();
+    assert!(coop.store_pulled(&home_id(), "/d.html", &resp, now));
+
+    // Migrate /e.html to a second co-op: /d.html links to it, so the
+    // copy shipped to coop1 now carries stale hyperlinks and /d.html's
+    // Dirty bit is set while it is migrated.
+    home.add_peer(ServerId::new("coop2:8002"));
+    for _ in 0..200 {
+        get(&mut home, "/e.html", 19_000);
+    }
+    let out = home.tick(2 * T_ST);
+    assert!(out.migrated.iter().any(|(d, _)| d == "/e.html"));
+    assert!(home.ldg().get("/d.html").unwrap().dirty);
+    let regen_before = home.stats().regenerations;
+
+    // First validation: the Dirty bit settles exactly once and the
+    // version mismatch refreshes the co-op copy.
+    let later = now + T_VAL;
+    let out = coop.tick(later);
+    assert_eq!(out.validations.len(), 1);
+    let (_, req) = &out.validations[0];
+    let vresp = home.handle_request(req, later).into_response().unwrap();
+    assert_eq!(vresp.status, StatusCode::Ok);
+    let v1 = home.doc_version("/d.html");
+    coop.handle_validation_response(&home_id(), "/d.html", &vresp, later);
+    assert_eq!(home.stats().regenerations, regen_before + 1);
+
+    // Second round: versions converged — a 304, no new regeneration,
+    // no further version bump.
+    let later2 = later + T_VAL + T_VAL / 4 + 1;
+    let out = coop.tick(later2);
+    assert_eq!(out.validations.len(), 1);
+    let (_, req) = &out.validations[0];
+    assert!(
+        req.headers.get("If-Modified-Since").is_some(),
+        "validation carries a conditional-GET date"
+    );
+    let vresp = home.handle_request(req, later2).into_response().unwrap();
+    assert_eq!(vresp.status, StatusCode::NotModified, "fresh copy must 304");
+    assert!(vresp.body.is_empty(), "304 ships zero body bytes");
+    assert_eq!(home.doc_version("/d.html"), v1);
+    assert_eq!(home.stats().regenerations, regen_before + 1);
+}
+
+#[test]
+fn conditional_get_answers_304_with_zero_body() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    let r = get(&mut home, "/e.html", 5_000);
+    let last_modified = r
+        .headers
+        .get("Last-Modified")
+        .expect("200 carries Last-Modified")
+        .to_string();
+    let req = Request::get("/e.html").with_header("If-Modified-Since", &last_modified);
+    let r = home.handle_request(&req, 6_000).into_response().unwrap();
+    assert_eq!(r.status, StatusCode::NotModified);
+    assert!(r.body.is_empty());
+    assert_eq!(home.stats().conditional_not_modified, 1);
+
+    // Republishing moves Last-Modified forward; the same conditional
+    // now gets fresh content.
+    home.publish("/e.html", b"<p>v2</p>".to_vec(), DocKind::Html, false);
+    let r = home.handle_request(&req, 9_000).into_response().unwrap();
+    assert_eq!(r.status, StatusCode::Ok, "stale validator gets the body");
+}
+
+#[test]
+fn eight_concurrent_misses_coalesce_to_one_pull() {
+    use dcws_cache::{Flight, SingleFlight};
+    use std::sync::{Arc, Barrier, Mutex};
+
+    const THREADS: usize = 8;
+    let mut home = make_home(ServerConfig::paper_defaults());
+    force_migration(&mut home, T_ST);
+    let now = T_ST + 5;
+
+    let home = Arc::new(Mutex::new(home));
+    let coop = Arc::new(Mutex::new(make_coop()));
+    let flights: Arc<SingleFlight<bool>> = Arc::new(SingleFlight::new());
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let migrate_path = "/~migrate/home/8000/d.html";
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let home = Arc::clone(&home);
+            let coop = Arc::clone(&coop);
+            let flights = Arc::clone(&flights);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                loop {
+                    let outcome = coop
+                        .lock()
+                        .unwrap()
+                        .handle_request(&Request::get(migrate_path), now);
+                    match outcome {
+                        Outcome::Response(r) => return r,
+                        Outcome::FetchNeeded { home: h, path } => {
+                            // The transport-level coalescing protocol: one
+                            // leader pulls, everyone else waits on it.
+                            let flight = flights.run(&path, || {
+                                // Hold the flight open so the other
+                                // threads arrive while it is pending.
+                                std::thread::sleep(std::time::Duration::from_millis(30));
+                                let pull = coop.lock().unwrap().make_pull_request(&path, now);
+                                let resp = home
+                                    .lock()
+                                    .unwrap()
+                                    .handle_request(&pull, now)
+                                    .into_response()
+                                    .unwrap();
+                                coop.lock().unwrap().store_pulled(&h, &path, &resp, now)
+                            });
+                            assert!(flight.clone().into_inner(), "pull must succeed");
+                            if let Flight::Coalesced(_) = flight {
+                                coop.lock().unwrap().coop_cache().record_coalesced_wait();
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for h in handles {
+        let r = h.join().unwrap();
+        assert_eq!(r.status, StatusCode::Ok);
+        assert!(String::from_utf8_lossy(&r.body).contains("doc D"));
+    }
+    assert_eq!(
+        home.lock().unwrap().stats().pulls_served,
+        1,
+        "8 concurrent misses must produce exactly one pull"
+    );
+    let coop = coop.lock().unwrap();
+    assert_eq!(
+        coop.coop_cache().stats().coalesced_waits,
+        THREADS as u64 - 1
+    );
+    assert_eq!(flights.stats().led, 1);
+}
+
+#[test]
+fn oversize_pulled_doc_still_served_via_staging() {
+    // A pulled document larger than the co-op cache's budget slice is
+    // rejected by the cache but staged for exactly one serve, so the
+    // post-pull retry succeeds instead of looping on FetchNeeded.
+    let mut home = make_home(ServerConfig::paper_defaults());
+    let mut cfg = ServerConfig::paper_defaults();
+    cfg.cache_budget_bytes = 64; // far below any document body
+    let mut coop = ServerEngine::new(coop_id(), cfg, Box::new(MemStore::new()));
+    force_migration(&mut home, T_ST);
+    let now = T_ST + 5;
+
+    let migrate_path = "/~migrate/home/8000/d.html";
+    let Outcome::FetchNeeded { home: h, path } =
+        coop.handle_request(&Request::get(migrate_path), now)
+    else {
+        panic!("expected FetchNeeded");
+    };
+    let pull = coop.make_pull_request(&path, now);
+    let resp = home.handle_request(&pull, now).into_response().unwrap();
+    assert!(coop.store_pulled(&h, &path, &resp, now));
+    assert_eq!(coop.coop_cache().stats().oversize_rejects, 1);
+
+    // The retry serves the staged body exactly once...
+    let r = coop
+        .handle_request(&Request::get(migrate_path), now + 1)
+        .into_response()
+        .expect("staged body must serve");
+    assert_eq!(r.status, StatusCode::Ok);
+    assert_eq!(r.body, resp.body);
+    // ...after which the next miss pulls again.
+    assert!(matches!(
+        coop.handle_request(&Request::get(migrate_path), now + 2),
+        Outcome::FetchNeeded { .. }
+    ));
+}

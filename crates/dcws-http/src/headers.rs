@@ -143,6 +143,95 @@ impl Headers {
     }
 }
 
+/// Day names for the RFC 1123 HTTP-date format, indexed by days since
+/// the epoch modulo 7 (1970-01-01 was a Thursday).
+const DAY_NAMES: [&str; 7] = ["Thu", "Fri", "Sat", "Sun", "Mon", "Tue", "Wed"];
+
+/// Month names for the RFC 1123 HTTP-date format.
+const MONTH_NAMES: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+/// Civil date from days since 1970-01-01 (Howard Hinnant's
+/// `civil_from_days`, limited to non-negative days).
+fn civil_from_days(days: u64) -> (u64, u64, u64) {
+    let z = days + 719_468;
+    let era = z / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Days since 1970-01-01 for a civil date (`days_from_civil`); `None`
+/// for pre-epoch dates.
+fn days_from_civil(y: u64, m: u64, d: u64) -> Option<u64> {
+    let y = if m <= 2 { y.checked_sub(1)? } else { y };
+    let era = y / 400;
+    let yoe = y - era * 400;
+    let mp = if m > 2 { m - 3 } else { m + 9 };
+    let doy = (153 * mp + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    (era * 146_097 + doe).checked_sub(719_468)
+}
+
+/// Format `ms` (milliseconds since the Unix epoch on whatever clock
+/// the engine is driven by) as an RFC 1123 HTTP-date, e.g.
+/// `Sun, 06 Nov 1994 08:49:37 GMT` — the fixed-length format RFC 2616
+/// requires for generated `Last-Modified` values. Sub-second precision
+/// is truncated, matching the one-second wire resolution.
+pub fn http_date(ms: u64) -> String {
+    let secs = ms / 1000;
+    let days = secs / 86_400;
+    let (y, m, d) = civil_from_days(days);
+    let tod = secs % 86_400;
+    format!(
+        "{}, {:02} {} {:04} {:02}:{:02}:{:02} GMT",
+        DAY_NAMES[(days % 7) as usize],
+        d,
+        MONTH_NAMES[(m - 1) as usize],
+        y,
+        tod / 3600,
+        (tod / 60) % 60,
+        tod % 60,
+    )
+}
+
+/// Parse an RFC 1123 HTTP-date back to milliseconds since the epoch.
+/// Returns `None` for malformed dates, unknown month names, non-GMT
+/// zones, or pre-epoch dates (which HTTP conditional logic treats the
+/// same as an absent header). The weekday field is not verified — it
+/// is redundant, and being lenient there follows the robustness
+/// principle.
+pub fn parse_http_date(s: &str) -> Option<u64> {
+    // "Sun, 06 Nov 1994 08:49:37 GMT"
+    let rest = s.trim();
+    let (_weekday, rest) = rest.split_once(", ")?;
+    let mut parts = rest.split_ascii_whitespace();
+    let day: u64 = parts.next()?.parse().ok()?;
+    let month = parts.next()?;
+    let month = MONTH_NAMES.iter().position(|m| *m == month)? as u64 + 1;
+    let year: u64 = parts.next()?.parse().ok()?;
+    let time = parts.next()?;
+    let zone = parts.next()?;
+    if zone != "GMT" || parts.next().is_some() {
+        return None;
+    }
+    let mut hms = time.split(':');
+    let h: u64 = hms.next()?.parse().ok()?;
+    let min: u64 = hms.next()?.parse().ok()?;
+    let sec: u64 = hms.next()?.parse().ok()?;
+    if day == 0 || day > 31 || h > 23 || min > 59 || sec > 60 {
+        return None;
+    }
+    let days = days_from_civil(year, month, day)?;
+    Some((days * 86_400 + h * 3600 + min * 60 + sec) * 1000)
+}
+
 impl<'a> IntoIterator for &'a Headers {
     type Item = (&'a str, &'a str);
     type IntoIter = Box<dyn Iterator<Item = (&'a str, &'a str)> + 'a>;
@@ -222,6 +311,47 @@ mod tests {
         assert_eq!(h.content_length().unwrap(), Some(7));
         h.set("Content-Length", "abc").unwrap();
         assert!(h.content_length().is_err());
+    }
+
+    #[test]
+    fn http_date_formats_rfc1123() {
+        // The RFC 2616 example date.
+        assert_eq!(http_date(784_111_777_000), "Sun, 06 Nov 1994 08:49:37 GMT");
+        assert_eq!(http_date(0), "Thu, 01 Jan 1970 00:00:00 GMT");
+        // Sub-second precision truncates.
+        assert_eq!(http_date(999), "Thu, 01 Jan 1970 00:00:00 GMT");
+    }
+
+    #[test]
+    fn http_date_round_trips() {
+        for ms in [
+            0,
+            784_111_777_000,
+            1_000,
+            86_400_000,
+            951_827_696_000,   // leap year, Feb 29 2000
+            4_102_444_799_000, // end of 2099
+        ] {
+            let s = http_date(ms);
+            assert_eq!(parse_http_date(&s), Some(ms), "round-trip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn parse_http_date_rejects_garbage() {
+        assert_eq!(parse_http_date(""), None);
+        assert_eq!(parse_http_date("not a date"), None);
+        assert_eq!(parse_http_date("Sun, 06 Nov 1994 08:49:37 PST"), None);
+        assert_eq!(parse_http_date("Sun, 06 Zzz 1994 08:49:37 GMT"), None);
+        assert_eq!(parse_http_date("Sun, 00 Nov 1994 08:49:37 GMT"), None);
+        assert_eq!(parse_http_date("Sun, 06 Nov 1994 25:49:37 GMT"), None);
+        assert_eq!(parse_http_date("Sun, 06 Nov 1969 08:49:37 GMT"), None);
+        assert_eq!(parse_http_date("Sun, 06 Nov 1994 08:49:37 GMT extra"), None);
+        // Wrong weekday is tolerated (redundant field).
+        assert_eq!(
+            parse_http_date("Mon, 06 Nov 1994 08:49:37 GMT"),
+            Some(784_111_777_000)
+        );
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod status;
 pub mod url;
 
 pub use error::{HttpError, Result};
-pub use headers::Headers;
+pub use headers::{http_date, parse_http_date, Headers};
 pub use method::Method;
 pub use parser::{parse_request, parse_response, Parsed};
 pub use piggyback::{LoadReport, PIGGYBACK_HEADER};

@@ -142,13 +142,22 @@ fn main() {
         engine.add_peer(ServerId::new(p.clone()));
     }
 
+    // Size the document cache to the corpus: a quarter covers the hot set
+    // of typical Zipf-like access patterns without letting regenerated
+    // copies and co-op pulls double memory, with a floor so tiny docroots
+    // still cache whole documents.
+    let corpus = engine.corpus_bytes();
+    let budget = (corpus / 4).max(1024 * 1024);
+    engine.set_cache_budget(budget);
+
     let links: usize = engine.ldg().iter().map(|e| e.link_to.len()).sum();
     println!(
-        "dcws-serve: {published} documents ({links} hyperlinks) on http://{id}/ \
-         ({} peers, entry points: {:?})",
+        "dcws-serve: {published} documents ({links} hyperlinks, {corpus} corpus bytes) \
+         on http://{id}/ ({} peers, entry points: {:?})",
         args.peers.len(),
         args.entries
     );
+    println!("document cache budget: {budget} bytes (corpus/4, 1 MiB floor)");
     let control = Duration::from_millis(if args.fast { 100 } else { 1_000 });
     let server = match DcwsServer::spawn(engine, &args.bind, control) {
         Ok(s) => s,
@@ -162,18 +171,20 @@ fn main() {
     // Periodic status line until killed.
     loop {
         std::thread::sleep(Duration::from_secs(10));
-        let (st, migrated, events) = {
+        let (st, migrated, events, cache) = {
             let eng = server.engine().lock();
             (
                 eng.stats(),
                 eng.ldg().all_migrated().len(),
                 eng.events().total_recorded(),
+                eng.regen_cache().stats().merged(&eng.coop_cache().stats()),
             )
         };
         let service = server.metrics().service_time.snapshot();
         println!(
             "served={} coop_served={} redirects={} migrations={} (active {migrated}) \
-             pulls={} regens={} dropped={} events={events} p95={:?}",
+             pulls={} regens={} dropped={} events={events} p95={:?} \
+             cache[hit={:.2} resident={}B evict={}]",
             st.served_home,
             st.served_coop,
             st.redirects,
@@ -182,6 +193,9 @@ fn main() {
             st.regenerations,
             server.dropped_connections(),
             service.percentile(95.0),
+            cache.hit_ratio(),
+            cache.bytes_resident,
+            cache.evictions,
         );
     }
 }

@@ -324,5 +324,16 @@ fn print_server_status(entries: &[Url]) {
             counter("pulls_served"),
             counter("regenerations"),
         );
+        let cache = |name: &str| doc.get("cache").and_then(|c| c.get(name));
+        let hit_ratio = cache("hit_ratio").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let num = |name: &str| cache(name).and_then(|v| v.as_u64()).unwrap_or(0);
+        println!(
+            "cache  {server}: hit_ratio={hit_ratio:.3} bytes_resident={} evictions={} \
+             coalesced_waits={} conditional_304s={}",
+            num("bytes_resident"),
+            num("evictions"),
+            num("coalesced_waits"),
+            counter("conditional_not_modified"),
+        );
     }
 }

@@ -5,6 +5,7 @@ use crate::client::fetch_from_timeout;
 use crate::conn::{read_request, write_response, READ_TIMEOUT};
 use crate::metrics::TransportMetrics;
 use crate::queue::SocketQueue;
+use dcws_cache::SingleFlight;
 use dcws_core::{Json, Outcome, ServerEngine};
 use dcws_graph::ServerId;
 use dcws_http::{is_reserved_path, Response, StatusCode, STATUS_PATH};
@@ -19,10 +20,25 @@ use std::time::{Duration, Instant};
 /// client's exponential back-off starts at one second (§5.2).
 const RETRY_AFTER_SECS: u32 = 1;
 
+/// Outcome of a (possibly coalesced) lazy pull, cloneable so follower
+/// workers can reuse the leader's result.
+#[derive(Clone)]
+enum PullResult {
+    /// The copy is now in the co-op cache (or staged); retry the request.
+    Stored,
+    /// The home declined (redirect, 404, …); relay its answer as-is.
+    Rejected(Response),
+    /// The home is unreachable; shed the request.
+    Unreachable,
+}
+
 /// Everything the worker and front-end threads share.
 struct Shared {
     engine: Mutex<ServerEngine>,
     metrics: TransportMetrics,
+    /// Coalesces concurrent lazy pulls for the same document: the first
+    /// worker to miss leads the pull, the rest wait on its flight.
+    pulls: SingleFlight<PullResult>,
     dropped: AtomicU64,
     queue: SocketQueue<TcpStream>,
     epoch: Instant,
@@ -58,6 +74,14 @@ impl Shared {
                 "service_time",
                 self.metrics.service_time.snapshot().to_json(),
             ),
+            ("pull_flights", {
+                let fs = self.pulls.stats();
+                Json::obj(vec![
+                    ("led", Json::from(fs.led)),
+                    ("coalesced", Json::from(fs.coalesced)),
+                    ("in_flight", Json::from(self.pulls.in_flight())),
+                ])
+            }),
         ]);
         match engine_status {
             Json::Obj(mut pairs) => {
@@ -102,6 +126,7 @@ impl DcwsServer {
         let shared = Arc::new(Shared {
             engine: Mutex::new(engine),
             metrics: TransportMetrics::default(),
+            pulls: SingleFlight::new(),
             dropped: AtomicU64::new(0),
             queue: SocketQueue::new(queue_len),
             epoch: Instant::now(),
@@ -290,36 +315,55 @@ fn serve_one(shared: &Arc<Shared>, req: dcws_http::Request) -> std::io::Result<R
             return Ok(shared.reserved_response(url.path()));
         }
     }
-    let now = shared.now_ms();
-    let outcome = shared.engine.lock().handle_request(&req, now);
-    let resp = match outcome {
-        Outcome::Response(r) => r,
-        Outcome::FetchNeeded { home, path } => {
-            // Lazy physical migration (§4.2): pull from home, store, retry.
+    // Two attempts: a co-op miss performs (or joins) the lazy pull, then
+    // retries the request against the now-warm cache.
+    for attempt in 0..2 {
+        let now = shared.now_ms();
+        let outcome = shared.engine.lock().handle_request(&req, now);
+        let (home, path) = match outcome {
+            Outcome::Response(r) => return Ok(r),
+            Outcome::FetchNeeded { home, path } => (home, path),
+        };
+        if attempt > 0 {
+            // The pull landed but the copy is already gone (evicted under
+            // pressure, or a concurrent request consumed a staged
+            // oversize body): give up rather than pull in a loop.
+            return Ok(Response::new(StatusCode::InternalServerError));
+        }
+        // Lazy physical migration (§4.2), coalesced: concurrent misses
+        // for the same document ride one pull (the flight key carries
+        // the home so identically-named docs of different homes don't
+        // collide).
+        let flight_key = format!("{home} {path}");
+        let flight = shared.pulls.run(&flight_key, || {
+            let now = shared.now_ms();
             let pull = shared.engine.lock().make_pull_request(&path, now);
             match fetch_from_timeout(&home, &pull, READ_TIMEOUT) {
                 Ok(pull_resp) => {
                     let mut eng = shared.engine.lock();
                     if eng.store_pulled(&home, &path, &pull_resp, now) {
-                        match eng.handle_request(&req, now) {
-                            Outcome::Response(r) => r,
-                            Outcome::FetchNeeded { .. } => {
-                                Response::new(StatusCode::InternalServerError)
-                            }
-                        }
+                        PullResult::Stored
                     } else {
                         // Home declined (301 to the current host, 404, …):
                         // remember redirects, relay the answer as-is.
                         eng.pull_rejected(&home, &path, &pull_resp, now);
-                        pull_resp
+                        PullResult::Rejected(pull_resp)
                     }
                 }
-                // Home unreachable and we hold no copy: shed the request.
-                Err(_) => Response::service_unavailable(RETRY_AFTER_SECS),
+                // Home unreachable and we hold no copy.
+                Err(_) => PullResult::Unreachable,
             }
+        });
+        if !flight.led() {
+            shared.engine.lock().coop_cache().record_coalesced_wait();
         }
-    };
-    Ok(resp)
+        match flight.into_inner() {
+            PullResult::Stored => continue,
+            PullResult::Rejected(resp) => return Ok(resp),
+            PullResult::Unreachable => return Ok(Response::service_unavailable(RETRY_AFTER_SECS)),
+        }
+    }
+    unreachable!("serve_one returns within two attempts")
 }
 
 /// Perform the network side of a tick: pings, validations, eager pushes.

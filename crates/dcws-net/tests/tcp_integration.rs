@@ -129,6 +129,84 @@ fn migration_redirect_and_pull_over_tcp() {
 }
 
 #[test]
+fn concurrent_misses_coalesce_to_one_pull_over_tcp() {
+    // Eight clients hit the co-op for the same migrated document at once;
+    // the transport's singleflight must turn those misses into exactly one
+    // pull against the home server.
+    let l1 = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let p_home = l1.local_addr().unwrap().port();
+    let l2 = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let p_coop = l2.local_addr().unwrap().port();
+    drop((l1, l2));
+    let home_id = ServerId::new(format!("127.0.0.1:{p_home}"));
+    let coop_id = ServerId::new(format!("127.0.0.1:{p_coop}"));
+
+    let mut home_engine = engine(&home_id, fast_config());
+    home_engine.publish(
+        "/index.html",
+        br#"<a href="/d.html">D</a>"#.to_vec(),
+        DocKind::Html,
+        true,
+    );
+    home_engine.publish(
+        "/d.html",
+        b"<p>payload-D</p>".to_vec(),
+        DocKind::Html,
+        false,
+    );
+    home_engine.add_peer(coop_id.clone());
+
+    let coop = DcwsServer::spawn(
+        engine(&coop_id, fast_config()),
+        &coop_id.to_string(),
+        Duration::from_millis(25),
+    )
+    .unwrap();
+    let home =
+        DcwsServer::spawn(home_engine, &home_id.to_string(), Duration::from_millis(25)).unwrap();
+
+    // Drive the home to migrate /d.html without ever following the
+    // redirect, so the co-op holds no copy yet.
+    for _ in 0..60 {
+        let r = fetch_from(&home_id, &Request::get("/d.html")).unwrap();
+        assert!(r.status.is_success() || r.status.is_redirect());
+    }
+    assert!(wait_for(Duration::from_secs(5), || {
+        home.engine().lock().stats().migrations >= 1
+    }));
+    assert_eq!(home.engine().lock().stats().pulls_served, 0);
+
+    // Eight simultaneous first requests for the migrated URL at the co-op.
+    let migrate_path = format!("/~migrate/127.0.0.1/{p_home}/d.html");
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(8));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let coop_id = coop_id.clone();
+            let path = migrate_path.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                fetch_from(&coop_id, &Request::get(&path)).unwrap()
+            })
+        })
+        .collect();
+    for h in handles {
+        let resp = h.join().unwrap();
+        assert_eq!(resp.status, StatusCode::Ok);
+        assert!(String::from_utf8_lossy(&resp.body).contains("payload-D"));
+    }
+    assert_eq!(
+        home.engine().lock().stats().pulls_served,
+        1,
+        "concurrent misses must coalesce into a single pull"
+    );
+    assert_eq!(coop.engine().lock().stats().served_coop, 8);
+
+    home.shutdown();
+    coop.shutdown();
+}
+
+#[test]
 fn graceful_503_when_socket_queue_full() {
     let mut cfg = fast_config();
     cfg.n_workers = 1;

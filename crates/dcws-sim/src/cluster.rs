@@ -61,6 +61,10 @@ enum CState {
 struct PendingFetch {
     url: Url,
     redirects_left: u32,
+    /// When the first request of this fetch left the client, for
+    /// end-to-end response-time accounting (redirect hops and lazy-pull
+    /// waits included).
+    issued_at: SimTime,
 }
 
 struct ClientSt {
@@ -113,6 +117,10 @@ pub struct SimCluster {
     /// Outstanding open-loop replay fetches: token -> (client, redirects left).
     replay_pending: HashMap<u64, (usize, u32)>,
     replay_next_token: u64,
+    /// Sum of end-to-end fetch latencies (200-completed only), µs.
+    latency_us_sum: u64,
+    /// Number of latencies in `latency_us_sum`.
+    latency_n: u64,
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -262,6 +270,8 @@ impl SimCluster {
             engine_events: Vec::new(),
             replay_pending: HashMap::new(),
             replay_next_token: 0,
+            latency_us_sum: 0,
+            latency_n: 0,
         }
     }
 
@@ -339,11 +349,15 @@ impl SimCluster {
         let mut regenerations = 0;
         let mut migrations = 0;
         let mut revocations = 0;
+        let mut cache = dcws_cache::CacheStats::default();
         for (i, s) in self.servers.iter_mut().enumerate() {
             let st = s.engine.stats();
             regenerations += st.regenerations;
             migrations += st.migrations;
             revocations += st.revocations;
+            cache = cache
+                .merged(&s.engine.regen_cache().stats())
+                .merged(&s.engine.coop_cache().stats());
             let tail: Vec<(usize, EventRecord)> = s
                 .engine
                 .drain_events()
@@ -362,6 +376,12 @@ impl SimCluster {
             regenerations,
             migrations,
             revocations,
+            cache,
+            mean_response_ms: if self.latency_n == 0 {
+                0.0
+            } else {
+                self.latency_us_sum as f64 / self.latency_n as f64 / 1_000.0
+            },
             duration_ms: self.cfg.duration_ms,
             trace: if self.cfg.record_trace {
                 Some(crate::trace::Trace::new(self.trace_out))
@@ -455,9 +475,14 @@ impl SimCluster {
                     .push(self.now + service, Event::ServiceDone { server });
             }
             Outcome::FetchNeeded { home, path } => {
-                // Park the request; first parker triggers the pull.
+                // Park the request; first parker triggers the pull, later
+                // ones coalesce onto it (the simulator's analogue of the
+                // transport singleflight).
                 let key = (home.clone(), path.clone());
                 let first = !srv.parked.contains_key(&key);
+                if !first {
+                    srv.engine.coop_cache().record_coalesced_wait();
+                }
                 srv.parked.entry(key).or_default().push((req, origin));
                 srv.busy = true;
                 self.queue
@@ -872,6 +897,7 @@ impl SimCluster {
             PendingFetch {
                 url: url.clone(),
                 redirects_left: self.cfg.client.max_redirects,
+                issued_at: self.now,
             },
         ));
         c.state = CState::AwaitDoc;
@@ -899,6 +925,7 @@ impl SimCluster {
                 PendingFetch {
                     url: url.clone(),
                     redirects_left: self.cfg.client.max_redirects,
+                    issued_at: self.now,
                 },
             );
             self.send_client_request(client, &url, token);
@@ -1031,6 +1058,8 @@ impl SimCluster {
                 let c = &mut self.clients[client];
                 c.backoff_pow = 0;
                 let (_, pending) = c.pending_doc.take().expect("doc response has pending");
+                self.latency_us_sum += self.now.saturating_sub(pending.issued_at);
+                self.latency_n += 1;
                 let final_url = pending.url;
                 let requested = c.current_url.clone().map(|u| u.to_string());
                 let is_html = resp
@@ -1174,6 +1203,9 @@ impl SimCluster {
                 let c = &mut self.clients[client];
                 c.backoff_pow = 0;
                 if let Some(p) = c.images_pending.remove(&token) {
+                    self.latency_us_sum += self.now.saturating_sub(p.issued_at);
+                    self.latency_n += 1;
+                    let c = &mut self.clients[client];
                     c.cache.insert(p.url.to_string(), CacheEntry::Other);
                 }
                 self.client_launch_images(client);

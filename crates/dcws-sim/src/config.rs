@@ -100,11 +100,16 @@ impl SimConfig {
     /// A configuration mirroring the paper's setup for `dataset` with the
     /// given cluster and client sizes.
     pub fn paper(dataset: Dataset, n_servers: usize, n_clients: usize) -> Self {
+        // The paper's testbed held every dataset in memory and never
+        // evicted, so the figure harnesses run with an unbounded document
+        // cache; the `cachepress` benchmark sweeps explicit budgets.
+        let mut server_config = ServerConfig::paper_defaults();
+        server_config.cache_budget_bytes = u64::MAX;
         SimConfig {
             n_servers,
             n_clients,
             dataset,
-            server_config: ServerConfig::paper_defaults(),
+            server_config,
             cost: CostModel::paper_testbed(),
             client: ClientModel::default(),
             strategy: Strategy::Dcws,

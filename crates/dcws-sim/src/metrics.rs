@@ -1,6 +1,7 @@
 //! Metric collection and reduction — the CPS/BPS measures of §5.3 —
 //! plus the merged engine event trace for causal analysis.
 
+use dcws_cache::CacheStats;
 use dcws_core::EventRecord;
 use std::io::Write;
 use std::path::Path;
@@ -54,6 +55,12 @@ pub struct SimResult {
     pub migrations: u64,
     /// Total revocations across servers.
     pub revocations: u64,
+    /// Document-cache statistics (regen + co-op caches) merged across
+    /// every server, for the budget-vs-hit-ratio experiments.
+    pub cache: CacheStats,
+    /// Mean client-observed fetch latency over completed (200) fetches,
+    /// ms — redirect hops and lazy-pull waits included.
+    pub mean_response_ms: f64,
     /// Run length, ms.
     pub duration_ms: u64,
     /// The access log recorded during the run, when
@@ -170,6 +177,8 @@ mod tests {
             regenerations: 0,
             migrations: 0,
             revocations: 0,
+            cache: CacheStats::default(),
+            mean_response_ms: 0.0,
             duration_ms: cps.len() as u64 * 10_000,
             trace: None,
             engine_events: Vec::new(),

@@ -28,5 +28,14 @@ step cargo fmt --all --check
 step cargo clippy --workspace --all-targets -- -D warnings
 step env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
+# Bench-binary smoke: the figure harnesses and the cache-pressure sweep
+# must run end to end and emit their CSVs (quick mode keeps this fast).
+if [[ $quick -eq 0 ]]; then
+    step env DCWS_BENCH_QUICK=1 cargo run --release -q -p dcws-bench --bin fig6 -- --status-dump
+    step env DCWS_BENCH_QUICK=1 cargo run --release -q -p dcws-bench --bin cachepress -- --status-dump
+    test -s bench_results/fig6.csv
+    test -s bench_results/cachepress.csv
+fi
+
 echo
 echo "All checks passed."

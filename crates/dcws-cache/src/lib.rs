@@ -24,9 +24,11 @@
 //! * **[`CacheStats`]** / **[`SizeHistogram`]** — cheap snapshots for
 //!   the `/dcws/status` observability endpoint.
 //!
-//! The crate is std-only (no dependencies) and every public method is
-//! `&self`: shards are internally locked, so one `DocCache` can be
-//! shared by a worker pool without an outer lock.
+//! The crate depends only on `dcws-http` (for the shared [`Body`]
+//! type) and every public method is `&self`: shards are internally
+//! locked, so one `DocCache` can be shared by a worker pool without an
+//! outer lock. Because bodies are `Arc<[u8]>`-backed, a cache hit
+//! clones a refcount, never the document bytes.
 //!
 //! ```
 //! use dcws_cache::{CacheConfig, CachedDoc, DocCache};
@@ -50,6 +52,7 @@ pub use histogram::{SizeHistogram, N_SIZE_BUCKETS};
 pub use singleflight::{Flight, FlightStats, SingleFlight};
 pub use stats::CacheStats;
 
+use dcws_http::Body;
 use shard::Shard;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -94,8 +97,9 @@ impl CacheConfig {
 /// machinery (§4.5) needs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CachedDoc {
-    /// The (possibly regenerated) response body.
-    pub bytes: Vec<u8>,
+    /// The (possibly regenerated) response body, shared zero-copy
+    /// with every response that serves it.
+    pub bytes: Body,
     /// MIME type the body should be served with.
     pub content_type: String,
     /// Document version this body was generated from or pulled at.
@@ -114,13 +118,13 @@ pub struct CachedDoc {
 impl CachedDoc {
     /// A positive entry with `modified_ms == fetched_at`.
     pub fn new(
-        bytes: Vec<u8>,
+        bytes: impl Into<Body>,
         content_type: impl Into<String>,
         version: u64,
         fetched_at: u64,
     ) -> CachedDoc {
         CachedDoc {
-            bytes,
+            bytes: bytes.into(),
             content_type: content_type.into(),
             version,
             fetched_at,
@@ -421,14 +425,11 @@ mod tests {
         });
         let body = "123456789";
         for k in ["/a", "/b", "/c"] {
-            assert!(
-                c.insert(k, CachedDoc::new(body.into(), "text/plain", 1, 0))
-                    .stored
-            );
+            assert!(c.insert(k, CachedDoc::new(body, "text/plain", 1, 0)).stored);
         }
         // Touch /a so /b is the LRU victim.
         assert!(c.get("/a").is_some());
-        let r = c.insert("/d", CachedDoc::new(body.into(), "text/plain", 1, 0));
+        let r = c.insert("/d", CachedDoc::new(body, "text/plain", 1, 0));
         assert!(r.stored);
         assert_eq!(r.evicted.len(), 1);
         assert_eq!(r.evicted[0].key, "/b");
@@ -445,7 +446,7 @@ mod tests {
         });
         assert!(c.insert("/a", doc("tiny")).stored);
         let huge = "x".repeat(1024);
-        let r = c.insert("/a", CachedDoc::new(huge.into(), "text/plain", 2, 0));
+        let r = c.insert("/a", CachedDoc::new(huge, "text/plain", 2, 0));
         assert!(!r.stored);
         assert!(c.peek("/a").is_none(), "stale copy must not survive");
         assert_eq!(c.stats().oversize_rejects, 1);
@@ -498,7 +499,7 @@ mod tests {
         c.insert(
             "/a",
             CachedDoc {
-                bytes: b"body".to_vec(),
+                bytes: b"body".to_vec().into(),
                 content_type: "text/html".into(),
                 version: 7,
                 fetched_at: 123,

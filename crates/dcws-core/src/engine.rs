@@ -12,6 +12,7 @@
 use crate::config::ServerConfig;
 use crate::events::{EngineEvent, EventLog, EventRecord, RevokeReason};
 use crate::naming::migrate_url;
+use crate::readpath::ReadPath;
 use crate::stats::EngineStats;
 use crate::store::DocStore;
 use dcws_cache::{CacheConfig, CachedDoc, DocCache, Evicted, SizeHistogram};
@@ -19,8 +20,9 @@ use dcws_graph::{
     select_for_migration, DocKind, GlobalLoadTable, LoadInfo, LocalDocGraph, Location, RateWindow,
     ServerId,
 };
-use dcws_http::{http_date, Headers, LoadReport, Request};
+use dcws_http::{http_date, Body, Headers, LoadReport, Request};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Key for a co-op-held document: `(home server, original path)`.
 pub(crate) type CoopKey = (ServerId, String);
@@ -99,7 +101,7 @@ pub struct ServerEngine {
     /// [`home_variant_key`] / [`pull_variant_key`] and validated per
     /// version, so repeated serves of an unchanged document do not
     /// re-run the §4.3 parse/reconstruct.
-    pub(crate) regen_cache: DocCache,
+    pub(crate) regen_cache: Arc<DocCache>,
     /// Content version per home document; bumped on publish/regenerate.
     pub(crate) versions: HashMap<String, u64>,
     /// Last-Modified time per home document (engine ms), carried on the
@@ -111,7 +113,7 @@ pub struct ServerEngine {
     pub(crate) rewritten: HashSet<String>,
     /// Copies held in the co-op role, keyed by [`coop_cache_key`].
     /// Revoked copies become negative entries (crash insurance, §4.5).
-    pub(crate) coop_cache: DocCache,
+    pub(crate) coop_cache: Arc<DocCache>,
     /// One-shot staging for pulled documents too large for the co-op
     /// cache: consumed by the next request, bounded FIFO.
     pub(crate) pending_serve: Vec<(CoopKey, CachedDoc)>,
@@ -130,6 +132,10 @@ pub struct ServerEngine {
     last_ping_ms: HashMap<ServerId, u64>,
     ping_failures: HashMap<ServerId, u32>,
     pub(crate) dead_peers: HashSet<ServerId>,
+    /// The concurrent read-mostly serve path: primed/invalidated by this
+    /// engine under its exclusive lock, read by transport workers without
+    /// it. Its mailboxes are drained every [`tick`](Self::tick).
+    pub(crate) read: Arc<ReadPath>,
     pub(crate) stats: EngineStats,
     pub(crate) events: EventLog,
     /// Last timestamp injected via [`handle_request`](crate::serve) or
@@ -144,16 +150,19 @@ impl ServerEngine {
     pub fn new(id: ServerId, cfg: ServerConfig, originals: Box<dyn DocStore>) -> Self {
         let window_ms = cfg.stat_interval_ms.max(1_000);
         let (regen_budget, coop_budget) = split_cache_budget(cfg.cache_budget_bytes);
+        let coop_cache = Arc::new(DocCache::new(CacheConfig::new(coop_budget)));
+        let read = Arc::new(ReadPath::new(id.clone(), coop_cache.clone(), regen_budget));
         ServerEngine {
             glt: GlobalLoadTable::new(id.clone()),
             id,
             ldg: LocalDocGraph::new(),
             originals,
-            regen_cache: DocCache::new(CacheConfig::new(regen_budget)),
+            regen_cache: Arc::new(DocCache::new(CacheConfig::new(regen_budget))),
             versions: HashMap::new(),
             modified: HashMap::new(),
             rewritten: HashSet::new(),
-            coop_cache: DocCache::new(CacheConfig::new(coop_budget)),
+            coop_cache,
+            read,
             pending_serve: Vec::new(),
             pull_sizes: SizeHistogram::new(),
             coop_moved: HashMap::new(),
@@ -182,9 +191,25 @@ impl ServerEngine {
         &self.cfg
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot: the exclusive path's counters folded together
+    /// with the read path's, so totals stay whole no matter which path
+    /// served a request.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        let mut s = self.stats;
+        let r = self.read.snapshot();
+        s.requests += r.requests;
+        s.served_home += r.served_home;
+        s.served_coop += r.served_coop;
+        s.redirects += r.redirects;
+        s.conditional_not_modified += r.conditional_not_modified;
+        s.bytes_sent += r.bytes_sent;
+        s
+    }
+
+    /// The shared read-mostly serve path. Transport hosts clone the `Arc`
+    /// and call [`ReadPath::try_serve`] before taking the engine lock.
+    pub fn read_path(&self) -> &Arc<ReadPath> {
+        &self.read
     }
 
     /// Read access to the structured event log (see [`EventLog`]).
@@ -253,6 +278,7 @@ impl ServerEngine {
     pub fn set_cache_budget(&mut self, total: u64) {
         self.cfg.cache_budget_bytes = total;
         let (regen_budget, coop_budget) = split_cache_budget(total);
+        self.read.set_table_budget(regen_budget);
         let evicted = self.regen_cache.set_budget(regen_budget);
         self.note_evictions("regen", evicted);
         let evicted = self.coop_cache.set_budget(coop_budget);
@@ -298,6 +324,7 @@ impl ServerEngine {
         };
         let size = bytes.len() as u64;
         self.originals.put(name, bytes);
+        self.read.invalidate(name);
         self.regen_cache.remove(&home_variant_key(name));
         self.regen_cache.remove(&pull_variant_key(name));
         // The fresh original is the current form again (until a
@@ -351,23 +378,29 @@ impl ServerEngine {
     /// Hearing from a dead-listed peer resurrects it.
     pub fn ingest_reports(&mut self, headers: &Headers) {
         for r in LoadReport::extract_all(headers) {
-            let sid = ServerId::new(r.server.clone());
-            if sid == self.id {
-                continue;
+            self.ingest_report(&r);
+        }
+    }
+
+    /// Merge one load report into the GLT (also the drain path for
+    /// reports the read path deferred to its mailbox).
+    pub(crate) fn ingest_report(&mut self, r: &LoadReport) {
+        let sid = ServerId::new(r.server.clone());
+        if sid == self.id {
+            return;
+        }
+        if self.glt.update(
+            sid.clone(),
+            LoadInfo {
+                cps: r.cps,
+                bps: r.bps,
+                ts_ms: r.ts_ms,
+            },
+        ) {
+            if self.dead_peers.remove(&sid) {
+                self.emit(EngineEvent::PeerResurrected { peer: sid.clone() });
             }
-            if self.glt.update(
-                sid.clone(),
-                LoadInfo {
-                    cps: r.cps,
-                    bps: r.bps,
-                    ts_ms: r.ts_ms,
-                },
-            ) {
-                if self.dead_peers.remove(&sid) {
-                    self.emit(EngineEvent::PeerResurrected { peer: sid.clone() });
-                }
-                self.ping_failures.remove(&sid);
-            }
+            self.ping_failures.remove(&sid);
         }
     }
 
@@ -407,6 +440,11 @@ impl ServerEngine {
     /// simulated/real milliseconds; internal timers gate the actual work.
     pub fn tick(&mut self, now_ms: u64) -> TickOutput {
         self.now_ms = self.now_ms.max(now_ms);
+        // Fold in everything the read path did since the last tick —
+        // traffic into the rate window, hits into the LDG, deferred
+        // piggyback reports into the GLT — *before* the statistics
+        // branch below reads any of them.
+        self.drain_read_path(now_ms);
         let mut out = TickOutput::default();
         // Statistics recalculation + migration, every T_st.
         if now_ms.saturating_sub(self.last_stat_ms) >= self.cfg.stat_interval_ms {
@@ -458,6 +496,52 @@ impl ServerEngine {
                 .with_header("If-Modified-Since", &http_date(meta.modified_ms));
             self.attach_reports(&mut req.headers, now_ms);
             out.validations.push((home, req));
+        }
+        // Refresh the load reports the read path hands out (self entry
+        // first, then the GLT snapshot, as attach_reports would).
+        let snapshot = self.report_snapshot(now_ms);
+        self.read.publish_reports(snapshot);
+        out
+    }
+
+    /// Drain the read path's mailboxes into the engine's own state.
+    fn drain_read_path(&mut self, now_ms: u64) {
+        let (conns, bytes) = self.read.take_traffic();
+        if conns > 0 {
+            self.window.record_n(now_ms, conns, bytes);
+        }
+        for (path, hits, bytes) in self.read.take_hits() {
+            self.ldg.record_hits(&path, hits, bytes);
+        }
+        for r in self.read.take_reports() {
+            self.ingest_report(&r);
+        }
+    }
+
+    /// The reports [`Self::attach_reports`] would attach right now: own
+    /// entry first, then the freshest GLT rows up to `piggyback_max`.
+    fn report_snapshot(&mut self, now_ms: u64) -> Vec<LoadReport> {
+        let (cps, bps) = self.window.rates(now_ms);
+        self.glt.set_self(cps, bps, now_ms);
+        let mut out = vec![LoadReport {
+            server: self.id.to_string(),
+            cps,
+            bps,
+            ts_ms: now_ms,
+        }];
+        for (sid, info) in self.glt.snapshot() {
+            if out.len() >= self.cfg.piggyback_max {
+                break;
+            }
+            if sid == self.id {
+                continue;
+            }
+            out.push(LoadReport {
+                server: sid.to_string(),
+                cps: info.cps,
+                bps: info.bps,
+                ts_ms: info.ts_ms,
+            });
         }
         out
     }
@@ -512,7 +596,8 @@ impl ServerEngine {
                         .map(|i| i.value(metric))
                         .unwrap_or(0.0);
                     if coop_load > 2.0 * self.cfg.overload_ratio * target_load.max(0.001) {
-                        self.ldg.migrate(&name, target.clone(), now_ms);
+                        let dirtied = self.ldg.migrate(&name, target.clone(), now_ms);
+                        self.invalidate_routes(&name, &dirtied);
                         self.coop_last_migration.insert(target.clone(), now_ms);
                         self.stats.remigrations += 1;
                         self.emit(EngineEvent::Remigrated {
@@ -548,7 +633,8 @@ impl ServerEngine {
             Some(Location::Coop(c)) => c,
             _ => return,
         };
-        self.ldg.revoke(name);
+        let dirtied = self.ldg.revoke(name);
+        self.invalidate_routes(name, &dirtied);
         self.replicas.remove(name);
         self.stats.revocations += 1;
         self.emit(EngineEvent::MigrationRevoked {
@@ -601,7 +687,8 @@ impl ServerEngine {
             return;
         };
         let hits = self.ldg.get(&doc).map(|e| e.hits).unwrap_or(0);
-        self.ldg.migrate(&doc, target.clone(), now_ms);
+        let dirtied = self.ldg.migrate(&doc, target.clone(), now_ms);
+        self.invalidate_routes(&doc, &dirtied);
         self.coop_last_migration.insert(target.clone(), now_ms);
         self.last_migration_ms = now_ms;
         self.stats.migrations += 1;
@@ -675,7 +762,7 @@ impl ServerEngine {
             target: doc.to_string(),
             version: dcws_http::Version::Http11,
             headers: Headers::new(),
-            body: Vec::new(),
+            body: Body::empty(),
         }
         .with_header("X-DCWS-Push", "1")
         .with_header("X-DCWS-Home", self.id.as_str())
@@ -729,7 +816,8 @@ impl ServerEngine {
         }
         let docs = self.ldg.migrated_to(peer);
         for d in &docs {
-            self.ldg.revoke(d);
+            let dirtied = self.ldg.revoke(d);
+            self.invalidate_routes(d, &dirtied);
             self.replicas.remove(d);
             self.stats.revocations += 1;
             self.emit(EngineEvent::MigrationRevoked {
@@ -750,6 +838,15 @@ impl ServerEngine {
     pub(crate) fn migrated_doc_url(&self, doc: &str, source_key: &str) -> Option<dcws_http::Url> {
         let coop = self.replica_for(doc, source_key)?;
         migrate_url(&coop, &self.id, doc).ok()
+    }
+
+    /// Drop the serve-table routes a location change staled: the moved
+    /// document itself plus every linking source the LDG dirtied.
+    pub(crate) fn invalidate_routes(&self, doc: &str, dirtied: &[String]) {
+        self.read.invalidate(doc);
+        for d in dirtied {
+            self.read.invalidate(d);
+        }
     }
 
     /// Export the standing migration state as `doc<TAB>coop` lines, for
@@ -796,7 +893,8 @@ impl ServerEngine {
         for doc in order {
             let reps = per_doc.remove(&doc).expect("inserted above");
             let primary = reps[0].clone();
-            self.ldg.migrate(&doc, primary, now_ms);
+            let dirtied = self.ldg.migrate(&doc, primary, now_ms);
+            self.invalidate_routes(&doc, &dirtied);
             if reps.len() > 1 {
                 self.replicas.insert(doc, reps);
             }

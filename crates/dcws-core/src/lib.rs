@@ -54,6 +54,7 @@ pub mod engine;
 pub mod events;
 pub mod json;
 pub mod naming;
+pub mod readpath;
 pub mod regen;
 pub mod serve;
 pub mod stats;
@@ -66,6 +67,7 @@ pub use engine::{ServerEngine, TickOutput};
 pub use events::{EngineEvent, EventLog, EventRecord, RevokeReason};
 pub use json::{Json, JsonError};
 pub use naming::{decode_migrate_path, migrate_url, MigrateTarget, MIGRATE_PREFIX};
+pub use readpath::{ReadPath, ReadPathStats};
 pub use serve::Outcome;
 pub use stats::EngineStats;
 pub use status::{HotDoc, PeerSummary, STATUS_HOT_DOCS, STATUS_RECENT_EVENTS};

@@ -16,7 +16,7 @@ use crate::engine::{home_variant_key, pull_variant_key, ServerEngine};
 use crate::events::EngineEvent;
 use dcws_cache::CachedDoc;
 use dcws_graph::{DocKind, Location};
-use dcws_http::Url;
+use dcws_http::{Body, Url};
 
 /// How links to home-resident targets are written.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +51,7 @@ impl ServerEngine {
         }
         self.modified.insert(name.to_string(), self.now_ms);
         self.rewritten.insert(name.to_string());
+        self.read.invalidate(name);
         self.regen_cache.remove(&home_variant_key(name));
         self.regen_cache.remove(&pull_variant_key(name));
     }
@@ -58,26 +59,26 @@ impl ServerEngine {
     /// The bytes to serve for home document `name`, regenerating first if
     /// the Dirty bit is set (§4.3). Returns `(bytes, content_type)`.
     /// Unknown documents return `None`.
-    pub(crate) fn home_content(&mut self, name: &str) -> Option<(Vec<u8>, String)> {
+    pub(crate) fn home_content(&mut self, name: &str) -> Option<(Body, String)> {
         let entry = self.ldg.get(name)?;
         let kind = entry.kind;
         let content_type = kind.content_type().to_string();
         if kind != DocKind::Html {
-            return Some((self.originals.get(name)?, content_type));
+            return Some((self.originals.get(name)?.into(), content_type));
         }
         self.settle_dirty(name);
         // A never-rewritten document serves its pristine original without
         // touching the cache — no regeneration work to save, so no cache
         // misses charged either.
         if !self.rewritten.contains(name) {
-            return Some((self.originals.get(name)?, content_type));
+            return Some((self.originals.get(name)?.into(), content_type));
         }
         let key = home_variant_key(name);
         let version = self.doc_version(name);
         match self.regen_cache.get(&key) {
             Some(cached) if cached.version == version => Some((cached.bytes, content_type)),
             _ => {
-                let regenerated = self.regenerate(name, LinkBase::Relative)?;
+                let regenerated: Body = self.regenerate(name, LinkBase::Relative)?.into();
                 self.count_regeneration(name, true);
                 self.cache_regen(name, &key, regenerated.clone(), &content_type, version);
                 Some((regenerated, content_type))
@@ -94,13 +95,13 @@ impl ServerEngine {
     /// [`Self::settle_dirty`], so the co-op's next T_val validation sees a
     /// mismatch and refreshes its copy instead of serving stale hyperlinks
     /// forever.
-    pub(crate) fn pull_content(&mut self, name: &str) -> (Vec<u8>, u64, String) {
+    pub(crate) fn pull_content(&mut self, name: &str) -> (Body, u64, String) {
         self.settle_dirty(name);
         let kind = self.ldg.get(name).map(|e| e.kind).unwrap_or(DocKind::Image);
         let content_type = kind.content_type().to_string();
         let version = self.doc_version(name);
         if kind != DocKind::Html {
-            let bytes = self.originals.get(name).unwrap_or_default();
+            let bytes: Body = self.originals.get(name).unwrap_or_default().into();
             return (bytes, version, content_type);
         }
         let key = pull_variant_key(name);
@@ -109,10 +110,11 @@ impl ServerEngine {
             _ => {
                 // A real parse + reconstruct (§4.3) — counted so hosts
                 // can charge its CPU cost — then cached per version.
-                let bytes = self
+                let bytes: Body = self
                     .regenerate(name, LinkBase::AbsoluteHome)
                     .or_else(|| self.originals.get(name))
-                    .unwrap_or_default();
+                    .unwrap_or_default()
+                    .into();
                 self.count_regeneration(name, false);
                 self.cache_regen(name, &key, bytes.clone(), &content_type, version);
                 (bytes, version, content_type)
@@ -135,7 +137,7 @@ impl ServerEngine {
         &mut self,
         name: &str,
         key: &str,
-        bytes: Vec<u8>,
+        bytes: Body,
         content_type: &str,
         version: u64,
     ) {

@@ -186,7 +186,9 @@ impl ServerEngine {
                 let url = self
                     .migrated_doc_url(path, path)
                     .expect("migrated doc has a co-op");
-                Outcome::Response(Response::moved_permanently(&url))
+                let resp = Response::moved_permanently(&url);
+                self.read.install_moved(path, resp.clone());
+                Outcome::Response(resp)
             }
             Location::Home => {
                 // Settle the Dirty bit first so the modification time the
@@ -216,6 +218,9 @@ impl ServerEngine {
                 self.ldg.record_hit(path, bytes.len() as u64);
                 self.stats.served_home += 1;
                 self.stats.bytes_sent += bytes.len() as u64;
+                // Prime the read path: subsequent GETs of this document
+                // are served without the engine lock, sharing this body.
+                self.read.install_doc(path, bytes.clone(), &ct, modified);
                 Outcome::Response(
                     Response::ok(bytes, &ct).with_header("Last-Modified", &last_modified),
                 )

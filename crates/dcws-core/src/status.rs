@@ -136,7 +136,7 @@ impl ServerEngine {
     /// The engine section of the `/dcws/status` document. Pure
     /// inspection: takes `&self` and changes nothing.
     pub fn status_json(&self) -> Json {
-        let stats = self.stats;
+        let stats = self.stats();
         let stats_json = Json::Obj(
             stats
                 .fields()
@@ -272,6 +272,25 @@ impl ServerEngine {
             ),
         ]);
 
+        let r = self.read.snapshot();
+        let read_path = Json::obj(vec![
+            ("requests", Json::from(r.requests)),
+            ("served_home", Json::from(r.served_home)),
+            ("served_coop", Json::from(r.served_coop)),
+            ("redirects", Json::from(r.redirects)),
+            (
+                "conditional_not_modified",
+                Json::from(r.conditional_not_modified),
+            ),
+            ("bytes_sent", Json::from(r.bytes_sent)),
+            ("fallbacks", Json::from(r.fallbacks)),
+            ("shard_clears", Json::from(r.shard_clears)),
+            ("reports_deferred", Json::from(r.reports_deferred)),
+            ("reports_dropped", Json::from(r.reports_dropped)),
+            ("table_entries", Json::from(r.table_entries)),
+            ("table_bytes", Json::from(r.table_bytes)),
+        ]);
+
         Json::obj(vec![
             ("server", Json::from(self.id.as_str())),
             ("now_ms", Json::from(self.now_ms)),
@@ -284,6 +303,7 @@ impl ServerEngine {
             ("hot_docs", hot),
             ("coop_role", coop_role),
             ("cache", cache),
+            ("read_path", read_path),
             ("events", events),
         ])
     }

@@ -356,7 +356,7 @@ fn validation_times_are_jittered() {
             target: d.to_string(),
             version: dcws_http::Version::Http11,
             headers: dcws_http::Headers::new(),
-            body: Vec::new(),
+            body: Vec::new().into(),
         }
         .with_header("X-DCWS-Push", "1")
         .with_header("X-DCWS-Home", home_id().as_str())

@@ -1,0 +1,234 @@
+//! Behavioural tests for the concurrent read path: zero-copy serving,
+//! deferred piggyback merges, and hit accounting through the mailboxes.
+
+use dcws_core::{MemStore, ServerConfig, ServerEngine};
+use dcws_graph::DocKind;
+use dcws_http::{LoadReport, Request, StatusCode};
+
+fn engine(id: &str) -> ServerEngine {
+    ServerEngine::new(
+        dcws_graph::ServerId::new(id),
+        ServerConfig::paper_defaults(),
+        Box::new(MemStore::new()),
+    )
+}
+
+/// First serve goes through the exclusive path and primes the table;
+/// after that the read path answers, and every hit shares one allocation.
+#[test]
+fn read_path_cache_hits_are_zero_copy() {
+    let mut e = engine("home:8080");
+    e.publish(
+        "/doc.html",
+        b"<p>stable text</p>".to_vec(),
+        DocKind::Html,
+        false,
+    );
+
+    let req = Request::get("/doc.html");
+    // Cold: the read path has no route yet.
+    assert!(e.read_path().try_serve(&req, 0).is_none());
+    let primed = e
+        .handle_request(&req, 0)
+        .into_response()
+        .expect("home doc serves");
+    assert_eq!(primed.status, StatusCode::Ok);
+
+    let read = e.read_path().clone();
+    let a = read.try_serve(&req, 1).expect("primed route serves");
+    let b = read.try_serve(&req, 2).expect("primed route serves");
+    assert_eq!(a.status, StatusCode::Ok);
+    assert_eq!(a.body, b"<p>stable text</p>");
+    // The zero-copy witness: both responses borrow the same allocation.
+    assert!(
+        a.body.ptr_eq(&b.body),
+        "read-path hits must share one body allocation"
+    );
+    assert_eq!(read.snapshot().served_home, 2);
+}
+
+/// Republishing a document invalidates its route: readers see either the
+/// old primed route or a vacancy, never a stale body after re-priming.
+#[test]
+fn republish_invalidates_primed_route() {
+    let mut e = engine("home:8080");
+    e.publish("/doc.html", b"<p>v1</p>".to_vec(), DocKind::Html, false);
+    let req = Request::get("/doc.html");
+    e.handle_request(&req, 0).into_response().unwrap();
+    assert!(e.read_path().try_serve(&req, 1).is_some());
+
+    e.publish("/doc.html", b"<p>v2</p>".to_vec(), DocKind::Html, false);
+    // Route dropped by the publish; next read-path attempt misses …
+    assert!(e.read_path().try_serve(&req, 2).is_none());
+    // … and the exclusive path re-primes with the new content.
+    let resp = e.handle_request(&req, 3).into_response().unwrap();
+    assert_eq!(resp.body, b"<p>v2</p>");
+    let served = e.read_path().try_serve(&req, 4).expect("re-primed");
+    assert_eq!(served.body, b"<p>v2</p>");
+}
+
+/// A piggybacked load report on a read-path request must not need the
+/// engine lock: it lands in the mailbox and reaches the GLT on the next
+/// tick (satellite: "updates the GLT within one tick").
+#[test]
+fn piggyback_on_read_path_reaches_glt_within_one_tick() {
+    let mut e = engine("home:8080");
+    e.publish("/doc.html", b"<p>x</p>".to_vec(), DocKind::Html, false);
+    let plain = Request::get("/doc.html");
+    e.handle_request(&plain, 0).into_response().unwrap();
+
+    let mut req = Request::get("/doc.html");
+    let report = LoadReport {
+        server: "peer:9090".into(),
+        cps: 41.5,
+        bps: 20_000.0,
+        ts_ms: 5,
+    };
+    report.attach(&mut req.headers);
+
+    // Served lock-free despite the X-DCWS-Load header.
+    let resp = e.read_path().try_serve(&req, 10).expect("read path serves");
+    assert_eq!(resp.status, StatusCode::Ok);
+    assert_eq!(e.read_path().snapshot().reports_deferred, 1);
+    // Not merged yet — the GLT is engine state.
+    assert!(e
+        .peer_summaries()
+        .iter()
+        .all(|p| p.id.as_str() != "peer:9090"));
+
+    e.tick(100);
+    let peers = e.peer_summaries();
+    let peer = peers
+        .iter()
+        .find(|p| p.id.as_str() == "peer:9090")
+        .expect("report merged into GLT at tick");
+    assert!((peer.cps - 41.5).abs() < 1e-9);
+    assert_eq!(peer.ts_ms, 5);
+}
+
+/// Read-path hits flow into LDG hit accounting (and hence Algorithm 1's
+/// statistics) via the tick-drained mailbox.
+#[test]
+fn read_path_hits_counted_in_ldg_at_tick() {
+    let mut e = engine("home:8080");
+    e.publish("/doc.html", b"<p>x</p>".to_vec(), DocKind::Html, false);
+    let req = Request::get("/doc.html");
+    e.handle_request(&req, 0).into_response().unwrap();
+    for t in 0..7 {
+        e.read_path().try_serve(&req, t).expect("hit");
+    }
+    e.tick(50);
+    let hot = e.hot_docs(1);
+    assert_eq!(hot[0].name, "/doc.html");
+    // 1 exclusive-path serve + 7 read-path serves.
+    assert_eq!(hot[0].hits_total, 8);
+}
+
+/// Folded stats: totals include read-path work, so observability stays
+/// whole regardless of which path served.
+#[test]
+fn stats_fold_read_path_counters() {
+    let mut e = engine("home:8080");
+    e.publish("/doc.html", b"<p>12345</p>".to_vec(), DocKind::Html, false);
+    let req = Request::get("/doc.html");
+    e.handle_request(&req, 0).into_response().unwrap();
+    let before = e.stats();
+    e.read_path().try_serve(&req, 1).unwrap();
+    e.read_path().try_serve(&req, 2).unwrap();
+    let after = e.stats();
+    assert_eq!(after.requests - before.requests, 2);
+    assert_eq!(after.served_home - before.served_home, 2);
+    assert_eq!(
+        after.bytes_sent - before.bytes_sent,
+        2 * b"<p>12345</p>".len() as u64
+    );
+}
+
+/// Non-GET methods, unknown inter-server headers, and unprimed paths all
+/// decline to the exclusive path (counted as fallbacks), never panic.
+#[test]
+fn read_path_declines_non_common_cases() {
+    let mut e = engine("home:8080");
+    e.publish("/doc.html", b"<p>x</p>".to_vec(), DocKind::Html, false);
+    e.handle_request(&Request::get("/doc.html"), 0)
+        .into_response()
+        .unwrap();
+    let read = e.read_path().clone();
+
+    // Pull requests are inter-server traffic: exclusive path.
+    let pull = Request::get("/doc.html").with_header("X-DCWS-Pull", "1");
+    assert!(read.try_serve(&pull, 1).is_none());
+    // Unprimed path.
+    assert!(read.try_serve(&Request::get("/other.html"), 2).is_none());
+    // Reserved namespace is the transport's business.
+    assert!(read.try_serve(&Request::get("/dcws/status"), 3).is_none());
+    let snap = read.snapshot();
+    assert!(snap.fallbacks >= 2);
+}
+
+/// Conditional GET against a primed route answers 304 lock-free.
+#[test]
+fn read_path_conditional_get() {
+    let mut e = engine("home:8080");
+    e.publish("/doc.html", b"<p>x</p>".to_vec(), DocKind::Html, false);
+    let first = e
+        .handle_request(&Request::get("/doc.html"), 0)
+        .into_response()
+        .unwrap();
+    let lm = first
+        .headers
+        .get("Last-Modified")
+        .expect("has Last-Modified");
+    let cond = Request::get("/doc.html").with_header("If-Modified-Since", lm);
+    let resp = e
+        .read_path()
+        .try_serve(&cond, 10)
+        .expect("read path serves");
+    assert_eq!(resp.status, StatusCode::NotModified);
+    assert_eq!(e.read_path().snapshot().conditional_not_modified, 1);
+}
+
+/// A migrated document's prebuilt 301 is served lock-free, and revoking
+/// the migration drops the route.
+#[test]
+fn read_path_serves_prebuilt_redirects_and_honors_revoke() {
+    let cfg = ServerConfig {
+        stat_interval_ms: 100,
+        selection_threshold: 1,
+        min_cps_to_migrate: 0.0,
+        ..ServerConfig::paper_defaults()
+    };
+    let mut e = ServerEngine::new(
+        dcws_graph::ServerId::new("home:8080"),
+        cfg,
+        Box::new(MemStore::new()),
+    );
+    let peer = dcws_graph::ServerId::new("peer:8081");
+    e.add_peer(peer.clone());
+    e.publish("/hot.html", b"<p>hot</p>".to_vec(), DocKind::Html, false);
+    for t in 0..30 {
+        e.handle_request(&Request::get("/hot.html"), t);
+    }
+    let out = e.tick(150);
+    assert_eq!(out.migrated.len(), 1, "migration expected");
+
+    // Exclusive path primes the Moved route …
+    let req = Request::get("/hot.html");
+    let resp = e.handle_request(&req, 200).into_response().unwrap();
+    assert_eq!(resp.status, StatusCode::MovedPermanently);
+    // … after which the read path answers the 301 without the lock.
+    let read = e.read_path().clone();
+    let r1 = read.try_serve(&req, 201).expect("moved route primed");
+    assert_eq!(r1.status, StatusCode::MovedPermanently);
+    assert_eq!(
+        r1.headers.get("Location"),
+        resp.headers.get("Location"),
+        "same redirect target"
+    );
+
+    // Revocation invalidates: the next 200 comes from home again.
+    e.declare_peer_dead(&peer);
+    assert!(read.try_serve(&req, 300).is_none(), "route dropped");
+    let back = e.handle_request(&req, 301).into_response().unwrap();
+    assert_eq!(back.status, StatusCode::Ok);
+}

@@ -225,10 +225,17 @@ impl LocalDocGraph {
 
     /// Record `bytes` served for a hit on `name`. Unknown names are
     /// ignored (the caller already 404'd).
-    pub fn record_hit(&mut self, name: &str, _bytes: u64) {
+    pub fn record_hit(&mut self, name: &str, bytes: u64) {
+        self.record_hits(name, 1, bytes);
+    }
+
+    /// Record `n` hits on `name` at once — the drain path for hosts that
+    /// batch hit accounting outside the graph lock (the read-mostly serve
+    /// path) and fold it in at tick time. Unknown names are ignored.
+    pub fn record_hits(&mut self, name: &str, n: u64, _bytes: u64) {
         if let Some(e) = self.docs.get_mut(name) {
-            e.hits_current += 1;
-            e.hits_total += 1;
+            e.hits_current += n;
+            e.hits_total += n;
         }
     }
 

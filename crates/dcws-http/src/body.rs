@@ -1,0 +1,224 @@
+//! Shared, immutable entity bodies.
+//!
+//! [`Body`] wraps `Arc<[u8]>` so that handing the same document to many
+//! concurrent responses is a refcount bump, not a memcpy. This is what lets
+//! the read-mostly serve path in `dcws-core` return cache hits without
+//! copying: the cache, the response, and the wire-serialization borrow the
+//! same allocation. Bodies are immutable once built — anything that needs
+//! to edit bytes (the regeneration rewriter, the parser) works on `Vec<u8>`
+//! and converts at the boundary with `.into()`.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::{Arc, OnceLock};
+
+/// An immutable, cheaply clonable entity body.
+#[derive(Clone)]
+pub struct Body(Arc<[u8]>);
+
+/// All empty bodies share one allocation so `Body::default()` in hot
+/// constructors (`Request::get`, `Response::new`) never allocates.
+fn shared_empty() -> &'static Arc<[u8]> {
+    static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from(&[][..]))
+}
+
+impl Body {
+    /// The shared empty body.
+    pub fn empty() -> Self {
+        Body(shared_empty().clone())
+    }
+
+    /// Byte length.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the body has no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Copy the bytes out into an owned `Vec<u8>` (for mutation).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+
+    /// True when `self` and `other` share the same allocation — the
+    /// zero-copy witness used by tests: two serves of the same cached
+    /// document must be `ptr_eq`, proving no byte copy happened.
+    pub fn ptr_eq(&self, other: &Body) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Default for Body {
+    fn default() -> Self {
+        Body::empty()
+    }
+}
+
+impl Deref for Body {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Body {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(v: Vec<u8>) -> Self {
+        if v.is_empty() {
+            Body::empty()
+        } else {
+            Body(Arc::from(v))
+        }
+    }
+}
+
+impl From<&[u8]> for Body {
+    fn from(v: &[u8]) -> Self {
+        if v.is_empty() {
+            Body::empty()
+        } else {
+            Body(Arc::from(v))
+        }
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Body {
+    fn from(v: &[u8; N]) -> Self {
+        Body::from(&v[..])
+    }
+}
+
+impl From<String> for Body {
+    fn from(s: String) -> Self {
+        Body::from(s.into_bytes())
+    }
+}
+
+impl From<&str> for Body {
+    fn from(s: &str) -> Self {
+        Body::from(s.as_bytes())
+    }
+}
+
+impl From<Arc<[u8]>> for Body {
+    fn from(a: Arc<[u8]>) -> Self {
+        Body(a)
+    }
+}
+
+impl fmt::Debug for Body {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Body({} bytes)", self.0.len())
+    }
+}
+
+impl PartialEq for Body {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl Eq for Body {}
+
+impl PartialEq<[u8]> for Body {
+    fn eq(&self, other: &[u8]) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&[u8]> for Body {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Body {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &*self.0 == other.as_slice()
+    }
+}
+
+impl PartialEq<Body> for Vec<u8> {
+    fn eq(&self, other: &Body) -> bool {
+        self.as_slice() == &*other.0
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Body {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        *self.0 == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Body {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        *self.0 == other[..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_allocation() {
+        let a: Body = b"hello".into();
+        let b = a.clone();
+        assert!(a.ptr_eq(&b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_allocations_compare_equal_but_not_ptr_eq() {
+        let a: Body = b"hello".into();
+        let b: Body = b"hello".into();
+        assert_eq!(a, b);
+        assert!(!a.ptr_eq(&b));
+    }
+
+    #[test]
+    fn empty_bodies_share_one_allocation() {
+        let a = Body::empty();
+        let b = Body::default();
+        let c: Body = Vec::new().into();
+        assert!(a.ptr_eq(&b));
+        assert!(a.ptr_eq(&c));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn deref_and_eq_families() {
+        let b: Body = b"abc".to_vec().into();
+        assert_eq!(b.len(), 3);
+        assert_eq!(&b[..2], b"ab");
+        assert_eq!(b, b"abc");
+        assert_eq!(b, *b"abc");
+        assert_eq!(b, b"abc".to_vec());
+        assert_eq!(b"abc".to_vec(), b);
+        assert_eq!(b, b"abc"[..]);
+        assert_eq!(b.to_vec(), b"abc");
+    }
+
+    #[test]
+    fn string_conversions() {
+        let b: Body = "hi".into();
+        assert_eq!(b, b"hi");
+        let b: Body = String::from("ho").into();
+        assert_eq!(b, b"ho");
+        assert_eq!(String::from_utf8_lossy(&b), "ho");
+    }
+}

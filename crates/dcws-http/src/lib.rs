@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod body;
 pub mod error;
 pub mod headers;
 pub mod method;
@@ -45,6 +46,7 @@ pub mod response;
 pub mod status;
 pub mod url;
 
+pub use body::Body;
 pub use error::{HttpError, Result};
 pub use headers::{http_date, parse_http_date, Headers};
 pub use method::Method;

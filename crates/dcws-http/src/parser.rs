@@ -125,7 +125,7 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<Parsed<Request>>> {
             target: t.to_string(),
             version,
             headers,
-            body,
+            body: body.into(),
         },
         consumed: head_end + body_len,
     }))
@@ -173,7 +173,7 @@ pub fn parse_response(buf: &[u8], request_method: Method) -> Result<Option<Parse
             version,
             status,
             headers,
-            body,
+            body: body.into(),
         },
         consumed: head_end + body_len,
     }))

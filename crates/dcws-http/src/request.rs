@@ -1,5 +1,6 @@
 //! HTTP request message.
 
+use crate::body::Body;
 use crate::headers::Headers;
 use crate::method::Method;
 use crate::url::Url;
@@ -21,7 +22,7 @@ pub struct Request {
     /// Header fields.
     pub headers: Headers,
     /// Entity body (empty for GET/HEAD in practice).
-    pub body: Vec<u8>,
+    pub body: Body,
 }
 
 impl Request {
@@ -32,7 +33,7 @@ impl Request {
             target: target.into(),
             version: Version::Http11,
             headers: Headers::new(),
-            body: Vec::new(),
+            body: Body::empty(),
         }
     }
 
@@ -54,7 +55,8 @@ impl Request {
     }
 
     /// Builder-style body attachment; sets `Content-Length`.
-    pub fn with_body(mut self, body: Vec<u8>) -> Self {
+    pub fn with_body(mut self, body: impl Into<Body>) -> Self {
+        let body = body.into();
         self.headers
             .set("Content-Length", body.len().to_string())
             .expect("Content-Length is a valid header");

@@ -1,5 +1,6 @@
 //! HTTP response message.
 
+use crate::body::Body;
 use crate::headers::Headers;
 use crate::status::StatusCode;
 use crate::url::Url;
@@ -15,7 +16,7 @@ pub struct Response {
     /// Header fields.
     pub headers: Headers,
     /// Entity body.
-    pub body: Vec<u8>,
+    pub body: Body,
 }
 
 impl Response {
@@ -25,12 +26,12 @@ impl Response {
             version: Version::Http11,
             status,
             headers: Headers::new(),
-            body: Vec::new(),
+            body: Body::empty(),
         }
     }
 
     /// A `200 OK` carrying `body` with the given media type.
-    pub fn ok(body: Vec<u8>, content_type: &str) -> Self {
+    pub fn ok(body: impl Into<Body>, content_type: &str) -> Self {
         Response::new(StatusCode::Ok).with_body(body, content_type)
     }
 
@@ -43,8 +44,7 @@ impl Response {
             "<html><head><title>301 Moved</title></head>\
              <body>The document has moved <a href=\"{loc}\">here</a>.</body></html>"
         );
-        let mut r =
-            Response::new(StatusCode::MovedPermanently).with_body(body.into_bytes(), "text/html");
+        let mut r = Response::new(StatusCode::MovedPermanently).with_body(body, "text/html");
         r.headers
             .set("Location", loc)
             .expect("url is a valid header value");
@@ -64,10 +64,8 @@ impl Response {
 
     /// A `404 Not Found`.
     pub fn not_found() -> Self {
-        Response::new(StatusCode::NotFound).with_body(
-            b"<html><body>404 Not Found</body></html>".to_vec(),
-            "text/html",
-        )
+        Response::new(StatusCode::NotFound)
+            .with_body(&b"<html><body>404 Not Found</body></html>"[..], "text/html")
     }
 
     /// A `304 Not Modified` — co-op revalidation hit (§4.5).
@@ -77,7 +75,8 @@ impl Response {
 
     /// Builder-style body attachment; sets `Content-Length` and
     /// `Content-Type`.
-    pub fn with_body(mut self, body: Vec<u8>, content_type: &str) -> Self {
+    pub fn with_body(mut self, body: impl Into<Body>, content_type: &str) -> Self {
+        let body = body.into();
         self.headers
             .set("Content-Length", body.len().to_string())
             .expect("valid header");
@@ -177,7 +176,7 @@ mod tests {
     #[test]
     fn not_modified_never_serializes_body() {
         let mut r = Response::not_modified();
-        r.body = b"should not appear".to_vec();
+        r.body = b"should not appear".to_vec().into();
         let s = String::from_utf8(r.to_bytes()).unwrap();
         assert!(!s.contains("appear"));
     }

@@ -18,7 +18,12 @@
 //!
 //! The multithreaded (rather than pool-of-processes) design is the
 //! paper's: workers and the statistics module share the Local Document
-//! Graph and Global Load Table through one lock.
+//! Graph and Global Load Table through one lock — with one amendment:
+//! the common-case GET is answered on the engine's concurrent
+//! [`ReadPath`](dcws_core::ReadPath) first, so workers only contend for
+//! the exclusive [`EngineLock`] on misses, pulls, and control-plane
+//! work, and the lock is never held across a socket call
+//! ([`assert_engine_unlocked`]).
 //!
 //! The transport also maintains **observability** state the engine
 //! cannot see: per-request service-time and queue-wait latency
@@ -34,11 +39,13 @@
 
 pub mod client;
 pub mod conn;
+pub mod lock;
 pub mod metrics;
 pub mod queue;
 pub mod server;
 
 pub use client::{fetch, fetch_from};
+pub use lock::{assert_engine_unlocked, EngineGuard, EngineLock};
 pub use metrics::{HistogramSnapshot, LatencyHistogram, TransportMetrics};
 pub use queue::{Queued, SocketQueue};
 pub use server::DcwsServer;

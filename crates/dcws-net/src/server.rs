@@ -3,13 +3,13 @@
 
 use crate::client::fetch_from_timeout;
 use crate::conn::{read_request, write_response, READ_TIMEOUT};
+use crate::lock::{assert_engine_unlocked, EngineLock};
 use crate::metrics::TransportMetrics;
 use crate::queue::SocketQueue;
 use dcws_cache::SingleFlight;
-use dcws_core::{Json, Outcome, ServerEngine};
+use dcws_core::{Json, Outcome, ReadPath, ServerEngine};
 use dcws_graph::ServerId;
 use dcws_http::{is_reserved_path, Response, StatusCode, STATUS_PATH};
-use parking_lot::Mutex;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -34,7 +34,10 @@ enum PullResult {
 
 /// Everything the worker and front-end threads share.
 struct Shared {
-    engine: Mutex<ServerEngine>,
+    engine: EngineLock,
+    /// The engine's concurrent serve path: workers answer common-case
+    /// GETs here without touching `engine` at all.
+    read: Arc<ReadPath>,
     metrics: TransportMetrics,
     /// Coalesces concurrent lazy pulls for the same document: the first
     /// worker to miss leads the pull, the rest wait on its flight.
@@ -123,8 +126,10 @@ impl DcwsServer {
         let addr = listener.local_addr()?;
         let queue_len = engine.config().socket_queue_len;
         let n_workers = engine.config().n_workers;
+        let read = engine.read_path().clone();
         let shared = Arc::new(Shared {
-            engine: Mutex::new(engine),
+            engine: EngineLock::new(engine),
+            read,
             metrics: TransportMetrics::default(),
             pulls: SingleFlight::new(),
             dropped: AtomicU64::new(0),
@@ -225,8 +230,13 @@ impl DcwsServer {
     }
 
     /// Shared engine handle (lock to publish documents or read stats).
-    pub fn engine(&self) -> &Mutex<ServerEngine> {
+    pub fn engine(&self) -> &EngineLock {
         &self.shared.engine
+    }
+
+    /// The engine's concurrent read path (counters, published reports).
+    pub fn read_path(&self) -> &Arc<ReadPath> {
+        &self.shared.read
     }
 
     /// Connections dropped with 503 by the front end so far.
@@ -315,6 +325,12 @@ fn serve_one(shared: &Arc<Shared>, req: dcws_http::Request) -> std::io::Result<R
             return Ok(shared.reserved_response(url.path()));
         }
     }
+    // Common case first: a primed home document, prebuilt 301, or warm
+    // co-op copy is answered on the concurrent read path — no engine
+    // lock taken at all.
+    if let Some(resp) = shared.read.try_serve(&req, shared.now_ms()) {
+        return Ok(resp);
+    }
     // Two attempts: a co-op miss performs (or joins) the lazy pull, then
     // retries the request against the now-warm cache.
     for attempt in 0..2 {
@@ -336,10 +352,15 @@ fn serve_one(shared: &Arc<Shared>, req: dcws_http::Request) -> std::io::Result<R
         // collide).
         let flight_key = format!("{home} {path}");
         let flight = shared.pulls.run(&flight_key, || {
-            let now = shared.now_ms();
-            let pull = shared.engine.lock().make_pull_request(&path, now);
+            // The pull request needs no engine state beyond identity and
+            // the published load-report snapshot, so it is built lock-free
+            // and the engine lock is taken exactly once, *after* the
+            // network round-trip, to install (or reject) the result.
+            let pull = shared.read.make_pull_request(&path);
+            assert_engine_unlocked("lazy pull fetch");
             match fetch_from_timeout(&home, &pull, READ_TIMEOUT) {
                 Ok(pull_resp) => {
+                    let now = shared.now_ms();
                     let mut eng = shared.engine.lock();
                     if eng.store_pulled(&home, &path, &pull_resp, now) {
                         PullResult::Stored
@@ -369,6 +390,7 @@ fn serve_one(shared: &Arc<Shared>, req: dcws_http::Request) -> std::io::Result<R
 /// Perform the network side of a tick: pings, validations, eager pushes.
 fn run_tick_actions(shared: &Arc<Shared>, out: dcws_core::TickOutput, now: u64) {
     for (peer, req) in out.pings {
+        assert_engine_unlocked("ping transfer");
         let result = fetch_from_timeout(&peer, &req, Duration::from_secs(2));
         let mut eng = shared.engine.lock();
         match result {
@@ -382,6 +404,7 @@ fn run_tick_actions(shared: &Arc<Shared>, out: dcws_core::TickOutput, now: u64) 
     }
     for (home, req) in out.validations {
         let path = req.target.clone();
+        assert_engine_unlocked("co-op revalidation");
         if let Ok(resp) = fetch_from_timeout(&home, &req, READ_TIMEOUT) {
             shared
                 .engine
@@ -390,6 +413,7 @@ fn run_tick_actions(shared: &Arc<Shared>, out: dcws_core::TickOutput, now: u64) 
         }
     }
     for (coop, req) in out.pushes {
+        assert_engine_unlocked("eager push");
         let _ = fetch_from_timeout(&coop, &req, READ_TIMEOUT);
     }
 }

@@ -113,6 +113,11 @@ pub struct CachedDoc {
     /// Negative entry: the copy was revoked and must not be served
     /// normally, but its bytes are retained as crash insurance.
     pub negative: bool,
+    /// Stale entry: the last T_val revalidation could not be completed
+    /// (home unreachable), so freshness is no longer guaranteed. The
+    /// copy keeps being served — counted as a stale serve — until a
+    /// later revalidation succeeds and clears the flag.
+    pub stale: bool,
 }
 
 impl CachedDoc {
@@ -130,6 +135,7 @@ impl CachedDoc {
             fetched_at,
             modified_ms: fetched_at,
             negative: false,
+            stale: false,
         }
     }
 
@@ -151,6 +157,8 @@ pub struct EntryMeta {
     pub modified_ms: u64,
     /// Whether the entry is negative (revoked).
     pub negative: bool,
+    /// Whether the entry is stale (last revalidation failed).
+    pub stale: bool,
     /// Body length in bytes.
     pub bytes: u64,
 }
@@ -294,6 +302,12 @@ impl DocCache {
     pub fn set_negative(&self, key: &str, negative: bool) -> bool {
         self.shard(key)
             .with_entry(key, |doc| doc.negative = negative)
+    }
+
+    /// Flip the stale flag on an existing entry (failed or recovered
+    /// revalidation). Returns `false` if `key` is not resident.
+    pub fn set_stale(&self, key: &str, stale: bool) -> bool {
+        self.shard(key).with_entry(key, |doc| doc.stale = stale)
     }
 
     /// Metadata snapshot of every resident entry (no body clones), for
@@ -468,6 +482,19 @@ mod tests {
     }
 
     #[test]
+    fn stale_flag_flips_without_cost_change() {
+        let c = DocCache::new(CacheConfig::unbounded());
+        c.insert("/a", doc("body"));
+        assert!(!c.peek("/a").unwrap().stale);
+        assert!(c.set_stale("/a", true));
+        assert!(c.peek("/a").unwrap().stale);
+        assert!(c.entries_meta()[0].1.stale);
+        assert!(c.set_stale("/a", false));
+        assert!(!c.peek("/a").unwrap().stale);
+        assert!(!c.set_stale("/missing", true));
+    }
+
+    #[test]
     fn touch_updates_fetched_at() {
         let c = DocCache::new(CacheConfig::unbounded());
         c.insert("/a", doc("x"));
@@ -505,6 +532,7 @@ mod tests {
                 fetched_at: 123,
                 modified_ms: 100,
                 negative: false,
+                stale: false,
             },
         );
         let meta = c.entries_meta();

@@ -178,6 +178,7 @@ impl Shard {
                         fetched_at: doc.fetched_at,
                         modified_ms: doc.modified_ms,
                         negative: doc.negative,
+                        stale: doc.stale,
                         bytes: doc.bytes.len() as u64,
                     },
                 ));

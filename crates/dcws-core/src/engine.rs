@@ -203,6 +203,7 @@ impl ServerEngine {
         s.redirects += r.redirects;
         s.conditional_not_modified += r.conditional_not_modified;
         s.bytes_sent += r.bytes_sent;
+        s.stale_serves += r.stale_serves;
         s
     }
 
@@ -769,6 +770,10 @@ impl ServerEngine {
         .with_header("X-DCWS-Version", &version.to_string())
         .with_header("Last-Modified", &http_date(self.doc_modified_ms(doc)))
         .with_header("Content-Type", &content_type)
+        .with_header(
+            dcws_http::CHECKSUM_HEADER,
+            &dcws_http::body_checksum(&bytes),
+        )
         .with_body(bytes);
         self.attach_reports(&mut req.headers, now_ms);
         req

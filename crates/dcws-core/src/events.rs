@@ -155,6 +155,22 @@ pub enum EngineEvent {
         /// Body bytes received.
         bytes: u64,
     },
+    /// A T_val revalidation could not reach the home server after
+    /// retries; the cached copy was marked stale and keeps serving.
+    ValidationFailed {
+        /// Document whose revalidation failed.
+        doc: String,
+        /// Unreachable home server.
+        home: ServerId,
+    },
+    /// A lazy pull failed after retries; the request falls back to a
+    /// stale retained copy or a 503 + Retry-After.
+    PullFailed {
+        /// Document whose pull failed.
+        doc: String,
+        /// Unreachable home server.
+        home: ServerId,
+    },
 }
 
 impl EngineEvent {
@@ -173,6 +189,8 @@ impl EngineEvent {
             EngineEvent::PullServed { .. } => "pull_served",
             EngineEvent::CacheEvict { .. } => "cache_evict",
             EngineEvent::CachePull { .. } => "cache_pull",
+            EngineEvent::ValidationFailed { .. } => "validation_failed",
+            EngineEvent::PullFailed { .. } => "pull_failed",
         }
     }
 
@@ -229,6 +247,12 @@ impl EngineEvent {
             }
             EngineEvent::CachePull { doc, home, bytes } => {
                 format!("{doc} from {} ({bytes}B)", home.as_str())
+            }
+            EngineEvent::ValidationFailed { doc, home } => {
+                format!("{doc} home {} unreachable (marked stale)", home.as_str())
+            }
+            EngineEvent::PullFailed { doc, home } => {
+                format!("{doc} from {} unreachable", home.as_str())
             }
         }
     }
@@ -308,6 +332,10 @@ impl EngineEvent {
                 pairs.push(("doc", Json::from(doc.as_str())));
                 pairs.push(("home", Json::from(home.as_str())));
                 pairs.push(("bytes", Json::from(*bytes)));
+            }
+            EngineEvent::ValidationFailed { doc, home } | EngineEvent::PullFailed { doc, home } => {
+                pairs.push(("doc", Json::from(doc.as_str())));
+                pairs.push(("home", Json::from(home.as_str())));
             }
         }
         Json::obj(pairs)
@@ -557,6 +585,14 @@ mod tests {
                 doc: "a".into(),
                 home: ServerId::new("h:1"),
                 bytes: 100,
+            },
+            EngineEvent::ValidationFailed {
+                doc: "a".into(),
+                home: ServerId::new("h:1"),
+            },
+            EngineEvent::PullFailed {
+                doc: "a".into(),
+                home: ServerId::new("h:1"),
             },
         ];
         for ev in &events {

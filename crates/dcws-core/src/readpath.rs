@@ -110,6 +110,7 @@ struct ReadCounters {
     redirects: AtomicU64,
     conditional_not_modified: AtomicU64,
     bytes_sent: AtomicU64,
+    stale_serves: AtomicU64,
     fallbacks: AtomicU64,
     shard_clears: AtomicU64,
     reports_deferred: AtomicU64,
@@ -131,6 +132,8 @@ pub struct ReadPathStats {
     pub conditional_not_modified: u64,
     /// Body bytes sent in read-path 200s.
     pub bytes_sent: u64,
+    /// 200s served from a stale-marked co-op copy (failed T_val).
+    pub stale_serves: u64,
     /// Requests the read path declined (engine lock taken instead).
     pub fallbacks: u64,
     /// Serve-table shards cleared wholesale on budget overflow.
@@ -298,6 +301,10 @@ impl ReadPath {
             }
         }
         self.counters.served_coop.fetch_add(1, Ordering::Relaxed);
+        if doc.stale {
+            // Freshness unverified (failed T_val): still served, counted.
+            self.counters.stale_serves.fetch_add(1, Ordering::Relaxed);
+        }
         self.counters
             .bytes_sent
             .fetch_add(doc.bytes.len() as u64, Ordering::Relaxed);
@@ -523,6 +530,7 @@ impl ReadPath {
             redirects: c.redirects.load(Ordering::Relaxed),
             conditional_not_modified: c.conditional_not_modified.load(Ordering::Relaxed),
             bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
+            stale_serves: c.stale_serves.load(Ordering::Relaxed),
             fallbacks: c.fallbacks.load(Ordering::Relaxed),
             shard_clears: c.shard_clears.load(Ordering::Relaxed),
             reports_deferred: c.reports_deferred.load(Ordering::Relaxed),

@@ -5,7 +5,10 @@ use crate::events::EngineEvent;
 use crate::naming::decode_migrate_path;
 use dcws_cache::CachedDoc;
 use dcws_graph::{Location, ServerId};
-use dcws_http::{http_date, parse_http_date, Request, Response, StatusCode, Url};
+use dcws_http::{
+    body_checksum, checksum_matches, http_date, parse_http_date, Request, Response, StatusCode,
+    Url, CHECKSUM_HEADER,
+};
 
 /// Result of handing a request to the engine.
 #[derive(Debug)]
@@ -152,6 +155,11 @@ impl ServerEngine {
         }
         self.stats.served_coop += 1;
         self.stats.bytes_sent += doc.bytes.len() as u64;
+        // A stale-marked copy (failed T_val) or a negative one served as
+        // §4.5 crash insurance is freshness-unverified: count it.
+        if doc.stale || doc.negative {
+            self.stats.stale_serves += 1;
+        }
         Response::ok(doc.bytes.clone(), &doc.content_type)
             .with_header("Last-Modified", &last_modified)
     }
@@ -333,9 +341,14 @@ impl ServerEngine {
             doc: path.to_string(),
             coop: requester.cloned(),
         });
+        // Integrity checksum: the receiving transport recomputes this
+        // over the body it read, so a garbled transfer is retried
+        // instead of being installed as a corrupt copy.
+        let sum = body_checksum(&bytes);
         Response::ok(bytes, &ct)
             .with_header("X-DCWS-Version", &version.to_string())
             .with_header("Last-Modified", &http_date(self.doc_modified_ms(path)))
+            .with_header(CHECKSUM_HEADER, &sum)
     }
 
     /// Accept an eager-migration push into the co-op store.
@@ -348,6 +361,14 @@ impl ServerEngine {
             self.stats.bad_requests += 1;
             return Response::new(StatusCode::BadRequest);
         };
+        // Never install a garbled body: a push whose checksum does not
+        // cover its bytes is rejected (the home falls back to lazy pull).
+        if let Some(sum) = req.headers.get(CHECKSUM_HEADER) {
+            if !checksum_matches(&req.body, sum) {
+                self.stats.bad_requests += 1;
+                return Response::new(StatusCode::BadRequest);
+            }
+        }
         let version = req
             .headers
             .get("X-DCWS-Version")
@@ -473,6 +494,9 @@ impl ServerEngine {
         match resp.status {
             StatusCode::NotModified => {
                 self.coop_cache.touch(&cache_key, now_ms);
+                // Freshness re-verified: clear any stale marking left by
+                // an earlier failed revalidation.
+                self.coop_cache.set_stale(&cache_key, false);
             }
             StatusCode::Ok if resp.headers.contains("X-DCWS-Revoked") => {
                 // Keep the bytes as crash insurance, stop serving them.
@@ -502,5 +526,50 @@ impl ServerEngine {
             }
             _ => {} // transient failure: retry at next T_val
         }
+    }
+
+    /// Digest a T_val revalidation that could not reach `home` at all
+    /// (connection failure after the transport's retries). Degradation
+    /// rung one: mark the copy stale and keep serving it — counted as
+    /// stale serves — until a later revalidation succeeds.
+    pub fn validation_failed(&mut self, home: &ServerId, path: &str, now_ms: u64) {
+        self.now_ms = self.now_ms.max(now_ms);
+        self.stats.validation_failures += 1;
+        self.coop_cache.set_stale(&coop_cache_key(home, path), true);
+        self.emit(EngineEvent::ValidationFailed {
+            doc: path.to_string(),
+            home: home.clone(),
+        });
+    }
+
+    /// Record that a lazy pull of `path` from `home` failed after the
+    /// transport's retries. Marks any retained copy stale; the host then
+    /// answers each waiting request via [`Self::serve_stale`], or with a
+    /// 503 + Retry-After when no bytes are held.
+    pub fn note_pull_failure(&mut self, home: &ServerId, path: &str, now_ms: u64) {
+        self.now_ms = self.now_ms.max(now_ms);
+        self.stats.pull_failures += 1;
+        self.coop_cache.set_stale(&coop_cache_key(home, path), true);
+        self.emit(EngineEvent::PullFailed {
+            doc: path.to_string(),
+            home: home.clone(),
+        });
+    }
+
+    /// Last rung of the degradation ladder (fresh → stale → 503): serve
+    /// any retained copy of `home`'s `path` — stale-marked, or even a
+    /// revoked/negative one kept as §4.5 crash insurance — rather than
+    /// fail the client. Returns `None` when no bytes are held.
+    pub fn serve_stale(&mut self, home: &ServerId, path: &str, now_ms: u64) -> Option<Response> {
+        self.now_ms = self.now_ms.max(now_ms);
+        let doc = self.coop_cache.peek(&coop_cache_key(home, path))?;
+        self.stats.served_coop += 1;
+        self.stats.bytes_sent += doc.bytes.len() as u64;
+        self.stats.stale_serves += 1;
+        self.window.record(now_ms, doc.bytes.len() as u64);
+        Some(
+            Response::ok(doc.bytes.clone(), &doc.content_type)
+                .with_header("Last-Modified", &http_date(doc.modified_ms)),
+        )
     }
 }

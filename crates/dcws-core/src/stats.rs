@@ -44,6 +44,15 @@ pub struct EngineStats {
     pub bytes_sent: u64,
     /// Replica registrations performed by the hot-spot extension.
     pub replicas_created: u64,
+    /// T_val revalidations that could not be completed (home
+    /// unreachable after retries); the copy is marked stale instead.
+    pub validation_failures: u64,
+    /// Lazy pulls that failed after retries, triggering the stale-serve
+    /// or 503 degradation path.
+    pub pull_failures: u64,
+    /// 200 responses served from a copy whose freshness could not be
+    /// verified (stale-marked, or a revoked/unreachable-home fallback).
+    pub stale_serves: u64,
 }
 
 impl EngineStats {
@@ -70,6 +79,9 @@ impl EngineStats {
             peers_declared_dead: self.peers_declared_dead - earlier.peers_declared_dead,
             bytes_sent: self.bytes_sent - earlier.bytes_sent,
             replicas_created: self.replicas_created - earlier.replicas_created,
+            validation_failures: self.validation_failures - earlier.validation_failures,
+            pull_failures: self.pull_failures - earlier.pull_failures,
+            stale_serves: self.stale_serves - earlier.stale_serves,
         }
     }
 
@@ -83,7 +95,7 @@ impl EngineStats {
     /// The single source of truth for anything that enumerates the
     /// counters — the `/dcws/status` JSON, CSV headers, and the tests
     /// that check the endpoint exposes *all* of them.
-    pub fn fields(&self) -> [(&'static str, u64); 18] {
+    pub fn fields(&self) -> [(&'static str, u64); 21] {
         [
             ("requests", self.requests),
             ("served_home", self.served_home),
@@ -103,6 +115,9 @@ impl EngineStats {
             ("peers_declared_dead", self.peers_declared_dead),
             ("bytes_sent", self.bytes_sent),
             ("replicas_created", self.replicas_created),
+            ("validation_failures", self.validation_failures),
+            ("pull_failures", self.pull_failures),
+            ("stale_serves", self.stale_serves),
         ]
     }
 
@@ -210,16 +225,19 @@ mod tests {
             peers_declared_dead: 16,
             bytes_sent: 17,
             replicas_created: 18,
+            validation_failures: 19,
+            pull_failures: 20,
+            stale_serves: 21,
         };
         let fields = s.fields();
-        assert_eq!(fields.len(), 18);
+        assert_eq!(fields.len(), 21);
         let sum: u64 = fields.iter().map(|(_, v)| v).sum();
-        assert_eq!(sum, (1..=18).sum::<u64>());
+        assert_eq!(sum, (1..=21).sum::<u64>());
         // Names are unique.
         let mut names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 18);
+        assert_eq!(names.len(), 21);
     }
 
     #[test]

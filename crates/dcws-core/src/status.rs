@@ -283,6 +283,7 @@ impl ServerEngine {
                 Json::from(r.conditional_not_modified),
             ),
             ("bytes_sent", Json::from(r.bytes_sent)),
+            ("stale_serves", Json::from(r.stale_serves)),
             ("fallbacks", Json::from(r.fallbacks)),
             ("shard_clears", Json::from(r.shard_clears)),
             ("reports_deferred", Json::from(r.reports_deferred)),

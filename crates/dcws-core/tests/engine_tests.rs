@@ -770,3 +770,141 @@ fn oversize_pulled_doc_still_served_via_staging() {
         Outcome::FetchNeeded { .. }
     ));
 }
+
+/// Pull a copy of /d.html into `coop`, returning the pull response.
+fn pull_d(home: &mut ServerEngine, coop: &mut ServerEngine, now: u64) -> Response {
+    let pull = coop.make_pull_request("/d.html", now);
+    let resp = home.handle_request(&pull, now).into_response().unwrap();
+    assert!(coop.store_pulled(&home_id(), "/d.html", &resp, now));
+    resp
+}
+
+fn coop_entry_stale(coop: &ServerEngine) -> bool {
+    coop.coop_cache()
+        .entries_meta()
+        .iter()
+        .find(|(k, _)| k.ends_with("/d.html"))
+        .expect("copy present")
+        .1
+        .stale
+}
+
+#[test]
+fn failed_validation_marks_stale_then_success_clears_it() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    let mut coop = make_coop();
+    force_migration(&mut home, T_ST);
+    let now = T_ST + 5;
+    pull_d(&mut home, &mut coop, now);
+    assert!(!coop_entry_stale(&coop));
+
+    // T_val expires but the home is unreachable: the copy is marked
+    // stale and kept, never discarded.
+    let later = now + T_VAL;
+    let out = coop.tick(later);
+    assert_eq!(out.validations.len(), 1);
+    coop.validation_failed(&home_id(), "/d.html", later);
+    assert_eq!(coop.stats().validation_failures, 1);
+    assert!(coop_entry_stale(&coop));
+
+    // Serving the stale copy still works — and is counted.
+    let before = coop.stats().stale_serves;
+    let r = get(&mut coop, "/~migrate/home/8000/d.html", later + 1);
+    assert_eq!(r.status, StatusCode::Ok);
+    assert!(String::from_utf8_lossy(&r.body).contains("doc D"));
+    assert_eq!(coop.stats().stale_serves, before + 1);
+
+    // The home comes back; a 304 revalidation clears the stale mark.
+    let again = later + T_VAL + 1;
+    let out = coop.tick(again);
+    assert_eq!(out.validations.len(), 1);
+    let (_, vreq) = &out.validations[0];
+    let vresp = home.handle_request(vreq, again).into_response().unwrap();
+    assert_eq!(vresp.status, StatusCode::NotModified);
+    coop.handle_validation_response(&home_id(), "/d.html", &vresp, again);
+    assert!(!coop_entry_stale(&coop));
+    let before = coop.stats().stale_serves;
+    let r = get(&mut coop, "/~migrate/home/8000/d.html", again + 1);
+    assert_eq!(r.status, StatusCode::Ok);
+    assert_eq!(
+        coop.stats().stale_serves,
+        before,
+        "fresh serve not counted stale"
+    );
+}
+
+#[test]
+fn pull_failure_degrades_to_stale_copy_via_serve_stale() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    let mut coop = make_coop();
+    force_migration(&mut home, T_ST);
+    let now = T_ST + 5;
+
+    // No copy at all: nothing to degrade to.
+    assert!(coop.serve_stale(&home_id(), "/d.html", now).is_none());
+
+    let resp = pull_d(&mut home, &mut coop, now);
+
+    // A later pull attempt fails (home unreachable after retries).
+    coop.note_pull_failure(&home_id(), "/d.html", now + 10);
+    assert_eq!(coop.stats().pull_failures, 1);
+    assert!(coop_entry_stale(&coop));
+
+    // The transport's last rung before 503: serve the retained copy.
+    let before = coop.stats().stale_serves;
+    let r = coop
+        .serve_stale(&home_id(), "/d.html", now + 11)
+        .expect("retained copy serves stale");
+    assert_eq!(r.status, StatusCode::Ok);
+    assert_eq!(r.body, resp.body);
+    assert_eq!(coop.stats().stale_serves, before + 1);
+    assert!(r.headers.get("Last-Modified").is_some());
+}
+
+#[test]
+fn pull_responses_carry_body_checksum() {
+    let mut home = make_home(ServerConfig::paper_defaults());
+    let mut coop = make_coop();
+    force_migration(&mut home, T_ST);
+    let now = T_ST + 5;
+    let pull = coop.make_pull_request("/d.html", now);
+    let resp = home.handle_request(&pull, now).into_response().unwrap();
+    let sum = resp
+        .headers
+        .get(dcws_http::CHECKSUM_HEADER)
+        .expect("pull response must carry a checksum");
+    assert!(dcws_http::checksum_matches(&resp.body, sum));
+}
+
+#[test]
+fn garbled_push_body_is_rejected_with_400() {
+    let mut cfg = ServerConfig::paper_defaults();
+    cfg.eager_migration = true;
+    let mut home = make_home(cfg);
+    let mut coop = make_coop();
+    home.add_peer(coop_id());
+    for _ in 0..80 {
+        get(&mut home, "/d.html", 9_000);
+    }
+    let out = home.tick(T_ST);
+    assert_eq!(out.pushes.len(), 1);
+    let (_, push) = &out.pushes[0];
+    assert!(push.headers.get(dcws_http::CHECKSUM_HEADER).is_some());
+
+    // A single bit flipped in transit: the co-op must refuse to install
+    // the corrupt body.
+    let mut garbled = push.clone();
+    let mut bytes = garbled.body.to_vec();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    garbled.body = bytes.into();
+    let r = coop.handle_request(&garbled, T_ST).into_response().unwrap();
+    assert_eq!(r.status, StatusCode::BadRequest);
+    assert_eq!(coop.coop_doc_count(), 0, "corrupt copy must not install");
+    assert_eq!(coop.stats().bad_requests, 1);
+
+    // The untampered push still lands.
+    let r = coop.handle_request(push, T_ST + 1).into_response().unwrap();
+    assert_eq!(r.status, StatusCode::Ok);
+    assert_eq!(coop.coop_doc_count(), 1);
+}

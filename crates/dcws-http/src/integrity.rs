@@ -1,0 +1,80 @@
+//! End-to-end body integrity for inter-server transfers.
+//!
+//! A lazy pull or push that loses its TCP connection mid-body is
+//! detected by the framing layer (`Content-Length` short read), but a
+//! body that arrives *garbled* — proxy damage, a fault injector, a
+//! buggy peer — would otherwise parse cleanly and be installed as a
+//! corrupt document copy. Inter-server responses therefore carry an
+//! [`CHECKSUM_HEADER`] extension header holding an FNV-1a hash of the
+//! body bytes; the receiving transport recomputes it and treats a
+//! mismatch as a retryable I/O failure instead of storing the bytes.
+//!
+//! FNV-1a is not cryptographic — the threat model is accidental
+//! corruption between cooperating servers, not an adversary — but it
+//! is cheap, dependency-free, and already the hash idiom used across
+//! the workspace (cache sharding, jitter).
+
+/// Extension header carrying the FNV-1a hash of the message body,
+/// as 16 lowercase hex digits.
+pub const CHECKSUM_HEADER: &str = "X-DCWS-Body-FNV";
+
+/// FNV-1a over `body`, rendered as 16 lowercase hex digits — the
+/// value carried in [`CHECKSUM_HEADER`].
+pub fn body_checksum(body: &[u8]) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in body {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Check `body` against a checksum header value previously produced by
+/// [`body_checksum`]. Comparison is case-insensitive on the hex digits.
+pub fn checksum_matches(body: &[u8], header_value: &str) -> bool {
+    header_value
+        .trim()
+        .eq_ignore_ascii_case(&body_checksum(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_is_16_hex_digits_and_deterministic() {
+        let a = body_checksum(b"hello");
+        assert_eq!(a.len(), 16);
+        assert!(a.bytes().all(|b| b.is_ascii_hexdigit()));
+        assert_eq!(a, body_checksum(b"hello"));
+        assert_ne!(a, body_checksum(b"hellp"));
+    }
+
+    #[test]
+    fn empty_body_has_a_checksum() {
+        assert_eq!(body_checksum(b""), "cbf29ce484222325");
+    }
+
+    #[test]
+    fn matches_ignores_case_and_whitespace() {
+        let sum = body_checksum(b"doc");
+        assert!(checksum_matches(b"doc", &sum));
+        assert!(checksum_matches(
+            b"doc",
+            &format!(" {} ", sum.to_uppercase())
+        ));
+        assert!(!checksum_matches(b"dox", &sum));
+        assert!(!checksum_matches(b"doc", "not-hex"));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let body = b"the quick brown fox".to_vec();
+        let sum = body_checksum(&body);
+        for i in 0..body.len() {
+            let mut garbled = body.clone();
+            garbled[i] ^= 0x01;
+            assert!(!checksum_matches(&garbled, &sum), "flip at {i} undetected");
+        }
+    }
+}

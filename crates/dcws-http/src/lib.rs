@@ -37,6 +37,7 @@
 pub mod body;
 pub mod error;
 pub mod headers;
+pub mod integrity;
 pub mod method;
 pub mod parser;
 pub mod piggyback;
@@ -49,6 +50,7 @@ pub mod url;
 pub use body::Body;
 pub use error::{HttpError, Result};
 pub use headers::{http_date, parse_http_date, Headers};
+pub use integrity::{body_checksum, checksum_matches, CHECKSUM_HEADER};
 pub use method::Method;
 pub use parser::{parse_request, parse_response, Parsed};
 pub use piggyback::{LoadReport, PIGGYBACK_HEADER};

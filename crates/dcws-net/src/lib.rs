@@ -32,6 +32,13 @@
 //! the reserved `GET /dcws/status` endpoint
 //! ([`DcwsServer::status_json`]).
 //!
+//! Every inter-server socket call — pulls, pushes, pings, validations —
+//! goes through the resilient [`Transport`]: per-attempt timeouts,
+//! capped exponential backoff with seeded jitter ([`RetryPolicy`]), a
+//! body integrity check, and optional deterministic fault injection
+//! ([`FaultPlan`] / [`FaultInjector`]) so chaos runs are reproducible
+//! from a seed (see `docs/RESILIENCE.md`).
+//!
 //! [`client`] provides the small blocking HTTP client used for
 //! inter-server transfers and by the examples.
 
@@ -39,13 +46,19 @@
 
 pub mod client;
 pub mod conn;
+pub mod faults;
 pub mod lock;
 pub mod metrics;
 pub mod queue;
+pub mod retry;
 pub mod server;
+pub mod transport;
 
 pub use client::{fetch, fetch_from};
+pub use faults::{Blackout, Decision, FaultInjector, FaultPlan, FaultSnapshot, FirstFaultKind};
 pub use lock::{assert_engine_unlocked, EngineGuard, EngineLock};
 pub use metrics::{HistogramSnapshot, LatencyHistogram, TransportMetrics};
 pub use queue::{Queued, SocketQueue};
-pub use server::DcwsServer;
+pub use retry::RetryPolicy;
+pub use server::{DcwsServer, NetConfig};
+pub use transport::{IoSnapshot, OpClass, Transport};

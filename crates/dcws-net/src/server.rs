@@ -1,11 +1,13 @@
 //! The threaded DCWS server: front-end, worker pool, pinger (§5.1),
 //! plus the `/dcws/status` introspection endpoint.
 
-use crate::client::fetch_from_timeout;
 use crate::conn::{read_request, write_response, READ_TIMEOUT};
-use crate::lock::{assert_engine_unlocked, EngineLock};
+use crate::faults::FaultInjector;
+use crate::lock::EngineLock;
 use crate::metrics::TransportMetrics;
 use crate::queue::SocketQueue;
+use crate::retry::RetryPolicy;
+use crate::transport::{OpClass, Transport};
 use dcws_cache::SingleFlight;
 use dcws_core::{Json, Outcome, ReadPath, ServerEngine};
 use dcws_graph::ServerId;
@@ -28,8 +30,38 @@ enum PullResult {
     Stored,
     /// The home declined (redirect, 404, …); relay its answer as-is.
     Rejected(Response),
-    /// The home is unreachable; shed the request.
+    /// The home is unreachable after the transport's retries; each
+    /// waiter degrades to a stale retained copy or a 503.
     Unreachable,
+}
+
+/// Host-level transport configuration for [`DcwsServer::spawn_with`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// How often the pinger thread wakes to drive the engine's timers.
+    pub control_interval: Duration,
+    /// Retry policy for pulls, pushes, and validations (pings always
+    /// use a single attempt so dead-peer detection stays prompt).
+    pub retry: RetryPolicy,
+    /// Fault injector applied to every *outbound* inter-server call.
+    pub faults: Option<Arc<FaultInjector>>,
+    /// Fault injector consulted per *inbound* accepted connection
+    /// (refusals close the socket before any read; delays stall the
+    /// acceptor, modelling a slow network path into this host).
+    pub inbound_faults: Option<Arc<FaultInjector>>,
+}
+
+impl NetConfig {
+    /// Defaults: the given control interval, the stock inter-server
+    /// retry policy, no fault injection.
+    pub fn new(control_interval: Duration) -> NetConfig {
+        NetConfig {
+            control_interval,
+            retry: RetryPolicy::default_inter_server(),
+            faults: None,
+            inbound_faults: None,
+        }
+    }
 }
 
 /// Everything the worker and front-end threads share.
@@ -42,6 +74,11 @@ struct Shared {
     /// Coalesces concurrent lazy pulls for the same document: the first
     /// worker to miss leads the pull, the rest wait on its flight.
     pulls: SingleFlight<PullResult>,
+    /// Retrying, fault-aware inter-server I/O (pulls, pushes, pings,
+    /// validations all go through here — never a raw socket call).
+    transport: Transport,
+    /// Inbound-side fault injector, consulted by the front end.
+    inbound: Option<Arc<FaultInjector>>,
     dropped: AtomicU64,
     queue: SocketQueue<TcpStream>,
     epoch: Instant,
@@ -85,6 +122,45 @@ impl Shared {
                     ("in_flight", Json::from(self.pulls.in_flight())),
                 ])
             }),
+            ("retries", {
+                let io = self.transport.snapshot();
+                Json::obj(vec![
+                    ("attempts", Json::from(io.attempts)),
+                    ("successes", Json::from(io.successes)),
+                    ("retried", Json::from(io.retries)),
+                    ("giveups", Json::from(io.giveups)),
+                    ("corrupt_responses", Json::from(io.corrupt)),
+                    ("backoff_ms", Json::from(io.backoff_ms)),
+                ])
+            }),
+            ("faults", {
+                // Outbound + inbound injections, zeros when no injector
+                // is installed so the section shape is stable.
+                let mut f = self
+                    .transport
+                    .faults()
+                    .map(|i| i.snapshot())
+                    .unwrap_or_default();
+                if let Some(inb) = &self.inbound {
+                    let s = inb.snapshot();
+                    f.decisions += s.decisions;
+                    f.refusals += s.refusals;
+                    f.drops += s.drops;
+                    f.garbles += s.garbles;
+                    f.delays += s.delays;
+                }
+                Json::obj(vec![
+                    (
+                        "enabled",
+                        Json::from(self.transport.faults().is_some() || self.inbound.is_some()),
+                    ),
+                    ("injected", Json::from(f.injected())),
+                    ("refusals", Json::from(f.refusals)),
+                    ("drops", Json::from(f.drops)),
+                    ("garbles", Json::from(f.garbles)),
+                    ("delays", Json::from(f.delays)),
+                ])
+            }),
         ]);
         match engine_status {
             Json::Obj(mut pairs) => {
@@ -122,16 +198,29 @@ impl DcwsServer {
         bind_addr: &str,
         control_interval: Duration,
     ) -> std::io::Result<DcwsServer> {
+        DcwsServer::spawn_with(engine, bind_addr, NetConfig::new(control_interval))
+    }
+
+    /// [`Self::spawn`] with explicit transport configuration: retry
+    /// policy and (for chaos testing) outbound/inbound fault injectors.
+    pub fn spawn_with(
+        engine: ServerEngine,
+        bind_addr: &str,
+        net: NetConfig,
+    ) -> std::io::Result<DcwsServer> {
         let listener = TcpListener::bind(bind_addr)?;
         let addr = listener.local_addr()?;
         let queue_len = engine.config().socket_queue_len;
         let n_workers = engine.config().n_workers;
         let read = engine.read_path().clone();
+        let control_interval = net.control_interval;
         let shared = Arc::new(Shared {
             engine: EngineLock::new(engine),
             read,
             metrics: TransportMetrics::default(),
             pulls: SingleFlight::new(),
+            transport: Transport::new(net.retry, net.faults),
+            inbound: net.inbound_faults,
             dropped: AtomicU64::new(0),
             queue: SocketQueue::new(queue_len),
             epoch: Instant::now(),
@@ -154,6 +243,20 @@ impl DcwsServer {
                                 break;
                             }
                             let Ok(stream) = stream else { continue };
+                            if let Some(inj) = &shared.inbound {
+                                let d = inj.inbound();
+                                if d.delay_ms > 0 {
+                                    // Stalling the single acceptor models a
+                                    // congested path into this host.
+                                    std::thread::sleep(Duration::from_millis(d.delay_ms));
+                                }
+                                if d.refuse {
+                                    // Close without a response: the peer sees
+                                    // a connection reset, not a graceful 503.
+                                    drop(stream);
+                                    continue;
+                                }
+                            }
                             if let Err(mut s) = shared.queue.try_push(stream) {
                                 shared.dropped.fetch_add(1, Ordering::Relaxed);
                                 let resp = Response::service_unavailable(RETRY_AFTER_SECS);
@@ -247,6 +350,12 @@ impl DcwsServer {
     /// The transport latency histograms (queue wait + service time).
     pub fn metrics(&self) -> &TransportMetrics {
         &self.shared.metrics
+    }
+
+    /// The retrying inter-server transport (retry counters, fault
+    /// injector handle).
+    pub fn transport(&self) -> &Transport {
+        &self.shared.transport
     }
 
     /// The document served at `/dcws/status`: engine counters, derived
@@ -357,8 +466,7 @@ fn serve_one(shared: &Arc<Shared>, req: dcws_http::Request) -> std::io::Result<R
             // and the engine lock is taken exactly once, *after* the
             // network round-trip, to install (or reject) the result.
             let pull = shared.read.make_pull_request(&path);
-            assert_engine_unlocked("lazy pull fetch");
-            match fetch_from_timeout(&home, &pull, READ_TIMEOUT) {
+            match shared.transport.call(&home, &pull, OpClass::Pull) {
                 Ok(pull_resp) => {
                     let now = shared.now_ms();
                     let mut eng = shared.engine.lock();
@@ -371,8 +479,13 @@ fn serve_one(shared: &Arc<Shared>, req: dcws_http::Request) -> std::io::Result<R
                         PullResult::Rejected(pull_resp)
                     }
                 }
-                // Home unreachable and we hold no copy.
-                Err(_) => PullResult::Unreachable,
+                // Home unreachable (after retries) and we hold no fresh
+                // copy: mark any retained one stale, count the failure.
+                Err(_) => {
+                    let now = shared.now_ms();
+                    shared.engine.lock().note_pull_failure(&home, &path, now);
+                    PullResult::Unreachable
+                }
             }
         });
         if !flight.led() {
@@ -381,7 +494,15 @@ fn serve_one(shared: &Arc<Shared>, req: dcws_http::Request) -> std::io::Result<R
         match flight.into_inner() {
             PullResult::Stored => continue,
             PullResult::Rejected(resp) => return Ok(resp),
-            PullResult::Unreachable => return Ok(Response::service_unavailable(RETRY_AFTER_SECS)),
+            PullResult::Unreachable => {
+                // Degradation ladder (docs/RESILIENCE.md): a retained copy
+                // — even a stale or negative one — beats an error page.
+                let now = shared.now_ms();
+                if let Some(resp) = shared.engine.lock().serve_stale(&home, &path, now) {
+                    return Ok(resp);
+                }
+                return Ok(Response::service_unavailable(RETRY_AFTER_SECS));
+            }
         }
     }
     unreachable!("serve_one returns within two attempts")
@@ -390,8 +511,9 @@ fn serve_one(shared: &Arc<Shared>, req: dcws_http::Request) -> std::io::Result<R
 /// Perform the network side of a tick: pings, validations, eager pushes.
 fn run_tick_actions(shared: &Arc<Shared>, out: dcws_core::TickOutput, now: u64) {
     for (peer, req) in out.pings {
-        assert_engine_unlocked("ping transfer");
-        let result = fetch_from_timeout(&peer, &req, Duration::from_secs(2));
+        // Single attempt, short timeout: a dead peer must fail fast and
+        // feed the §4.5 failure counter, not be masked by retries.
+        let result = shared.transport.call(&peer, &req, OpClass::Ping);
         let mut eng = shared.engine.lock();
         match result {
             Ok(resp) => {
@@ -404,16 +526,23 @@ fn run_tick_actions(shared: &Arc<Shared>, out: dcws_core::TickOutput, now: u64) 
     }
     for (home, req) in out.validations {
         let path = req.target.clone();
-        assert_engine_unlocked("co-op revalidation");
-        if let Ok(resp) = fetch_from_timeout(&home, &req, READ_TIMEOUT) {
-            shared
-                .engine
-                .lock()
-                .handle_validation_response(&home, &path, &resp, now);
+        match shared.transport.call(&home, &req, OpClass::Validate) {
+            Ok(resp) => {
+                shared
+                    .engine
+                    .lock()
+                    .handle_validation_response(&home, &path, &resp, now);
+            }
+            // Home unreachable: serve the retained copy stale rather than
+            // discarding it (graceful degradation, docs/RESILIENCE.md).
+            Err(_) => {
+                shared.engine.lock().validation_failed(&home, &path, now);
+            }
         }
     }
     for (coop, req) in out.pushes {
-        assert_engine_unlocked("eager push");
-        let _ = fetch_from_timeout(&coop, &req, READ_TIMEOUT);
+        // A failed eager push costs nothing: the co-op simply lazy-pulls
+        // later if its load warrants it.
+        let _ = shared.transport.call(&coop, &req, OpClass::Push);
     }
 }

@@ -1,0 +1,119 @@
+//! Property-based pins on the chaos machinery: a [`FaultPlan`] is a
+//! pure function of its seed (so any chaos run replays exactly), and a
+//! [`RetryPolicy`] never exceeds its attempt cap, per-pause cap, or
+//! overall deadline, whatever the parameters.
+
+use dcws_net::{FaultPlan, RetryPolicy};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        0.0f64..1.0,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        0u64..50,
+        1u64..100,
+    )
+        .prop_map(|(seed, refuse, drop, garble, delay, lo, span)| {
+            FaultPlan::new(seed)
+                .with_refuse(refuse)
+                .with_drop(drop)
+                .with_garble(garble)
+                .with_delay(delay, (lo, lo + span))
+        })
+}
+
+proptest! {
+    /// Same seed ⇒ byte-identical fault schedule: the decision for every
+    /// `(seq, peer, at_ms)` is a pure function of the plan.
+    #[test]
+    fn same_seed_yields_identical_schedule(
+        plan in plan_strategy(),
+        probes in proptest::collection::vec((0u64..10_000, 0u64..600_000), 1..100),
+    ) {
+        let replay = plan.clone();
+        for (seq, at_ms) in probes {
+            prop_assert_eq!(
+                plan.decide(seq, "peer:80", at_ms),
+                replay.decide(seq, "peer:80", at_ms)
+            );
+        }
+    }
+
+    /// Decisions respect the plan's own bounds: zero-probability faults
+    /// never fire, certainties always do, delays stay inside the range.
+    #[test]
+    fn decisions_respect_probability_bounds(
+        seed in any::<u64>(),
+        seq in 0u64..10_000,
+        lo in 0u64..50,
+        span in 1u64..100,
+    ) {
+        let never = FaultPlan::new(seed);
+        prop_assert!(never.decide(seq, "p:1", 0).is_clean());
+
+        let always = FaultPlan::new(seed)
+            .with_refuse(1.0)
+            .with_drop(1.0)
+            .with_garble(1.0)
+            .with_delay(1.0, (lo, lo + span));
+        let d = always.decide(seq, "p:1", 0);
+        // Refusal short-circuits the rest — the connection never opens.
+        prop_assert!(d.refuse);
+
+        let delayed = FaultPlan::new(seed).with_delay(1.0, (lo, lo + span));
+        let d = delayed.decide(seq, "p:1", 0);
+        prop_assert!(d.delay_ms >= lo && d.delay_ms < lo + span,
+            "delay {} outside [{}, {})", d.delay_ms, lo, lo + span);
+    }
+
+    /// Blackout windows are half-open `[from, until)` and peer-scoped.
+    #[test]
+    fn blackout_covers_exactly_its_window(
+        seed in any::<u64>(),
+        from in 0u64..100_000,
+        len in 1u64..100_000,
+        probe in 0u64..300_000,
+    ) {
+        let plan = FaultPlan::new(seed).with_blackout("a:1", from, from + len);
+        let inside = probe >= from && probe < from + len;
+        prop_assert_eq!(plan.decide(0, "a:1", probe).refuse, inside);
+        // A different peer is never affected by a scoped blackout.
+        prop_assert!(!plan.decide(0, "b:1", probe).refuse);
+    }
+
+    /// The retry schedule never exceeds `max_attempts - 1` pauses, no
+    /// pause exceeds the backoff cap, and the cumulative sleep stays
+    /// within the deadline — for arbitrary policy parameters.
+    #[test]
+    fn retry_schedule_bounded_by_policy(
+        max_attempts in 1u32..64,
+        base_ms in 0u64..1_000,
+        cap_ms in 0u64..5_000,
+        deadline_ms in 0u64..20_000,
+        jitter_seed in any::<u64>(),
+        salt in any::<u64>(),
+    ) {
+        let p = RetryPolicy {
+            max_attempts,
+            attempt_timeout: Duration::from_millis(100),
+            backoff_base: Duration::from_millis(base_ms),
+            backoff_cap: Duration::from_millis(cap_ms),
+            deadline: Duration::from_millis(deadline_ms),
+            jitter_seed,
+        };
+        let sched = p.schedule(salt);
+        prop_assert!(sched.len() <= (max_attempts - 1) as usize);
+        let cap = Duration::from_millis(cap_ms);
+        for pause in &sched {
+            prop_assert!(*pause <= cap, "pause {pause:?} over cap {cap:?}");
+        }
+        let total: Duration = sched.iter().sum();
+        prop_assert!(total <= p.deadline, "total {total:?} over deadline {:?}", p.deadline);
+        // And the schedule itself is deterministic per (policy, salt).
+        prop_assert_eq!(sched, p.schedule(salt));
+    }
+}

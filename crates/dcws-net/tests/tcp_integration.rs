@@ -400,11 +400,48 @@ fn status_endpoint_reports_engine_and_transport_state() {
 
     // The transport section carries the service-time histogram; every
     // request above passed through the worker pool.
-    let service = doc.get("transport").unwrap().get("service_time").unwrap();
+    let transport = doc.get("transport").unwrap();
+    let service = transport.get("service_time").unwrap();
     assert!(service.get("count").unwrap().as_u64().unwrap() >= 60);
     assert!(service.get("p50_us").unwrap().as_u64().is_some());
     assert!(service.get("p95_us").unwrap().as_u64().is_some());
     assert!(service.get("p99_us").unwrap().as_u64().is_some());
+
+    // The resilience counters are always present: inter-server I/O ran
+    // clean here (the co-op's pull + pings succeeded on first attempts),
+    // and fault injection is disabled but its shape is stable.
+    let retries = transport.get("retries").expect("retries section");
+    for field in [
+        "attempts",
+        "successes",
+        "retried",
+        "giveups",
+        "corrupt_responses",
+        "backoff_ms",
+    ] {
+        assert!(
+            retries.get(field).and_then(|v| v.as_u64()).is_some(),
+            "transport.retries.{field} missing"
+        );
+    }
+    assert_eq!(retries.get("giveups").unwrap().as_u64(), Some(0));
+    // The pinger's transfers flow through the transport (the status doc
+    // above may have been read before the first 300 ms ping fired, so
+    // check the live counter with a grace period).
+    assert!(wait_for(Duration::from_secs(3), || {
+        home.transport().snapshot().attempts >= 1
+    }));
+    let faults = transport.get("faults").expect("faults section");
+    assert!(matches!(faults.get("enabled"), Some(Json::Bool(false))));
+    assert_eq!(faults.get("injected").unwrap().as_u64(), Some(0));
+    // And the engine's degradation counters appear under stats.
+    for field in ["validation_failures", "pull_failures", "stale_serves"] {
+        assert_eq!(
+            stats.get(field).and_then(|v| v.as_u64()),
+            Some(0),
+            "stats.{field} missing or nonzero on a clean run"
+        );
+    }
 
     // Reserved paths other than /dcws/status are 404, and the namespace
     // never shadows documents.

@@ -144,6 +144,34 @@ impl SimCluster {
         Self::with_crashes(cfg, Vec::new())
     }
 
+    /// [`SimCluster::new`] driven by the same seeded fault vocabulary as
+    /// the real transport: every [`Blackout`](dcws_net::Blackout) in
+    /// `plan` whose peer names a simulated server (`"s2:80"` or bare
+    /// `"2"`; the `"*"` wildcard is ignored) becomes a crash at its
+    /// `from_ms`. The simulator models fail-stop servers, so blackouts
+    /// do not heal at `until_ms` — use the real-TCP chaos suite for
+    /// partition-heal scenarios.
+    pub fn with_fault_plan(cfg: SimConfig, plan: &dcws_net::FaultPlan) -> Self {
+        let n = cfg.n_servers;
+        let mut crashes: Vec<(u64, usize)> = plan
+            .blackouts
+            .iter()
+            .filter_map(|b| {
+                let idx = (0..n).find(|i| {
+                    b.peer == format!("s{i}:80")
+                        || b.peer == format!("s{i}")
+                        || b.peer == format!("{i}")
+                })?;
+                Some((b.from_ms, idx))
+            })
+            .collect();
+        crashes.sort_unstable();
+        // Fail-stop: only the first blackout per server matters.
+        let mut seen = std::collections::HashSet::new();
+        crashes.retain(|&(_, idx)| seen.insert(idx));
+        Self::with_crashes(cfg, crashes)
+    }
+
     /// [`SimCluster::new`] plus scheduled server crashes `(t_ms, server)`
     /// for the fault-tolerance experiments.
     pub fn with_crashes(cfg: SimConfig, crashes: Vec<(u64, usize)>) -> Self {
@@ -766,13 +794,20 @@ impl SimCluster {
                     }
                 }
             }
-            Purpose::Validate { home, path } => {
-                if let Delivery::Response(resp) = delivery {
+            Purpose::Validate { home, path } => match delivery {
+                Delivery::Response(resp) => {
                     self.servers[server]
                         .engine
                         .handle_validation_response(&home, &path, &resp, now_ms);
                 }
-            }
+                // Home unreachable: the copy is served stale rather than
+                // discarded (graceful degradation, docs/RESILIENCE.md).
+                Delivery::Failed => {
+                    self.servers[server]
+                        .engine
+                        .validation_failed(&home, &path, now_ms);
+                }
+            },
             Purpose::Ping { peer } => match delivery {
                 // ANY response proves the peer is alive — a 503 means
                 // overloaded, not dead. Only connection failure counts

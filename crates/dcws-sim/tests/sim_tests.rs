@@ -128,6 +128,20 @@ fn coop_crash_recalls_documents_and_service_continues() {
 }
 
 #[test]
+fn fault_plan_blackout_maps_to_crash() {
+    // The same seeded FaultPlan vocabulary the real transport uses
+    // drives the simulator: a blackout of s2 becomes a fail-stop crash
+    // at its from_ms, triggering the §4.5 recall path.
+    let plan = dcws_net::FaultPlan::new(1999)
+        .with_blackout("s2:80", 30_000, 60_000)
+        .with_blackout("nonexistent:80", 1_000, 2_000);
+    let r = SimCluster::with_fault_plan(warm_lod(3, 16, 60_000), &plan).run();
+    assert!(r.revocations > 0, "blackout crash should trigger recalls");
+    let tail = &r.samples[r.samples.len() - 2..];
+    assert!(tail.iter().all(|s| s.cps > 0.0), "service died after crash");
+}
+
+#[test]
 fn load_spreads_across_servers() {
     let r = run_sim(warm_lod(4, 64, 120_000));
     let last = r.samples.last().unwrap();

@@ -24,6 +24,14 @@ if [[ $quick -eq 0 ]]; then
     step cargo build --workspace --release
 fi
 step cargo test -q --workspace
+
+# Chaos smoke: a real 3-server TCP cluster under the fixed-seed fault
+# schedule (seeds 7/21/1999 inside the test) must converge with no
+# document lost. Named explicitly so a chaos regression is visible as
+# its own step, and reproducible from the printed seed
+# (docs/RESILIENCE.md).
+step cargo test -q -p dcws-net --test chaos_tests seeded_chaos_no_document_lost
+
 step cargo fmt --all --check
 step cargo clippy --workspace --all-targets -- -D warnings
 step env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

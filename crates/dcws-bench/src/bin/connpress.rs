@@ -1,0 +1,420 @@
+//! Connection-reuse sweep for the inter-server transport: pooled
+//! keep-alive versus connect-per-request across body sizes and client
+//! concurrency.
+//!
+//! DCWS servers exchange a steady stream of small control messages —
+//! pulls, validations, load gossip — with a stable set of peers. Paying
+//! a TCP handshake (plus a fresh slow-start window) for every exchange
+//! taxes exactly the small transfers the protocol is made of. The
+//! [`ConnPool`](dcws_net::ConnPool) amortises that cost by parking
+//! keep-alive connections per peer; this binary measures what the
+//! amortisation is worth.
+//!
+//! # Workload
+//!
+//! A stub peer answers every GET with a fixed-size body over HTTP/1.1
+//! keep-alive. For each (body size × concurrency) point, two arms run
+//! the identical client loop through a real [`Transport`]:
+//!
+//! * **fresh** — `pool_max_per_peer = 0`: every call dials, TIME_WAIT
+//!   and handshake latency included (the paper's CPS cost model);
+//! * **pooled** — the default pool: after the first call per client the
+//!   connection is reused and only the request/response bytes move.
+//!
+//! Outputs: `bench_results/connpress.csv`,
+//! `bench_results/BENCH_connpress.json`, and a per-point speedup table
+//! on stdout. Honors `DCWS_BENCH_QUICK=1` / `--quick` (fewer, shorter
+//! points) and **exits nonzero in quick mode if the pooled arm's reuse
+//! ratio is ≤ 0.9** — the CI smoke gate for the pool itself.
+
+use dcws_bench::{fmt_thousands, write_csv};
+use dcws_core::Json;
+use dcws_graph::ServerId;
+use dcws_http::{Request, Response, StatusCode};
+use dcws_net::conn::{read_request_buf, write_response};
+use dcws_net::{MsgBuf, OpClass, PoolConfig, RetryPolicy, Transport};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything one sweep needs to know.
+struct Params {
+    body_bytes: Vec<usize>,
+    concurrency: Vec<usize>,
+    duration: Duration,
+    warmup: Duration,
+}
+
+fn quick_mode() -> bool {
+    dcws_bench::quick() || std::env::args().any(|a| a == "--quick")
+}
+
+fn params() -> Params {
+    if quick_mode() {
+        Params {
+            body_bytes: vec![4096],
+            concurrency: vec![1, 4],
+            duration: Duration::from_millis(400),
+            warmup: Duration::from_millis(100),
+        }
+    } else {
+        Params {
+            body_bytes: vec![256, 4096, 65536],
+            concurrency: vec![1, 4, 8],
+            duration: Duration::from_millis(1200),
+            warmup: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Single-attempt policy: the sweep measures the socket path, not the
+/// retry machinery, and any failure should count as an error instead of
+/// being silently absorbed by backoff.
+fn policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 1,
+        attempt_timeout: Duration::from_secs(5),
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(1),
+        deadline: Duration::from_secs(10),
+        jitter_seed: 1,
+    }
+}
+
+/// A keep-alive peer stand-in: answers every GET on a connection until
+/// the client hangs up, counting accepted connections (the direct
+/// fresh-vs-pooled signal: pooled ≈ one per client, fresh ≈ one per
+/// request).
+struct StubPeer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    conns: Arc<AtomicU64>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StubPeer {
+    fn spawn(body_bytes: usize) -> StubPeer {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind stub peer");
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(AtomicU64::new(0));
+        let body: Arc<Vec<u8>> = Arc::new(vec![b'x'; body_bytes]);
+        let stop2 = stop.clone();
+        let conns2 = conns.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("connpress-stub".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(mut s) = stream else { continue };
+                    conns2.fetch_add(1, Ordering::Relaxed);
+                    let body = body.clone();
+                    std::thread::spawn(move || {
+                        let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+                        let _ = s.set_nodelay(true);
+                        let mut mb = MsgBuf::new();
+                        while let Ok(Some(req)) = read_request_buf(&mut s, &mut mb) {
+                            let resp =
+                                Response::ok(body.as_ref().clone(), "application/octet-stream");
+                            if write_response(&mut s, &resp, req.method).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("spawn stub peer");
+        StubPeer {
+            addr,
+            stop,
+            conns,
+            accept_thread: Some(accept_thread),
+        }
+    }
+
+    fn server_id(&self) -> ServerId {
+        ServerId::new(format!("{}:{}", self.addr.ip(), self.addr.port()))
+    }
+
+    fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One arm of one sweep point.
+struct ArmResult {
+    ok: u64,
+    errors: u64,
+    cps: f64,
+    dials: u64,
+    hits: u64,
+    reuse_ratio: f64,
+    server_conns: u64,
+}
+
+/// Run one arm: `concurrency` client threads share one [`Transport`]
+/// and hammer the stub for `p.duration` after a warmup.
+fn run_arm(p: &Params, body_bytes: usize, concurrency: usize, pooled: bool) -> ArmResult {
+    let stub = StubPeer::spawn(body_bytes);
+    let peer = stub.server_id();
+    let pool = if pooled {
+        PoolConfig {
+            max_per_peer: 16,
+            ..PoolConfig::default()
+        }
+    } else {
+        PoolConfig {
+            max_per_peer: 0,
+            ..PoolConfig::default()
+        }
+    };
+    let transport = Arc::new(Transport::with_pool(policy(), None, pool));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let ok = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let mut clients = Vec::new();
+    for c in 0..concurrency {
+        let stop = stop.clone();
+        let ok = ok.clone();
+        let errors = errors.clone();
+        let transport = transport.clone();
+        let peer = peer.clone();
+        clients.push(
+            std::thread::Builder::new()
+                .name(format!("connpress-client-{c}"))
+                .spawn(move || {
+                    let req = Request::get("/doc.bin").with_header("Host", &peer.to_string());
+                    while !stop.load(Ordering::Relaxed) {
+                        match transport.call(&peer, &req, OpClass::Pull) {
+                            Ok(resp) if resp.status == StatusCode::Ok => {
+                                ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(_) | Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                })
+                .expect("spawn client"),
+        );
+    }
+
+    std::thread::sleep(p.warmup);
+    let ok0 = ok.load(Ordering::Relaxed);
+    let err0 = errors.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    std::thread::sleep(p.duration);
+    let elapsed = t0.elapsed();
+    let ok_n = ok.load(Ordering::Relaxed) - ok0;
+    let err_n = errors.load(Ordering::Relaxed) - err0;
+    stop.store(true, Ordering::Relaxed);
+    for t in clients {
+        let _ = t.join();
+    }
+
+    let snap = transport.pool().snapshot();
+    let server_conns = stub.conns.load(Ordering::Relaxed);
+    stub.shutdown();
+
+    ArmResult {
+        ok: ok_n,
+        errors: err_n,
+        cps: ok_n as f64 / elapsed.as_secs_f64(),
+        dials: snap.dials,
+        hits: snap.hits,
+        reuse_ratio: snap.reuse_ratio(),
+        server_conns,
+    }
+}
+
+struct PointResult {
+    body_bytes: usize,
+    concurrency: usize,
+    fresh: ArmResult,
+    pooled: ArmResult,
+}
+
+impl PointResult {
+    fn speedup(&self) -> f64 {
+        if self.fresh.cps > 0.0 {
+            self.pooled.cps / self.fresh.cps
+        } else {
+            0.0
+        }
+    }
+}
+
+fn arm_json(a: &ArmResult) -> Json {
+    Json::obj(vec![
+        ("cps", Json::from(a.cps)),
+        ("ok", Json::from(a.ok)),
+        ("errors", Json::from(a.errors)),
+        ("dials", Json::from(a.dials)),
+        ("hits", Json::from(a.hits)),
+        ("reuse_ratio", Json::from(a.reuse_ratio)),
+        ("server_conns", Json::from(a.server_conns)),
+    ])
+}
+
+fn main() {
+    let p = params();
+    println!(
+        "Connection-reuse sweep: body {:?} B x concurrency {:?}, {:?}/point{}",
+        p.body_bytes,
+        p.concurrency,
+        p.duration,
+        if quick_mode() { " [quick]" } else { "" }
+    );
+    println!(
+        "{:>8} {:>5} {:>11} {:>11} {:>8} {:>7} {:>7} {:>6}",
+        "body_B", "conc", "fresh_cps", "pooled_cps", "speedup", "reuse", "dials", "conns"
+    );
+
+    let mut results = Vec::new();
+    for &body in &p.body_bytes {
+        for &conc in &p.concurrency {
+            let fresh = run_arm(&p, body, conc, false);
+            let pooled = run_arm(&p, body, conc, true);
+            let r = PointResult {
+                body_bytes: body,
+                concurrency: conc,
+                fresh,
+                pooled,
+            };
+            println!(
+                "{:>8} {:>5} {:>11} {:>11} {:>7.2}x {:>7.3} {:>7} {:>6}",
+                r.body_bytes,
+                r.concurrency,
+                fmt_thousands(r.fresh.cps),
+                fmt_thousands(r.pooled.cps),
+                r.speedup(),
+                r.pooled.reuse_ratio,
+                r.pooled.dials,
+                r.pooled.server_conns,
+            );
+            results.push(r);
+        }
+    }
+
+    // Acceptance: on small bodies the pool must be worth >= 1.5x once
+    // there is real concurrency to amortise across.
+    let pass_speedup = results
+        .iter()
+        .filter(|r| r.body_bytes <= 4096 && r.concurrency >= 4)
+        .all(|r| r.speedup() >= 1.5);
+    let min_reuse = results
+        .iter()
+        .map(|r| r.pooled.reuse_ratio)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\npooled vs fresh on small bodies at conc>=4: {} (min pooled reuse ratio {:.3})",
+        if pass_speedup {
+            "PASS >=1.5x"
+        } else {
+            "below 1.5x"
+        },
+        min_reuse
+    );
+
+    let mut csv = vec![vec![
+        "body_bytes".into(),
+        "concurrency".into(),
+        "arm".into(),
+        "cps".into(),
+        "ok".into(),
+        "errors".into(),
+        "dials".into(),
+        "hits".into(),
+        "reuse_ratio".into(),
+        "server_conns".into(),
+    ]];
+    for r in &results {
+        for (arm, a) in [("fresh", &r.fresh), ("pooled", &r.pooled)] {
+            csv.push(vec![
+                r.body_bytes.to_string(),
+                r.concurrency.to_string(),
+                arm.to_string(),
+                format!("{:.1}", a.cps),
+                a.ok.to_string(),
+                a.errors.to_string(),
+                a.dials.to_string(),
+                a.hits.to_string(),
+                format!("{:.4}", a.reuse_ratio),
+                a.server_conns.to_string(),
+            ]);
+        }
+    }
+    write_csv("connpress", &csv);
+
+    let json = Json::obj(vec![
+        ("bench", Json::from("connpress")),
+        ("quick", Json::from(quick_mode())),
+        (
+            "host_parallelism",
+            Json::from(
+                std::thread::available_parallelism()
+                    .map(|n| n.get() as u64)
+                    .unwrap_or(0),
+            ),
+        ),
+        (
+            "params",
+            Json::obj(vec![
+                (
+                    "body_bytes",
+                    Json::Arr(p.body_bytes.iter().map(|&b| Json::from(b as u64)).collect()),
+                ),
+                (
+                    "concurrency",
+                    Json::Arr(
+                        p.concurrency
+                            .iter()
+                            .map(|&c| Json::from(c as u64))
+                            .collect(),
+                    ),
+                ),
+                ("duration_ms", Json::from(p.duration.as_millis() as u64)),
+                ("pool_max_per_peer", Json::from(16u64)),
+            ]),
+        ),
+        (
+            "points",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("body_bytes", Json::from(r.body_bytes as u64)),
+                            ("concurrency", Json::from(r.concurrency as u64)),
+                            ("fresh", arm_json(&r.fresh)),
+                            ("pooled", arm_json(&r.pooled)),
+                            ("speedup", Json::from(r.speedup())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("min_pooled_reuse_ratio", Json::from(min_reuse)),
+        ("pass_1_5x_small_body_conc4", Json::from(pass_speedup)),
+    ]);
+    let path = dcws_bench::results_dir().join("BENCH_connpress.json");
+    match std::fs::write(&path, json.to_string()) {
+        Ok(()) => println!("[json written to {}]", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+
+    // Quick mode doubles as the CI smoke gate: the pool must actually
+    // reuse connections, or the whole point of the subsystem is gone.
+    if quick_mode() && min_reuse <= 0.9 {
+        eprintln!("FAIL: pooled reuse ratio {min_reuse:.3} <= 0.9");
+        std::process::exit(1);
+    }
+}

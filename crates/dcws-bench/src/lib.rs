@@ -13,6 +13,8 @@
 //! | `overhead` | §5.3 parse/reconstruction overhead measurements |
 //! | `ablation` | DCWS vs baselines, plus design-choice ablations |
 //! | `cachepress` | cache budget vs hit ratio / response time sweep |
+//! | `lockpress` | throughput vs worker threads (engine-lock contention) |
+//! | `connpress` | pooled keep-alive vs connect-per-request transport sweep |
 //!
 //! Binaries honor `DCWS_BENCH_QUICK=1` for a fast smoke pass (fewer
 //! points, shorter runs) and write machine-readable CSV next to their

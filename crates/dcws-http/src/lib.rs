@@ -52,7 +52,7 @@ pub use error::{HttpError, Result};
 pub use headers::{http_date, parse_http_date, Headers};
 pub use integrity::{body_checksum, checksum_matches, CHECKSUM_HEADER};
 pub use method::Method;
-pub use parser::{parse_request, parse_response, Parsed};
+pub use parser::{parse_request, parse_response, request_wire_len, response_wire_len, Parsed};
 pub use piggyback::{LoadReport, PIGGYBACK_HEADER};
 pub use request::Request;
 pub use reserved::{is_reserved_path, RESERVED_PREFIX, STATUS_PATH};

@@ -91,6 +91,64 @@ fn take_body(buf: &[u8], head_end: usize, len: usize) -> Result<Option<Vec<u8>>>
     Ok(Some(buf[head_end..head_end + len].to_vec()))
 }
 
+/// Body length implied by a parsed head, bounds-checked.
+fn framed_body_len(headers: &Headers) -> Result<usize> {
+    let len = headers.content_length()?.unwrap_or(0);
+    if len > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge {
+            what: "body",
+            limit: MAX_BODY_BYTES,
+        });
+    }
+    Ok(len)
+}
+
+/// Total wire length (head + body) of the request at the front of `buf`,
+/// available as soon as its *head* is fully buffered — `Ok(None)` until
+/// the `\r\n\r\n` terminator arrives. Socket read loops use this to
+/// learn how many bytes a message needs without re-parsing the buffer
+/// after every chunk (see `dcws_net::conn`).
+pub fn request_wire_len(buf: &[u8]) -> Result<Option<usize>> {
+    let (text, head_end) = match head_text(buf)? {
+        Some(t) => t,
+        None => return Ok(None),
+    };
+    let mut lines = text.lines();
+    let _start = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequestLine(String::new()))?;
+    let headers = parse_header_lines(lines)?;
+    Ok(Some(head_end + framed_body_len(&headers)?))
+}
+
+/// [`request_wire_len`] for responses: `request_method` affects framing
+/// exactly as in [`parse_response`] (`HEAD` and bodyless statuses carry
+/// no body regardless of `Content-Length`).
+pub fn response_wire_len(buf: &[u8], request_method: Method) -> Result<Option<usize>> {
+    let (text, head_end) = match head_text(buf)? {
+        Some(t) => t,
+        None => return Ok(None),
+    };
+    let mut lines = text.lines();
+    let start = lines
+        .next()
+        .ok_or_else(|| HttpError::BadStatusLine(String::new()))?;
+    let mut parts = start.splitn(3, ' ');
+    let code = match (parts.next(), parts.next()) {
+        (Some(_v), Some(c)) => c,
+        _ => return Err(HttpError::BadStatusLine(start.to_string())),
+    };
+    let code: u16 = code
+        .parse()
+        .map_err(|_| HttpError::BadStatusCode(code.to_string()))?;
+    let status = StatusCode::from_code(code)?;
+    let headers = parse_header_lines(lines)?;
+    if request_method == Method::Head || status.bodyless() {
+        return Ok(Some(head_end));
+    }
+    Ok(Some(head_end + framed_body_len(&headers)?))
+}
+
 /// Try to parse a complete request from the front of `buf`.
 ///
 /// Returns `Ok(None)` when more bytes are needed.
@@ -317,6 +375,51 @@ mod tests {
     #[test]
     fn bad_content_length_rejected() {
         assert!(parse_request(b"GET /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn wire_len_known_once_head_buffered() {
+        let wire = Request::get("/x").with_body(vec![7u8; 100]).to_bytes();
+        let head_end = wire.len() - 100;
+        // Unknown while the head is incomplete…
+        assert_eq!(request_wire_len(&wire[..head_end - 1]).unwrap(), None);
+        // …known the moment the terminator lands, before any body byte.
+        assert_eq!(
+            request_wire_len(&wire[..head_end]).unwrap(),
+            Some(wire.len())
+        );
+        assert_eq!(request_wire_len(&wire).unwrap(), Some(wire.len()));
+    }
+
+    #[test]
+    fn response_wire_len_honors_framing() {
+        let r = Response::ok(b"0123456789".to_vec(), "text/plain");
+        let wire = r.to_bytes();
+        assert_eq!(
+            response_wire_len(&wire, Method::Get).unwrap(),
+            Some(wire.len())
+        );
+        // HEAD framing: the body never arrives, so the head is the message.
+        let head_wire = r.to_bytes_for(true);
+        assert_eq!(
+            response_wire_len(&head_wire, Method::Head).unwrap(),
+            Some(head_wire.len())
+        );
+        // 304s are bodyless even with a Content-Length.
+        let wire304 = b"HTTP/1.1 304 Not Modified\r\nContent-Length: 10\r\n\r\n";
+        assert_eq!(
+            response_wire_len(wire304, Method::Get).unwrap(),
+            Some(wire304.len())
+        );
+    }
+
+    #[test]
+    fn wire_len_rejects_oversize_body() {
+        let wire = format!(
+            "GET /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(request_wire_len(wire.as_bytes()).is_err());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! A small blocking HTTP client for inter-server transfers and examples.
 
-use crate::conn::{read_response, READ_TIMEOUT};
+use crate::conn::{read_response, read_response_buf, write_request, MsgBuf, READ_TIMEOUT};
+use crate::transport::is_conn_death;
 use dcws_graph::ServerId;
-use dcws_http::{Request, Response, Url};
+use dcws_http::{Request, Response, Url, Version};
 use std::io::{self, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -29,8 +30,17 @@ pub fn fetch_from_timeout(
 /// GET an absolute URL, following up to `max_redirects` `301`s — the
 /// client-side behaviour DCWS relies on for stale pre-migration links
 /// (§4.4). Returns the final response and the URL it came from.
+///
+/// When a redirect targets the same `host:port` it was served from —
+/// the common §4.4 case of a renamed path on an unmoved document — the
+/// next hop reuses the live connection instead of reconnecting,
+/// provided the response allowed keep-alive. A reused connection the
+/// peer closed in the meantime is transparently redialed once.
 pub fn fetch(url: &Url, max_redirects: usize) -> io::Result<(Response, Url)> {
     let mut current = url.clone();
+    // A connection (plus its parse buffer) kept alive across
+    // same-server redirect hops.
+    let mut held: Option<(ServerId, TcpStream, MsgBuf)> = None;
     for _ in 0..=max_redirects {
         let host = current.host().ok_or_else(|| {
             io::Error::new(
@@ -40,7 +50,30 @@ pub fn fetch(url: &Url, max_redirects: usize) -> io::Result<(Response, Url)> {
         })?;
         let server = ServerId::new(format!("{host}:{}", current.port()));
         let req = Request::get(current.path()).with_header("Host", &server.to_string());
-        let resp = fetch_from(&server, &req)?;
+        let (mut stream, mut mb, reused) = match held.take() {
+            Some((held_id, s, mb)) if held_id == server => (s, mb, true),
+            _ => {
+                let (s, mb) = dial(&server, READ_TIMEOUT)?;
+                (s, mb, false)
+            }
+        };
+        let resp = match exchange(&mut stream, &mut mb, &req) {
+            Ok(resp) => resp,
+            // The hop reused a stream the server had since closed: one
+            // fresh dial, same request (nothing was received, so the
+            // retry is safe).
+            Err(e) if reused && mb.buffered() == 0 && is_conn_death(&e) => {
+                let fresh = dial(&server, READ_TIMEOUT)?;
+                (stream, mb) = fresh;
+                exchange(&mut stream, &mut mb, &req)?
+            }
+            Err(e) => return Err(e),
+        };
+        let keep_alive = resp.version == Version::Http11
+            && !resp
+                .headers
+                .get("Connection")
+                .is_some_and(|c| c.eq_ignore_ascii_case("close"));
         if resp.status.is_redirect() {
             if let Some(loc) = resp.location() {
                 current = if loc.is_absolute() {
@@ -50,6 +83,9 @@ pub fn fetch(url: &Url, max_redirects: usize) -> io::Result<(Response, Url)> {
                         .join(&loc.to_string())
                         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
                 };
+                if keep_alive {
+                    held = Some((server, stream, mb));
+                }
                 continue;
             }
         }
@@ -58,6 +94,21 @@ pub fn fetch(url: &Url, max_redirects: usize) -> io::Result<(Response, Url)> {
     Err(io::Error::other(format!(
         "redirect limit exceeded fetching {url}"
     )))
+}
+
+/// Connect to `server` with a fresh parse buffer.
+fn dial(server: &ServerId, timeout: Duration) -> io::Result<(TcpStream, MsgBuf)> {
+    let (host, port) = server.host_port();
+    let stream = TcpStream::connect((host, port))?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_nodelay(true)?;
+    Ok((stream, MsgBuf::new()))
+}
+
+/// One request/response round trip over an established connection.
+fn exchange(stream: &mut TcpStream, mb: &mut MsgBuf, req: &Request) -> io::Result<Response> {
+    write_request(stream, req)?;
+    read_response_buf(stream, req.method, mb)
 }
 
 #[cfg(test)]
@@ -120,6 +171,76 @@ mod tests {
             }
         });
         assert!(fetch(&self_url, 3).is_err());
+    }
+
+    #[test]
+    fn fetch_reuses_connection_for_same_host_redirect() {
+        // One accept only: the redirect hop and the final fetch must
+        // both arrive on the same connection.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let target = Url::absolute("127.0.0.1", addr.port(), "/new.html").unwrap();
+        let target2 = target.clone();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut mb = MsgBuf::new();
+            let req = crate::conn::read_request_buf(&mut s, &mut mb)
+                .unwrap()
+                .unwrap();
+            crate::conn::write_response(&mut s, &Response::moved_permanently(&target2), req.method)
+                .unwrap();
+            let req = crate::conn::read_request_buf(&mut s, &mut mb)
+                .unwrap()
+                .unwrap();
+            crate::conn::write_response(
+                &mut s,
+                &Response::ok(b"moved here".to_vec(), "text/plain"),
+                req.method,
+            )
+            .unwrap();
+        });
+        let start = Url::absolute("127.0.0.1", addr.port(), "/old.html").unwrap();
+        let (resp, from) = fetch(&start, 3).unwrap();
+        assert_eq!(resp.body, b"moved here");
+        assert_eq!(from, target);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn fetch_redials_when_reused_connection_went_stale() {
+        // The server closes the connection right after the 301 without
+        // announcing `Connection: close`; the client's reuse attempt
+        // hits a dead stream and must transparently redial.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let target = Url::absolute("127.0.0.1", addr.port(), "/new.html").unwrap();
+        let target2 = target.clone();
+        let server = std::thread::spawn(move || {
+            {
+                let (mut s, _) = listener.accept().unwrap();
+                if let Ok(Some(req)) = crate::conn::read_request(&mut s) {
+                    let _ = crate::conn::write_response(
+                        &mut s,
+                        &Response::moved_permanently(&target2),
+                        req.method,
+                    );
+                }
+                // Dropped here: the client's parked connection dies.
+            }
+            let (mut s, _) = listener.accept().unwrap();
+            let req = crate::conn::read_request(&mut s).unwrap().unwrap();
+            crate::conn::write_response(
+                &mut s,
+                &Response::ok(b"found anyway".to_vec(), "text/plain"),
+                req.method,
+            )
+            .unwrap();
+        });
+        let start = Url::absolute("127.0.0.1", addr.port(), "/old.html").unwrap();
+        let (resp, from) = fetch(&start, 3).unwrap();
+        assert_eq!(resp.body, b"found anyway");
+        assert_eq!(from, target);
+        server.join().unwrap();
     }
 
     #[test]

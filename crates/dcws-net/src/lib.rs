@@ -33,11 +33,14 @@
 //! ([`DcwsServer::status_json`]).
 //!
 //! Every inter-server socket call — pulls, pushes, pings, validations —
-//! goes through the resilient [`Transport`]: per-attempt timeouts,
-//! capped exponential backoff with seeded jitter ([`RetryPolicy`]), a
-//! body integrity check, and optional deterministic fault injection
-//! ([`FaultPlan`] / [`FaultInjector`]) so chaos runs are reproducible
-//! from a seed (see `docs/RESILIENCE.md`).
+//! goes through the resilient [`Transport`]: persistent keep-alive
+//! connection reuse through a bounded per-peer [`ConnPool`] (pings
+//! exempt, so §4.5 dead-peer detection stays honest), per-attempt
+//! timeouts, capped exponential backoff with seeded jitter
+//! ([`RetryPolicy`]), a body integrity check, and optional
+//! deterministic fault injection ([`FaultPlan`] / [`FaultInjector`]) so
+//! chaos runs are reproducible from a seed (see `docs/RESILIENCE.md`
+//! and the "Connection reuse" section of `docs/PERFORMANCE.md`).
 //!
 //! [`client`] provides the small blocking HTTP client used for
 //! inter-server transfers and by the examples.
@@ -49,15 +52,18 @@ pub mod conn;
 pub mod faults;
 pub mod lock;
 pub mod metrics;
+pub mod pool;
 pub mod queue;
 pub mod retry;
 pub mod server;
 pub mod transport;
 
 pub use client::{fetch, fetch_from};
+pub use conn::MsgBuf;
 pub use faults::{Blackout, Decision, FaultInjector, FaultPlan, FaultSnapshot, FirstFaultKind};
 pub use lock::{assert_engine_unlocked, EngineGuard, EngineLock};
 pub use metrics::{HistogramSnapshot, LatencyHistogram, TransportMetrics};
+pub use pool::{ConnPool, PoolConfig, PoolEvent, PoolSnapshot, PooledConn};
 pub use queue::{Queued, SocketQueue};
 pub use retry::RetryPolicy;
 pub use server::{DcwsServer, NetConfig};

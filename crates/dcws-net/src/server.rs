@@ -1,10 +1,11 @@
 //! The threaded DCWS server: front-end, worker pool, pinger (§5.1),
 //! plus the `/dcws/status` introspection endpoint.
 
-use crate::conn::{read_request, write_response, READ_TIMEOUT};
+use crate::conn::{read_request_buf, write_response, MsgBuf, READ_TIMEOUT};
 use crate::faults::FaultInjector;
 use crate::lock::EngineLock;
 use crate::metrics::TransportMetrics;
+use crate::pool::PoolConfig;
 use crate::queue::SocketQueue;
 use crate::retry::RetryPolicy;
 use crate::transport::{OpClass, Transport};
@@ -49,17 +50,35 @@ pub struct NetConfig {
     /// (refusals close the socket before any read; delays stall the
     /// acceptor, modelling a slow network path into this host).
     pub inbound_faults: Option<Arc<FaultInjector>>,
+    /// Idle keep-alive connections retained per peer by the transport's
+    /// [`ConnPool`](crate::ConnPool); `0` disables pooling (every
+    /// inter-server call dials fresh).
+    pub pool_max_per_peer: usize,
+    /// How long a pooled connection may sit idle before the next
+    /// checkout reaps it.
+    pub pool_idle_ttl: Duration,
 }
 
 impl NetConfig {
     /// Defaults: the given control interval, the stock inter-server
-    /// retry policy, no fault injection.
+    /// retry policy, no fault injection, default pool sizing.
     pub fn new(control_interval: Duration) -> NetConfig {
+        let pool = PoolConfig::default();
         NetConfig {
             control_interval,
             retry: RetryPolicy::default_inter_server(),
             faults: None,
             inbound_faults: None,
+            pool_max_per_peer: pool.max_per_peer,
+            pool_idle_ttl: pool.idle_ttl,
+        }
+    }
+
+    /// The transport pool knobs as a [`PoolConfig`].
+    pub fn pool_config(&self) -> PoolConfig {
+        PoolConfig {
+            max_per_peer: self.pool_max_per_peer,
+            idle_ttl: self.pool_idle_ttl,
         }
     }
 }
@@ -81,6 +100,12 @@ struct Shared {
     inbound: Option<Arc<FaultInjector>>,
     dropped: AtomicU64,
     queue: SocketQueue<TcpStream>,
+    /// One slot per worker holding a clone of the connection it is
+    /// currently serving. With keep-alive (and especially peer pools
+    /// parking persistent connections) a worker can sit in a read for
+    /// up to [`READ_TIMEOUT`]; `stop()` shuts these sockets down so
+    /// workers unblock immediately instead of timing out.
+    active_conns: Vec<std::sync::Mutex<Option<TcpStream>>>,
     epoch: Instant,
     addr: SocketAddr,
 }
@@ -131,6 +156,56 @@ impl Shared {
                     ("giveups", Json::from(io.giveups)),
                     ("corrupt_responses", Json::from(io.corrupt)),
                     ("backoff_ms", Json::from(io.backoff_ms)),
+                    ("stale_reuse_retries", Json::from(io.stale_retries)),
+                ])
+            }),
+            ("pool", {
+                let pool = self.transport.pool();
+                let snap = pool.snapshot();
+                let per_peer = Json::Obj(
+                    pool.idle_per_peer()
+                        .into_iter()
+                        .map(|(peer, n)| (peer, Json::from(n as u64)))
+                        .collect(),
+                );
+                let events = Json::Arr(
+                    pool.recent_events()
+                        .into_iter()
+                        .map(|e| {
+                            Json::obj(vec![
+                                ("at_ms", Json::from(e.at_ms)),
+                                ("peer", Json::from(e.peer)),
+                                ("kind", Json::from(e.kind)),
+                            ])
+                        })
+                        .collect(),
+                );
+                Json::obj(vec![
+                    ("enabled", Json::from(pool.enabled())),
+                    (
+                        "max_per_peer",
+                        Json::from(pool.config().max_per_peer as u64),
+                    ),
+                    (
+                        "idle_ttl_ms",
+                        Json::from(pool.config().idle_ttl.as_millis() as u64),
+                    ),
+                    ("hits", Json::from(snap.hits)),
+                    ("dials", Json::from(snap.dials)),
+                    ("reuse_ratio", Json::from(snap.reuse_ratio())),
+                    ("checkins", Json::from(snap.checkins)),
+                    (
+                        "evictions",
+                        Json::obj(vec![
+                            ("idle_ttl", Json::from(snap.evicted_idle)),
+                            ("peer_close", Json::from(snap.evicted_close)),
+                            ("error", Json::from(snap.evicted_error)),
+                        ]),
+                    ),
+                    ("discarded_full", Json::from(snap.discarded_full)),
+                    ("open_idle", Json::from(pool.idle_total() as u64)),
+                    ("open_idle_per_peer", per_peer),
+                    ("events", events),
                 ])
             }),
             ("faults", {
@@ -219,10 +294,13 @@ impl DcwsServer {
             read,
             metrics: TransportMetrics::default(),
             pulls: SingleFlight::new(),
-            transport: Transport::new(net.retry, net.faults),
+            transport: Transport::with_pool(net.retry, net.faults.clone(), net.pool_config()),
             inbound: net.inbound_faults,
             dropped: AtomicU64::new(0),
             queue: SocketQueue::new(queue_len),
+            active_conns: (0..n_workers)
+                .map(|_| std::sync::Mutex::new(None))
+                .collect(),
             epoch: Instant::now(),
             addr,
         });
@@ -285,7 +363,11 @@ impl DcwsServer {
                             let mut stream = q.item;
                             let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
                             let _ = stream.set_nodelay(true);
-                            let _ = serve_connection(&shared, &mut stream);
+                            // Publish the in-flight connection so stop()
+                            // can shut it down under our feet.
+                            *shared.active_conns[i].lock().unwrap() = stream.try_clone().ok();
+                            let _ = serve_connection(&shared, &mut stream, &shutdown);
+                            *shared.active_conns[i].lock().unwrap() = None;
                         }
                     })
                     .expect("spawn worker"),
@@ -379,6 +461,15 @@ impl DcwsServer {
         // the workers).
         let _ = TcpStream::connect(self.shared.addr);
         self.shared.queue.close();
+        // Workers may be blocked reading a kept-alive connection — a
+        // peer's pooled transport connection can park here idle for up
+        // to READ_TIMEOUT, or keep the worker busy indefinitely if the
+        // peer keeps sending. Shut the sockets down so reads return now.
+        for slot in &self.shared.active_conns {
+            if let Some(s) = slot.lock().unwrap().as_ref() {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
     }
 }
 
@@ -395,9 +486,17 @@ impl Drop for DcwsServer {
 /// close, or speaks HTTP/1.0 (persistent connections are the HTTP/1.1
 /// default; the benchmark clients open one connection per transfer, as
 /// the paper's CPS metric assumes, but real browsers keep alive).
-fn serve_connection(shared: &Arc<Shared>, stream: &mut TcpStream) -> std::io::Result<()> {
+fn serve_connection(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    // One scratch buffer per connection: read_request_buf reuses its
+    // allocation across requests and keeps pipelined over-read bytes as
+    // the next request's prefix.
+    let mut mb = MsgBuf::new();
     loop {
-        let req = match read_request(stream) {
+        let req = match read_request_buf(stream, &mut mb) {
             Ok(Some(req)) => req,
             Ok(None) => return Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
@@ -410,13 +509,22 @@ fn serve_connection(shared: &Arc<Shared>, stream: &mut TcpStream) -> std::io::Re
             Err(e) => return Err(e),
         };
         let started = Instant::now();
-        let keep_alive = req.version == dcws_http::Version::Http11
+        // A peer's pooled connection can carry requests indefinitely, so a
+        // shutting-down server must break keep-alive at a request boundary
+        // or its workers would never join; the `Connection: close` tells
+        // the peer's pool not to re-park this socket.
+        let closing = shutdown.load(Ordering::Relaxed);
+        let keep_alive = !closing
+            && req.version == dcws_http::Version::Http11
             && !req
                 .headers
                 .get("Connection")
                 .is_some_and(|c| c.eq_ignore_ascii_case("close"));
         let method = req.method;
-        let resp = serve_one(shared, req)?;
+        let mut resp = serve_one(shared, req)?;
+        if closing {
+            resp = resp.with_header("Connection", "close");
+        }
         write_response(stream, &resp, method)?;
         shared.metrics.service_time.record(started.elapsed());
         if !keep_alive {

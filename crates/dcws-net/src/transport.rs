@@ -2,15 +2,26 @@
 //!
 //! Every inter-server socket operation — lazy pulls, eager pushes,
 //! pings, T_val validations — goes through [`Transport::call`], which
-//! layers three things over the raw client:
+//! layers four things over a raw socket exchange:
 //!
-//! 1. **Fault injection** ([`FaultInjector`]): an optional seeded plan
+//! 1. **Connection reuse** ([`ConnPool`]): calls check a persistent
+//!    keep-alive connection out of a per-peer pool instead of dialing,
+//!    so one TCP handshake is amortized over many pulls, pushes, and
+//!    validations. Pings are exempt — they always dial fresh so §4.5
+//!    dead-peer detection measures a real connection attempt. A request
+//!    that dies on a *reused* stream before any response byte (the peer
+//!    closed it idle) is retried once on a fresh dial without consuming
+//!    the retry budget; responses carrying `Connection: close` and
+//!    failed exchanges evict the stream (see `docs/PERFORMANCE.md`);
+//! 2. **Fault injection** ([`FaultInjector`]): an optional seeded plan
 //!    decides per attempt whether to refuse, delay, cut off, or garble
-//!    the operation, so chaos runs are reproducible;
-//! 2. **Integrity**: a response carrying `X-DCWS-Body-FNV` has its body
+//!    the operation, so chaos runs are reproducible. The decision is
+//!    drawn once per attempt and reapplied verbatim to a stale-reuse
+//!    redial, so pooling never perturbs the fault sequence;
+//! 3. **Integrity**: a response carrying `X-DCWS-Body-FNV` has its body
 //!    re-hashed; a mismatch (truncated or garbled transfer) is a
 //!    *retryable* I/O error, never a corrupt document install;
-//! 3. **Retries** ([`RetryPolicy`]): per-attempt timeout, capped
+//! 4. **Retries** ([`RetryPolicy`]): per-attempt timeout, capped
 //!    exponential backoff with seeded jitter, overall deadline. Pings
 //!    use a separate single-attempt policy so a dead peer feeds the
 //!    §4.5 failure counter promptly instead of being masked.
@@ -20,11 +31,13 @@
 //! the lock's critical path.
 
 use crate::client::fetch_from_timeout;
+use crate::conn::{read_response_buf, write_request};
 use crate::faults::{Decision, FaultInjector};
 use crate::lock::assert_engine_unlocked;
+use crate::pool::{ConnPool, Evict, PoolConfig, PooledConn};
 use crate::retry::RetryPolicy;
 use dcws_graph::ServerId;
-use dcws_http::{checksum_matches, Request, Response, CHECKSUM_HEADER};
+use dcws_http::{checksum_matches, Request, Response, Version, CHECKSUM_HEADER};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -71,6 +84,9 @@ pub struct IoSnapshot {
     pub corrupt: u64,
     /// Total milliseconds slept in backoff.
     pub backoff_ms: u64,
+    /// Free redials after a reused pooled stream died before any
+    /// response byte (not counted against the retry budget).
+    pub stale_retries: u64,
 }
 
 #[derive(Debug, Default)]
@@ -81,6 +97,7 @@ struct IoCounters {
     giveups: AtomicU64,
     corrupt: AtomicU64,
     backoff_ms: AtomicU64,
+    stale_retries: AtomicU64,
 }
 
 /// Timeout for ping transfers: headers-only, so generous is still fast.
@@ -94,17 +111,37 @@ pub struct Transport {
     policy: RetryPolicy,
     ping_policy: RetryPolicy,
     faults: Option<Arc<FaultInjector>>,
+    pool: ConnPool,
     counters: IoCounters,
 }
 
+/// How one exchange failed, and whether the failure is the stale-reuse
+/// signature (connection-level death before any response byte, eligible
+/// for a free redial when the stream was reused).
+struct ExchangeErr {
+    err: io::Error,
+    stale_candidate: bool,
+}
+
 impl Transport {
-    /// Build a transport with `policy` for pulls/pushes/validations and
-    /// an optional outbound fault injector.
+    /// Build a transport with `policy` for pulls/pushes/validations, an
+    /// optional outbound fault injector, and the default pool sizing.
     pub fn new(policy: RetryPolicy, faults: Option<Arc<FaultInjector>>) -> Transport {
+        Transport::with_pool(policy, faults, PoolConfig::default())
+    }
+
+    /// [`Transport::new`] with explicit connection-pool knobs
+    /// (`max_per_peer: 0` disables pooling).
+    pub fn with_pool(
+        policy: RetryPolicy,
+        faults: Option<Arc<FaultInjector>>,
+        pool: PoolConfig,
+    ) -> Transport {
         Transport {
             policy,
             ping_policy: RetryPolicy::single(PING_TIMEOUT),
             faults,
+            pool: ConnPool::new(pool),
             counters: IoCounters::default(),
         }
     }
@@ -117,6 +154,11 @@ impl Transport {
     /// The retry policy for non-ping operations.
     pub fn policy(&self) -> &RetryPolicy {
         &self.policy
+    }
+
+    /// The persistent inter-server connection pool.
+    pub fn pool(&self) -> &ConnPool {
+        &self.pool
     }
 
     /// Send `req` to `peer`, retrying per policy. Returns the first
@@ -144,7 +186,7 @@ impl Transport {
                 std::thread::sleep(pause);
             }
             self.counters.attempts.fetch_add(1, Ordering::Relaxed);
-            match self.attempt(peer, req, policy.attempt_timeout) {
+            match self.attempt(peer, req, policy.attempt_timeout, class) {
                 Ok(resp) => {
                     self.counters.successes.fetch_add(1, Ordering::Relaxed);
                     return Ok(resp);
@@ -162,8 +204,18 @@ impl Transport {
     }
 
     /// One attempt: apply the injected fault decision, perform the
-    /// fetch, verify body integrity.
-    fn attempt(&self, peer: &ServerId, req: &Request, timeout: Duration) -> io::Result<Response> {
+    /// exchange over a pooled (or, for pings, fresh) connection, verify
+    /// body integrity. A reused stream that dies before yielding any
+    /// response byte is retried once on a fresh dial with the *same*
+    /// fault decision, so the injected schedule is identical whether or
+    /// not the pool handed out a stale socket.
+    fn attempt(
+        &self,
+        peer: &ServerId,
+        req: &Request,
+        timeout: Duration,
+        class: OpClass,
+    ) -> io::Result<Response> {
         let decision = match &self.faults {
             Some(f) => f.outbound(peer.as_str(), &req.target),
             None => Decision::default(),
@@ -177,16 +229,107 @@ impl Transport {
                 "injected fault: connection refused",
             ));
         }
-        let mut resp = fetch_from_timeout(peer, req, timeout)?;
-        if decision.drop_mid_response {
-            // The real fetch completed; discarding its response is
-            // byte-for-byte what a peer dying mid-write looks like to
-            // the caller (the framing layer's short-read error).
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "injected fault: connection closed mid-response",
-            ));
+        if class == OpClass::Ping {
+            // Pings measure connection health: always a fresh dial,
+            // never a pooled stream, closed right after (§4.5).
+            let resp = fetch_from_timeout(peer, req, timeout)?;
+            return self.finish(resp, &decision);
         }
+        let conn = self.pool.checkout(peer, timeout)?;
+        let was_reused = conn.reused;
+        match self.exchange(peer, conn, req, &decision) {
+            Ok(resp) => Ok(resp),
+            Err(ExchangeErr {
+                err,
+                stale_candidate,
+            }) => {
+                if was_reused && stale_candidate {
+                    // The parked stream was dead on arrival (peer closed
+                    // it idle). The request never reached an application,
+                    // so redialing is free: no retry-budget charge, no
+                    // new fault draw.
+                    self.counters.stale_retries.fetch_add(1, Ordering::Relaxed);
+                    self.pool.note_stale_retry(peer);
+                    let fresh = self.pool.dial(peer, timeout)?;
+                    return self
+                        .exchange(peer, fresh, req, &decision)
+                        .map_err(|e| e.err);
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// One request/response over `conn`, returning the stream to the
+    /// pool on success (unless the peer asked to close) and evicting it
+    /// on any failure.
+    fn exchange(
+        &self,
+        peer: &ServerId,
+        mut conn: PooledConn,
+        req: &Request,
+        decision: &Decision,
+    ) -> Result<Response, ExchangeErr> {
+        // The per-attempt read timeout was set at checkout/dial time.
+        let sent = write_request(&mut conn.stream, req)
+            .and_then(|()| read_response_buf(&mut conn.stream, req.method, &mut conn.buf));
+        let resp = match sent {
+            Ok(resp) => resp,
+            Err(err) => {
+                // No response byte buffered + a connection-death kind is
+                // the stale-reuse signature; anything else (timeout,
+                // mid-response EOF with partial bytes) goes to the
+                // normal retry path.
+                let stale_candidate = conn.buf.buffered() == 0 && is_conn_death(&err);
+                self.pool.evict(peer, conn, Evict::Error);
+                return Err(ExchangeErr {
+                    err,
+                    stale_candidate,
+                });
+            }
+        };
+        if decision.drop_mid_response {
+            // The real exchange completed; discarding the response (and
+            // the stream) is byte-for-byte what a peer dying mid-write
+            // looks like to the caller.
+            self.pool.evict(peer, conn, Evict::Error);
+            return Err(ExchangeErr {
+                err: io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "injected fault: connection closed mid-response",
+                ),
+                stale_candidate: false,
+            });
+        }
+        let keep = resp.version == Version::Http11
+            && !resp
+                .headers
+                .get("Connection")
+                .is_some_and(|c| c.eq_ignore_ascii_case("close"));
+        match self.finish(resp, decision) {
+            Ok(resp) => {
+                if keep {
+                    self.pool.checkin(peer, conn);
+                } else {
+                    self.pool.evict(peer, conn, Evict::PeerClose);
+                }
+                Ok(resp)
+            }
+            Err(err) => {
+                // Integrity failure: the stream's bytes can't be
+                // trusted; never park it.
+                self.pool.evict(peer, conn, Evict::Error);
+                Err(ExchangeErr {
+                    err,
+                    stale_candidate: false,
+                })
+            }
+        }
+    }
+
+    /// Post-exchange response handling shared by the pooled and ping
+    /// paths: apply an injected garble, verify body integrity.
+    fn finish(&self, mut resp: Response, decision: &Decision) -> io::Result<Response> {
         if decision.garble && !resp.body.is_empty() {
             let mut bytes = resp.body.to_vec();
             let i = bytes.len() / 2;
@@ -215,8 +358,21 @@ impl Transport {
             giveups: c.giveups.load(Ordering::Relaxed),
             corrupt: c.corrupt.load(Ordering::Relaxed),
             backoff_ms: c.backoff_ms.load(Ordering::Relaxed),
+            stale_retries: c.stale_retries.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Error kinds a dead (peer-closed) connection produces on first use.
+pub(crate) fn is_conn_death(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::WriteZero
+    )
 }
 
 /// FNV-1a over the call identity, salting backoff jitter so concurrent
@@ -238,26 +394,34 @@ fn salt_of(peer: &str, target: &str, class: OpClass) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::conn::{read_request, write_response};
+    use crate::conn::{read_request_buf, write_response, MsgBuf};
     use crate::faults::{FaultPlan, FirstFaultKind};
     use dcws_http::{body_checksum, StatusCode};
     use std::net::TcpListener;
 
-    /// A server answering `n` requests with `resp`, counting them.
-    fn counting_server(resp: Response, n: usize) -> (ServerId, Arc<AtomicU64>) {
+    /// A keep-alive server answering every request with `resp`,
+    /// counting them. One thread per connection, each served until EOF
+    /// or a 5 s idle timeout, so pooled streams can carry many requests
+    /// while fresh dials (pings, redials) are accepted concurrently.
+    fn counting_server(resp: Response) -> (ServerId, Arc<AtomicU64>) {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let served = Arc::new(AtomicU64::new(0));
         let served2 = served.clone();
         std::thread::spawn(move || {
-            for _ in 0..n {
-                let Ok((mut s, _)) = listener.accept() else {
-                    return;
-                };
-                if let Ok(Some(req)) = read_request(&mut s) {
-                    served2.fetch_add(1, Ordering::Relaxed);
-                    let _ = write_response(&mut s, &resp, req.method);
-                }
+            while let Ok((mut s, _)) = listener.accept() {
+                let served = served2.clone();
+                let resp = resp.clone();
+                std::thread::spawn(move || {
+                    let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+                    let mut mb = MsgBuf::new();
+                    while let Ok(Some(req)) = read_request_buf(&mut s, &mut mb) {
+                        served.fetch_add(1, Ordering::Relaxed);
+                        if write_response(&mut s, &resp, req.method).is_err() {
+                            break;
+                        }
+                    }
+                });
             }
         });
         (ServerId::new(format!("127.0.0.1:{}", addr.port())), served)
@@ -276,7 +440,7 @@ mod tests {
 
     #[test]
     fn clean_call_round_trips() {
-        let (server, served) = counting_server(Response::ok(b"ok".to_vec(), "text/plain"), 1);
+        let (server, served) = counting_server(Response::ok(b"ok".to_vec(), "text/plain"));
         let t = Transport::new(fast_policy(), None);
         let resp = t.call(&server, &Request::get("/x"), OpClass::Pull).unwrap();
         assert_eq!(resp.status, StatusCode::Ok);
@@ -286,8 +450,23 @@ mod tests {
     }
 
     #[test]
+    fn repeated_calls_reuse_one_connection() {
+        let (server, served) = counting_server(Response::ok(b"ok".to_vec(), "text/plain"));
+        let t = Transport::new(fast_policy(), None);
+        for _ in 0..10 {
+            let resp = t.call(&server, &Request::get("/x"), OpClass::Pull).unwrap();
+            assert_eq!(resp.status, StatusCode::Ok);
+        }
+        assert_eq!(served.load(Ordering::Relaxed), 10);
+        let pool = t.pool().snapshot();
+        assert_eq!(pool.dials, 1, "one dial serves all ten calls");
+        assert_eq!(pool.hits, 9);
+        assert!(pool.reuse_ratio() >= 0.9);
+    }
+
+    #[test]
     fn dropped_first_attempt_is_retried_transparently() {
-        let (server, served) = counting_server(Response::ok(b"ok".to_vec(), "text/plain"), 2);
+        let (server, served) = counting_server(Response::ok(b"ok".to_vec(), "text/plain"));
         let inj = Arc::new(FaultInjector::new(
             FaultPlan::new(3).with_fail_first(1, FirstFaultKind::Drop),
         ));
@@ -298,11 +477,13 @@ mod tests {
         assert_eq!(served.load(Ordering::Relaxed), 2);
         let snap = t.snapshot();
         assert_eq!((snap.attempts, snap.retries, snap.successes), (2, 1, 1));
+        // The injected drop evicted the first stream rather than parking it.
+        assert_eq!(t.pool().snapshot().evicted_error, 1);
     }
 
     #[test]
     fn refused_attempts_exhaust_into_giveup() {
-        let (server, served) = counting_server(Response::ok(b"ok".to_vec(), "text/plain"), 1);
+        let (server, served) = counting_server(Response::ok(b"ok".to_vec(), "text/plain"));
         let inj = Arc::new(FaultInjector::new(FaultPlan::new(0).with_refuse(1.0)));
         let t = Transport::new(fast_policy(), Some(inj));
         let err = t
@@ -319,7 +500,7 @@ mod tests {
         let body = b"important document".to_vec();
         let resp = Response::ok(body.clone(), "text/plain")
             .with_header(CHECKSUM_HEADER, &body_checksum(&body));
-        let (server, _) = counting_server(resp, 2);
+        let (server, _) = counting_server(resp);
         let inj = Arc::new(FaultInjector::new(
             FaultPlan::new(5).with_fail_first(1, FirstFaultKind::Drop),
         ));
@@ -334,7 +515,7 @@ mod tests {
         // InvalidData instead of returning corrupt bytes.
         let resp2 = Response::ok(body.clone(), "text/plain")
             .with_header(CHECKSUM_HEADER, &body_checksum(&body));
-        let (server2, _) = counting_server(resp2, 3);
+        let (server2, _) = counting_server(resp2);
         let always_garble = Arc::new(FaultInjector::new(FaultPlan::new(1).with_garble(1.0)));
         let t2 = Transport::new(fast_policy(), Some(always_garble));
         let err = t2
@@ -342,14 +523,29 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert_eq!(t2.snapshot().corrupt, 3);
+        // Untrustworthy streams are never parked.
+        assert_eq!(t2.pool().idle_total(), 0);
+        assert_eq!(t2.pool().snapshot().evicted_error, 3);
     }
 
     #[test]
     fn response_without_checksum_is_accepted() {
-        let (server, _) = counting_server(Response::ok(b"plain".to_vec(), "text/plain"), 1);
+        let (server, _) = counting_server(Response::ok(b"plain".to_vec(), "text/plain"));
         let t = Transport::new(fast_policy(), None);
         let resp = t.call(&server, &Request::get("/x"), OpClass::Push).unwrap();
         assert_eq!(resp.body, b"plain");
+    }
+
+    #[test]
+    fn connection_close_response_is_not_pooled() {
+        let resp = Response::ok(b"bye".to_vec(), "text/plain").with_header("Connection", "close");
+        let (server, _) = counting_server(resp);
+        let t = Transport::new(fast_policy(), None);
+        t.call(&server, &Request::get("/x"), OpClass::Pull).unwrap();
+        assert_eq!(t.pool().idle_total(), 0);
+        t.call(&server, &Request::get("/x"), OpClass::Pull).unwrap();
+        let pool = t.pool().snapshot();
+        assert_eq!((pool.dials, pool.hits, pool.evicted_close), (2, 0, 2));
     }
 
     #[test]
@@ -361,5 +557,21 @@ mod tests {
         assert!(t.call(&dead, &Request::get("/"), OpClass::Ping).is_err());
         let snap = t.snapshot();
         assert_eq!((snap.attempts, snap.retries, snap.giveups), (1, 0, 1));
+    }
+
+    #[test]
+    fn ping_never_touches_the_pool() {
+        let (server, served) = counting_server(Response::ok(b"ok".to_vec(), "text/plain"));
+        let t = Transport::new(fast_policy(), None);
+        // Warm the pool with a pull.
+        t.call(&server, &Request::get("/x"), OpClass::Pull).unwrap();
+        assert_eq!(t.pool().idle_total(), 1);
+        let before = t.pool().snapshot();
+        // A ping must neither check out the warm stream nor park its own.
+        t.call(&server, &Request::get("/"), OpClass::Ping).unwrap();
+        let after = t.pool().snapshot();
+        assert_eq!(t.pool().idle_total(), 1, "warm stream left untouched");
+        assert_eq!((before.hits, before.dials), (after.hits, after.dials));
+        assert_eq!(served.load(Ordering::Relaxed), 2);
     }
 }

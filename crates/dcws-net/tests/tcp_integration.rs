@@ -425,6 +425,34 @@ fn status_endpoint_reports_engine_and_transport_state() {
         );
     }
     assert_eq!(retries.get("giveups").unwrap().as_u64(), Some(0));
+    assert_eq!(
+        retries.get("stale_reuse_retries").unwrap().as_u64(),
+        Some(0)
+    );
+
+    // The connection-pool section is always present: pooling is on by
+    // default, and its counters are internally consistent.
+    let pool = transport.get("pool").expect("pool section");
+    assert!(matches!(pool.get("enabled"), Some(Json::Bool(true))));
+    assert!(pool.get("max_per_peer").unwrap().as_u64().unwrap() >= 1);
+    assert!(pool.get("idle_ttl_ms").unwrap().as_u64().unwrap() >= 1);
+    for field in ["hits", "dials", "checkins", "discarded_full", "open_idle"] {
+        assert!(
+            pool.get(field).and_then(|v| v.as_u64()).is_some(),
+            "transport.pool.{field} missing"
+        );
+    }
+    let ratio = pool.get("reuse_ratio").unwrap().as_f64().unwrap();
+    assert!((0.0..=1.0).contains(&ratio));
+    let evictions = pool.get("evictions").expect("eviction breakdown");
+    for field in ["idle_ttl", "peer_close", "error"] {
+        assert!(
+            evictions.get(field).and_then(|v| v.as_u64()).is_some(),
+            "transport.pool.evictions.{field} missing"
+        );
+    }
+    assert!(pool.get("open_idle_per_peer").is_some());
+    assert!(pool.get("events").unwrap().as_arr().is_some());
     // The pinger's transfers flow through the transport (the status doc
     // above may have been read before the first 300 ms ping fired, so
     // check the live counter with a grace period).

@@ -37,17 +37,23 @@ step cargo clippy --workspace --all-targets -- -D warnings
 step env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
 # Bench-binary smoke: the figure harnesses, the cache-pressure sweep,
-# and the lock-contention sweep must run end to end and emit their CSVs
+# and the contention sweeps must run end to end and emit their CSVs
 # (quick mode keeps this fast). lockpress --quick runs 2 worker points
-# on a short clock so lock regressions fail here, not in production.
+# on a short clock so lock regressions fail here, not in production;
+# connpress --quick additionally exits nonzero if the pooled arm's
+# connection reuse ratio is <= 0.9, so a silently disabled pool fails
+# the gate.
 if [[ $quick -eq 0 ]]; then
     step env DCWS_BENCH_QUICK=1 cargo run --release -q -p dcws-bench --bin fig6 -- --status-dump
     step env DCWS_BENCH_QUICK=1 cargo run --release -q -p dcws-bench --bin cachepress -- --status-dump
     step cargo run --release -q -p dcws-bench --bin lockpress -- --quick
+    step cargo run --release -q -p dcws-bench --bin connpress -- --quick
     test -s bench_results/fig6.csv
     test -s bench_results/cachepress.csv
     test -s bench_results/lockpress.csv
     test -s bench_results/BENCH_lockpress.json
+    test -s bench_results/connpress.csv
+    test -s bench_results/BENCH_connpress.json
 fi
 
 echo

@@ -205,8 +205,14 @@ fn run_point(p: &Params, n_workers: usize) -> PointResult {
         cfg,
         Box::new(MemStore::new()),
     );
-    let server =
-        DcwsServer::spawn(engine, "127.0.0.1:0", Duration::from_millis(100)).expect("spawn server");
+    // Pinned to the threaded front end: this bench isolates worker-pool
+    // I/O overlap, and its premise — every request occupies a worker —
+    // only holds there. Under the reactor, hot GETs are served inline on
+    // the event loop and the worker sweep would measure nothing
+    // (concurrency under the reactor is c10kpress's job).
+    let mut net = dcws_net::NetConfig::new(Duration::from_millis(100));
+    net.front_end = dcws_net::FrontEnd::Threaded;
+    let server = DcwsServer::spawn_with(engine, "127.0.0.1:0", net).expect("spawn server");
     let server_id = server.server_id();
 
     let hot_paths: Vec<String> = (0..p.hot_docs)

@@ -15,6 +15,7 @@
 //! | `cachepress` | cache budget vs hit ratio / response time sweep |
 //! | `lockpress` | throughput vs worker threads (engine-lock contention) |
 //! | `connpress` | pooled keep-alive vs connect-per-request transport sweep |
+//! | `c10kpress` | concurrent keep-alive clients held: reactor vs threaded front end |
 //!
 //! Binaries honor `DCWS_BENCH_QUICK=1` for a fast smoke pass (fewer
 //! points, shorter runs) and write machine-readable CSV next to their

@@ -121,6 +121,54 @@ impl MsgBuf {
         self.buf.extend_from_slice(&chunk[..n]);
         Ok(n)
     }
+
+    /// One read from `stream` into the buffer; `Ok(0)` means EOF. On a
+    /// nonblocking socket `Err(WouldBlock)` means "no more bytes now" —
+    /// this is how the [`reactor`](crate::reactor) feeds connections.
+    pub fn fill_from(&mut self, stream: &mut TcpStream) -> io::Result<usize> {
+        self.fill(stream)
+    }
+
+    /// Extract the next complete request already buffered, without
+    /// touching any socket. `Ok(None)` means the head or body is still
+    /// incomplete — feed more bytes with [`MsgBuf::fill_from`] and call
+    /// again (the head-terminator scan resumes where it left off, so a
+    /// slow-loris client dribbling one byte per readiness event costs
+    /// linear work, not a rescan per byte).
+    pub fn try_extract_request(&mut self) -> io::Result<Option<Request>> {
+        self.note_progress(request_wire_len)?;
+        if !self.complete() {
+            return Ok(None);
+        }
+        let parsed = parse_request(&self.buf)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+            .expect("wire length satisfied but parse incomplete");
+        self.consume(parsed.consumed);
+        Ok(Some(parsed.message))
+    }
+
+    /// Extract the next complete response already buffered (framing
+    /// depends on the request method); the nonblocking counterpart of
+    /// [`read_response_buf`], used by poller-driven clients.
+    pub fn try_extract_response(&mut self, method: Method) -> io::Result<Option<Response>> {
+        self.note_progress(|buf| response_wire_len(buf, method))?;
+        if !self.complete() {
+            return Ok(None);
+        }
+        let parsed = parse_response(&self.buf, method)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+            .expect("wire length satisfied but parse incomplete");
+        self.consume(parsed.consumed);
+        Ok(Some(parsed.message))
+    }
+
+    /// True when a message is partially buffered (head or body started
+    /// but incomplete) — the reactor's read-timeout sweep closes such
+    /// connections after [`READ_TIMEOUT`], while a connection idle *at a
+    /// message boundary* may stay parked indefinitely.
+    pub fn mid_message(&self) -> bool {
+        !self.buf.is_empty() || self.total.is_some()
+    }
 }
 
 /// Read one complete HTTP request from a keep-alive stream through `mb`.

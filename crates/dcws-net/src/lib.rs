@@ -1,15 +1,26 @@
 //! Real TCP transport for DCWS — the §5.1 prototype architecture on
-//! `std::thread`.
+//! `std::thread`, with an event-driven front end in place of
+//! thread-per-connection.
 //!
-//! A [`DcwsServer`] runs the same thread roles as the 1998 prototype:
+//! A [`DcwsServer`] runs these thread roles (see
+//! `docs/ARCHITECTURE.md` for the full request lifecycle):
 //!
-//! * **front-end thread** (N_fe = 1): accepts connections and enqueues
-//!   them on a bounded queue of length L_sq; when the queue is full the
-//!   connection is dropped *gracefully* with a `503` and a `Retry-After`
-//!   hint, exactly the §5.2 drop behaviour;
-//! * **worker threads** (N_wk = 12 by default): parse one request, hand it
-//!   to the shared [`ServerEngine`](dcws_core::ServerEngine), perform any
-//!   lazy pull it asks for, and write the response;
+//! * **reactor thread** (default front end, [`reactor`]): a nonblocking
+//!   accept loop plus an `epoll`/`poll` readiness event loop that owns
+//!   every client connection — tens of thousands of idle keep-alive
+//!   clients cost an fd and a few hundred bytes each, not a thread.
+//!   Common-case GETs are answered inline on the engine's concurrent
+//!   [`ReadPath`](dcws_core::ReadPath); engine-locked work spills to
+//!   the worker pool over a bounded queue, with accept-pause and
+//!   `503 Retry-After` backpressure. The paper's literal
+//!   **front-end thread** (N_fe = 1: blocking accept + enqueue whole
+//!   connections, worker-count concurrency) is kept behind
+//!   [`FrontEnd::Threaded`] for A/B measurement (`c10kpress`);
+//! * **worker threads** (N_wk = 12 by default): under the reactor,
+//!   compute responses for spilled requests (misses, mutations,
+//!   inter-server verbs, `/dcws/*`) and post them back over a
+//!   completion bridge — they never touch client sockets; under the
+//!   threaded front end, own one connection end-to-end;
 //! * **pinger/statistics thread** (N_pi = 1): drives
 //!   [`ServerEngine::tick`](dcws_core::ServerEngine::tick) — statistics
 //!   recalculation, migration decisions, artificial ping transfers,
@@ -18,12 +29,11 @@
 //!
 //! The multithreaded (rather than pool-of-processes) design is the
 //! paper's: workers and the statistics module share the Local Document
-//! Graph and Global Load Table through one lock — with one amendment:
-//! the common-case GET is answered on the engine's concurrent
-//! [`ReadPath`](dcws_core::ReadPath) first, so workers only contend for
-//! the exclusive [`EngineLock`] on misses, pulls, and control-plane
-//! work, and the lock is never held across a socket call
-//! ([`assert_engine_unlocked`]).
+//! Graph and Global Load Table through one lock — with two amendments:
+//! the common-case GET is answered on the concurrent read path with no
+//! engine lock at all, and the lock is never held across a socket call
+//! nor inside the reactor's event loop ([`assert_engine_unlocked`] is
+//! debug-asserted in both places).
 //!
 //! The transport also maintains **observability** state the engine
 //! cannot see: per-request service-time and queue-wait latency
@@ -54,6 +64,7 @@ pub mod lock;
 pub mod metrics;
 pub mod pool;
 pub mod queue;
+pub mod reactor;
 pub mod retry;
 pub mod server;
 pub mod transport;
@@ -65,6 +76,7 @@ pub use lock::{assert_engine_unlocked, EngineGuard, EngineLock};
 pub use metrics::{HistogramSnapshot, LatencyHistogram, TransportMetrics};
 pub use pool::{ConnPool, PoolConfig, PoolEvent, PoolSnapshot, PooledConn};
 pub use queue::{Queued, SocketQueue};
+pub use reactor::{raise_nofile_limit, Event, Poller, ReactorStats};
 pub use retry::RetryPolicy;
-pub use server::{DcwsServer, NetConfig};
+pub use server::{DcwsServer, FrontEnd, NetConfig};
 pub use transport::{IoSnapshot, OpClass, Transport};

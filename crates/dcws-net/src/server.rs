@@ -1,5 +1,6 @@
-//! The threaded DCWS server: front-end, worker pool, pinger (§5.1),
-//! plus the `/dcws/status` introspection endpoint.
+//! The DCWS server: event-driven reactor front end (default) or the
+//! paper's §5.1 threaded front end, a worker pool, a pinger thread, and
+//! the `/dcws/status` introspection endpoint.
 
 use crate::conn::{read_request_buf, write_response, MsgBuf, READ_TIMEOUT};
 use crate::faults::FaultInjector;
@@ -7,16 +8,17 @@ use crate::lock::EngineLock;
 use crate::metrics::TransportMetrics;
 use crate::pool::PoolConfig;
 use crate::queue::SocketQueue;
+use crate::reactor::{spill_bridge, Completion, Reactor, ReactorStats, SpillBridge};
 use crate::retry::RetryPolicy;
 use crate::transport::{OpClass, Transport};
 use dcws_cache::SingleFlight;
 use dcws_core::{Json, Outcome, ReadPath, ServerEngine};
 use dcws_graph::ServerId;
-use dcws_http::{is_reserved_path, Response, StatusCode, STATUS_PATH};
+use dcws_http::{is_reserved_path, Method, Request, Response, StatusCode, STATUS_PATH};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Retry-After hint (seconds) on graceful 503 drops; the benchmark
@@ -34,6 +36,23 @@ enum PullResult {
     /// The home is unreachable after the transport's retries; each
     /// waiter degrades to a stale retained copy or a 503.
     Unreachable,
+}
+
+/// Which client-facing front end a [`DcwsServer`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontEnd {
+    /// The paper's §5.1 model: one blocking acceptor enqueues whole
+    /// connections; each worker thread owns one connection end-to-end.
+    /// Concurrent connections are capped near the worker count — kept
+    /// for A/B measurement (`c10kpress`) and as the literal
+    /// reproduction of the 1998 prototype.
+    Threaded,
+    /// The event-driven model (default): one reactor thread multiplexes
+    /// every client connection over `epoll`/`poll` readiness, serves
+    /// read-path hits inline, and spills engine-locked work to the
+    /// worker pool. Holds tens of thousands of idle keep-alive clients
+    /// (see `docs/PERFORMANCE.md`, "Reactor & backpressure").
+    Reactor,
 }
 
 /// Host-level transport configuration for [`DcwsServer::spawn_with`].
@@ -57,11 +76,25 @@ pub struct NetConfig {
     /// How long a pooled connection may sit idle before the next
     /// checkout reaps it.
     pub pool_idle_ttl: Duration,
+    /// Which client-facing front end to run (default [`FrontEnd::Reactor`]).
+    pub front_end: FrontEnd,
+    /// Reactor only: registered-connection ceiling. At the ceiling the
+    /// listener is paused (kernel backlog absorbs the burst) and
+    /// re-armed once occupancy drops below 90 % of it.
+    pub max_reactor_conns: usize,
+    /// Reactor only: how long a keep-alive connection may park at a
+    /// request boundary before the sweep closes it.
+    pub reactor_keepalive_idle: Duration,
+    /// Reactor only: force the portable `poll(2)` backend even where
+    /// `epoll` is available — used by tests and the `c10kpress` bench
+    /// to exercise the fallback path on Linux.
+    pub reactor_force_poll: bool,
 }
 
 impl NetConfig {
     /// Defaults: the given control interval, the stock inter-server
-    /// retry policy, no fault injection, default pool sizing.
+    /// retry policy, no fault injection, default pool sizing, and the
+    /// reactor front end.
     pub fn new(control_interval: Duration) -> NetConfig {
         let pool = PoolConfig::default();
         NetConfig {
@@ -71,6 +104,10 @@ impl NetConfig {
             inbound_faults: None,
             pool_max_per_peer: pool.max_per_peer,
             pool_idle_ttl: pool.idle_ttl,
+            front_end: FrontEnd::Reactor,
+            max_reactor_conns: 16_384,
+            reactor_keepalive_idle: Duration::from_secs(60),
+            reactor_force_poll: false,
         }
     }
 
@@ -83,41 +120,104 @@ impl NetConfig {
     }
 }
 
-/// Everything the worker and front-end threads share.
-struct Shared {
-    engine: EngineLock,
-    /// The engine's concurrent serve path: workers answer common-case
-    /// GETs here without touching `engine` at all.
-    read: Arc<ReadPath>,
-    metrics: TransportMetrics,
+/// One unit of work for the worker pool. The threaded front end
+/// enqueues whole connections; the reactor enqueues already-parsed
+/// requests whose responses travel back over the [`SpillBridge`].
+pub(crate) enum WorkItem {
+    /// A freshly accepted connection (threaded front end): the worker
+    /// owns it, blocking reads and all, until keep-alive ends.
+    Conn(TcpStream),
+    /// A parsed request the reactor could not serve lock-free
+    /// (engine miss, mutation, inter-server verb, `/dcws/*`): the
+    /// worker computes the response and posts a [`Completion`]; it
+    /// never touches the client socket.
+    Spill(SpillJob),
+}
+
+/// A request spilled from the reactor to the worker pool.
+pub(crate) struct SpillJob {
+    /// The reactor's generation-tagged connection token; a stale token
+    /// (connection died while the job ran) makes the completion a no-op.
+    pub token: u64,
+    pub req: Request,
+    /// Decided by the reactor at parse time (HTTP version, Connection
+    /// header, shutdown state) so the worker doesn't re-derive it.
+    pub keep_alive: bool,
+    /// When the request was parsed; the reactor records service time
+    /// end-to-end when the completion flushes.
+    pub started: Instant,
+}
+
+/// Everything the worker, front-end/reactor, and pinger threads share.
+/// Crate-visible so `reactor.rs` (and its tests) can drive the serve
+/// paths directly.
+pub(crate) struct Shared {
+    pub(crate) engine: EngineLock,
+    /// The engine's concurrent serve path: workers and the reactor
+    /// answer common-case GETs here without touching `engine` at all.
+    pub(crate) read: Arc<ReadPath>,
+    pub(crate) metrics: TransportMetrics,
     /// Coalesces concurrent lazy pulls for the same document: the first
     /// worker to miss leads the pull, the rest wait on its flight.
     pulls: SingleFlight<PullResult>,
     /// Retrying, fault-aware inter-server I/O (pulls, pushes, pings,
     /// validations all go through here — never a raw socket call).
     transport: Transport,
-    /// Inbound-side fault injector, consulted by the front end.
-    inbound: Option<Arc<FaultInjector>>,
-    dropped: AtomicU64,
-    queue: SocketQueue<TcpStream>,
+    /// Inbound-side fault injector, consulted by the accepting thread.
+    pub(crate) inbound: Option<Arc<FaultInjector>>,
+    pub(crate) dropped: AtomicU64,
+    /// The bounded work queue (L_sq): whole connections under the
+    /// threaded front end, spillover jobs under the reactor.
+    pub(crate) queue: SocketQueue<WorkItem>,
     /// One slot per worker holding a clone of the connection it is
-    /// currently serving. With keep-alive (and especially peer pools
-    /// parking persistent connections) a worker can sit in a read for
-    /// up to [`READ_TIMEOUT`]; `stop()` shuts these sockets down so
-    /// workers unblock immediately instead of timing out.
+    /// currently serving (threaded front end only). With keep-alive a
+    /// worker can sit in a read for up to [`READ_TIMEOUT`]; `stop()`
+    /// shuts these sockets down so workers unblock immediately.
     active_conns: Vec<std::sync::Mutex<Option<TcpStream>>>,
+    /// Reactor counters (zero-valued under the threaded front end, so
+    /// the status document keeps a stable shape).
+    pub(crate) reactor: ReactorStats,
+    front_end: FrontEnd,
+    /// Which poller backend the reactor chose ("epoll"/"poll"), set
+    /// once at spawn.
+    reactor_backend: OnceLock<&'static str>,
     epoch: Instant,
     addr: SocketAddr,
 }
 
 impl Shared {
-    fn now_ms(&self) -> u64 {
+    /// Assemble the shared state for a server bound at `addr`.
+    pub(crate) fn build(engine: ServerEngine, net: &NetConfig, addr: SocketAddr) -> Arc<Shared> {
+        let queue_len = engine.config().socket_queue_len;
+        let n_workers = engine.config().n_workers;
+        let read = engine.read_path().clone();
+        Arc::new(Shared {
+            engine: EngineLock::new(engine),
+            read,
+            metrics: TransportMetrics::default(),
+            pulls: SingleFlight::new(),
+            transport: Transport::with_pool(net.retry, net.faults.clone(), net.pool_config()),
+            inbound: net.inbound_faults.clone(),
+            dropped: AtomicU64::new(0),
+            queue: SocketQueue::new(queue_len),
+            active_conns: (0..n_workers)
+                .map(|_| std::sync::Mutex::new(None))
+                .collect(),
+            reactor: ReactorStats::default(),
+            front_end: net.front_end,
+            reactor_backend: OnceLock::new(),
+            epoch: Instant::now(),
+            addr,
+        })
+    }
+
+    pub(crate) fn now_ms(&self) -> u64 {
         self.epoch.elapsed().as_millis() as u64
     }
 
     /// The full `/dcws/status` document: the engine's introspection
-    /// object (see `dcws_core::status`) extended with a `transport`
-    /// section describing this host.
+    /// object (see `dcws_core::status`) extended with `transport` and
+    /// `reactor` sections describing this host.
     fn status_json(&self) -> Json {
         let engine_status = self.engine.lock().status_json();
         let transport = Json::obj(vec![
@@ -237,9 +337,16 @@ impl Shared {
                 ])
             }),
         ]);
+        let reactor = self.reactor.to_json(
+            self.front_end == FrontEnd::Reactor,
+            self.reactor_backend.get().copied().unwrap_or("none"),
+            self.queue.len(),
+            self.queue.capacity(),
+        );
         match engine_status {
             Json::Obj(mut pairs) => {
                 pairs.push(("transport".to_string(), transport));
+                pairs.push(("reactor".to_string(), reactor));
                 Json::Obj(pairs)
             }
             other => other,
@@ -257,10 +364,23 @@ impl Shared {
     }
 }
 
+/// Closes the work queue when dropped: even a panicking front-end
+/// thread releases the workers blocked in `pop`.
+struct QueueCloser(Arc<Shared>);
+
+impl Drop for QueueCloser {
+    fn drop(&mut self) {
+        self.0.queue.close();
+    }
+}
+
 /// A running DCWS server; dropping the handle shuts it down.
 pub struct DcwsServer {
     shared: Arc<Shared>,
     shutdown: Arc<AtomicBool>,
+    /// Present under the reactor front end: how `stop()` wakes the
+    /// event loop and workers post completions.
+    bridge: Option<Arc<SpillBridge>>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -276,8 +396,8 @@ impl DcwsServer {
         DcwsServer::spawn_with(engine, bind_addr, NetConfig::new(control_interval))
     }
 
-    /// [`Self::spawn`] with explicit transport configuration: retry
-    /// policy and (for chaos testing) outbound/inbound fault injectors.
+    /// [`Self::spawn`] with explicit transport configuration: front end,
+    /// retry policy, and (for chaos testing) fault injectors.
     pub fn spawn_with(
         engine: ServerEngine,
         bind_addr: &str,
@@ -285,89 +405,122 @@ impl DcwsServer {
     ) -> std::io::Result<DcwsServer> {
         let listener = TcpListener::bind(bind_addr)?;
         let addr = listener.local_addr()?;
-        let queue_len = engine.config().socket_queue_len;
         let n_workers = engine.config().n_workers;
-        let read = engine.read_path().clone();
         let control_interval = net.control_interval;
-        let shared = Arc::new(Shared {
-            engine: EngineLock::new(engine),
-            read,
-            metrics: TransportMetrics::default(),
-            pulls: SingleFlight::new(),
-            transport: Transport::with_pool(net.retry, net.faults.clone(), net.pool_config()),
-            inbound: net.inbound_faults,
-            dropped: AtomicU64::new(0),
-            queue: SocketQueue::new(queue_len),
-            active_conns: (0..n_workers)
-                .map(|_| std::sync::Mutex::new(None))
-                .collect(),
-            epoch: Instant::now(),
-            addr,
-        });
+        let shared = Shared::build(engine, &net, addr);
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let mut threads = Vec::new();
+        let mut bridge_handle = None;
 
-        // Front-end thread: accept + enqueue, 503 on overflow (§5.2).
-        {
-            let shared = shared.clone();
-            let shutdown = shutdown.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name("dcws-frontend".into())
-                    .spawn(move || {
-                        for stream in listener.incoming() {
-                            if shutdown.load(Ordering::Relaxed) {
-                                break;
-                            }
-                            let Ok(stream) = stream else { continue };
-                            if let Some(inj) = &shared.inbound {
-                                let d = inj.inbound();
-                                if d.delay_ms > 0 {
-                                    // Stalling the single acceptor models a
-                                    // congested path into this host.
-                                    std::thread::sleep(Duration::from_millis(d.delay_ms));
+        match net.front_end {
+            // Reactor front end: one thread multiplexes every client
+            // connection; the worker pool only sees spillover jobs.
+            FrontEnd::Reactor => {
+                let (bridge, waker_rx) = spill_bridge()?;
+                let mut reactor = Reactor::new(
+                    shared.clone(),
+                    shutdown.clone(),
+                    listener,
+                    bridge.clone(),
+                    waker_rx,
+                    net.max_reactor_conns,
+                    net.reactor_keepalive_idle,
+                    net.reactor_force_poll,
+                )?;
+                let _ = shared.reactor_backend.set(reactor.backend_name());
+                bridge_handle = Some(bridge);
+                let closer = QueueCloser(shared.clone());
+                threads.push(
+                    std::thread::Builder::new()
+                        .name("dcws-reactor".into())
+                        .spawn(move || {
+                            // The guard closes the queue when the loop
+                            // exits (or panics), so workers always join.
+                            let _closer = closer;
+                            reactor.run();
+                        })
+                        .expect("spawn reactor"),
+                );
+            }
+            // Threaded front end (§5.1 literal): accept + enqueue whole
+            // connections, 503 on overflow (§5.2).
+            FrontEnd::Threaded => {
+                let shared = shared.clone();
+                let shutdown = shutdown.clone();
+                threads.push(
+                    std::thread::Builder::new()
+                        .name("dcws-frontend".into())
+                        .spawn(move || {
+                            let _closer = QueueCloser(shared.clone());
+                            for stream in listener.incoming() {
+                                if shutdown.load(Ordering::Relaxed) {
+                                    break;
                                 }
-                                if d.refuse {
-                                    // Close without a response: the peer sees
-                                    // a connection reset, not a graceful 503.
-                                    drop(stream);
-                                    continue;
+                                let Ok(stream) = stream else { continue };
+                                if let Some(inj) = &shared.inbound {
+                                    let d = inj.inbound();
+                                    if d.delay_ms > 0 {
+                                        // Stalling the single acceptor models a
+                                        // congested path into this host.
+                                        std::thread::sleep(Duration::from_millis(d.delay_ms));
+                                    }
+                                    if d.refuse {
+                                        // Close without a response: the peer sees
+                                        // a connection reset, not a graceful 503.
+                                        drop(stream);
+                                        continue;
+                                    }
+                                }
+                                if let Err(WorkItem::Conn(mut s)) =
+                                    shared.queue.try_push(WorkItem::Conn(stream))
+                                {
+                                    shared.dropped.fetch_add(1, Ordering::Relaxed);
+                                    let resp = Response::service_unavailable(RETRY_AFTER_SECS);
+                                    let _ = s.write_all(&resp.to_bytes());
                                 }
                             }
-                            if let Err(mut s) = shared.queue.try_push(stream) {
-                                shared.dropped.fetch_add(1, Ordering::Relaxed);
-                                let resp = Response::service_unavailable(RETRY_AFTER_SECS);
-                                let _ = s.write_all(&resp.to_bytes());
-                            }
-                        }
-                        shared.queue.close();
-                    })
-                    .expect("spawn front-end"),
-            );
+                        })
+                        .expect("spawn front-end"),
+                );
+            }
         }
 
-        // Worker threads.
+        // Worker threads: whole connections under the threaded front
+        // end, spillover jobs under the reactor.
         for i in 0..n_workers {
             let shared = shared.clone();
             let shutdown = shutdown.clone();
+            let bridge = bridge_handle.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("dcws-worker-{i}"))
                     .spawn(move || {
                         while let Some(q) = shared.queue.pop() {
-                            if shutdown.load(Ordering::Relaxed) {
-                                break;
-                            }
                             shared.metrics.queue_wait.record(q.enqueued_at.elapsed());
-                            let mut stream = q.item;
-                            let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-                            let _ = stream.set_nodelay(true);
-                            // Publish the in-flight connection so stop()
-                            // can shut it down under our feet.
-                            *shared.active_conns[i].lock().unwrap() = stream.try_clone().ok();
-                            let _ = serve_connection(&shared, &mut stream, &shutdown);
-                            *shared.active_conns[i].lock().unwrap() = None;
+                            match q.item {
+                                WorkItem::Conn(mut stream) => {
+                                    if shutdown.load(Ordering::Relaxed) {
+                                        break;
+                                    }
+                                    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+                                    let _ = stream.set_nodelay(true);
+                                    // Publish the in-flight connection so stop()
+                                    // can shut it down under our feet.
+                                    *shared.active_conns[i].lock().unwrap() =
+                                        stream.try_clone().ok();
+                                    let _ = serve_connection(&shared, &mut stream, &shutdown);
+                                    *shared.active_conns[i].lock().unwrap() = None;
+                                }
+                                // Spill jobs run even while shutting down:
+                                // the reactor is draining and needs the
+                                // in-flight responses to finish cleanly.
+                                WorkItem::Spill(job) => {
+                                    let bridge =
+                                        bridge.as_ref().expect("spill job without a bridge");
+                                    serve_spill(&shared, bridge, job);
+                                }
+                            }
                         }
                     })
                     .expect("spawn worker"),
@@ -396,6 +549,7 @@ impl DcwsServer {
         Ok(DcwsServer {
             shared,
             shutdown,
+            bridge: bridge_handle,
             threads,
         })
     }
@@ -424,7 +578,9 @@ impl DcwsServer {
         &self.shared.read
     }
 
-    /// Connections dropped with 503 by the front end so far.
+    /// Connections dropped with 503 so far (front-end queue overflow
+    /// under the threaded model; spillover-queue overflow under the
+    /// reactor).
     pub fn dropped_connections(&self) -> u64 {
         self.shared.dropped.load(Ordering::Relaxed)
     }
@@ -432,6 +588,12 @@ impl DcwsServer {
     /// The transport latency histograms (queue wait + service time).
     pub fn metrics(&self) -> &TransportMetrics {
         &self.shared.metrics
+    }
+
+    /// The reactor's counters (all zero when running the threaded
+    /// front end).
+    pub fn reactor_stats(&self) -> &ReactorStats {
+        &self.shared.reactor
     }
 
     /// The retrying inter-server transport (retry counters, fault
@@ -442,7 +604,8 @@ impl DcwsServer {
 
     /// The document served at `/dcws/status`: engine counters, derived
     /// rates, GLT view, active migrations, hot documents, recent events,
-    /// and this host's transport section (histograms, queue, drops).
+    /// this host's transport section (histograms, queue, drops), and
+    /// the reactor section (registered conns, ready batches, spillover).
     pub fn status_json(&self) -> Json {
         self.shared.status_json()
     }
@@ -457,10 +620,18 @@ impl DcwsServer {
 
     fn stop(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        // Unblock the acceptor (it then closes the queue, unblocking
-        // the workers).
-        let _ = TcpStream::connect(self.shared.addr);
-        self.shared.queue.close();
+        match &self.bridge {
+            // Reactor: the waker pipe interrupts the event loop, which
+            // drains at request boundaries and closes the queue on exit
+            // (releasing the workers).
+            Some(bridge) => bridge.wake(),
+            // Threaded: unblock the acceptor (its queue-closer guard
+            // then releases the workers).
+            None => {
+                let _ = TcpStream::connect(self.shared.addr);
+                self.shared.queue.close();
+            }
+        }
         // Workers may be blocked reading a kept-alive connection — a
         // peer's pooled transport connection can park here idle for up
         // to READ_TIMEOUT, or keep the worker busy indefinitely if the
@@ -482,10 +653,11 @@ impl Drop for DcwsServer {
     }
 }
 
-/// Handle one connection: serve requests until the peer closes, asks to
-/// close, or speaks HTTP/1.0 (persistent connections are the HTTP/1.1
-/// default; the benchmark clients open one connection per transfer, as
-/// the paper's CPS metric assumes, but real browsers keep alive).
+/// Handle one connection (threaded front end): serve requests until the
+/// peer closes, asks to close, or speaks HTTP/1.0 (persistent
+/// connections are the HTTP/1.1 default; the benchmark clients open one
+/// connection per transfer, as the paper's CPS metric assumes, but real
+/// browsers keep alive).
 fn serve_connection(
     shared: &Arc<Shared>,
     stream: &mut TcpStream,
@@ -503,7 +675,7 @@ fn serve_connection(
                 // Unparseable request: answer 400 instead of slamming the
                 // connection shut, then close (framing is unrecoverable).
                 let resp = Response::new(StatusCode::BadRequest);
-                let _ = write_response(stream, &resp, dcws_http::Method::Get);
+                let _ = write_response(stream, &resp, Method::Get);
                 return Ok(());
             }
             Err(e) => return Err(e),
@@ -533,8 +705,25 @@ fn serve_connection(
     }
 }
 
+/// Run one spillover job on a worker thread and post the completion
+/// back to the reactor. The worker computes the response — engine lock,
+/// lazy pull, and all — but never touches the client socket; the
+/// reactor owns all client I/O.
+fn serve_spill(shared: &Arc<Shared>, bridge: &SpillBridge, job: SpillJob) {
+    let method = job.req.method;
+    let resp = serve_one(shared, job.req)
+        .unwrap_or_else(|_| Response::new(StatusCode::InternalServerError));
+    bridge.push(Completion {
+        token: job.token,
+        method,
+        keep_alive: job.keep_alive,
+        started: job.started,
+        resp,
+    });
+}
+
 /// Produce the response for one request, performing any lazy pull.
-fn serve_one(shared: &Arc<Shared>, req: dcws_http::Request) -> std::io::Result<Response> {
+pub(crate) fn serve_one(shared: &Arc<Shared>, req: Request) -> std::io::Result<Response> {
     // Reserved introspection namespace: answered by the transport, never
     // entering the engine's document path.
     if let Ok(url) = req.url() {

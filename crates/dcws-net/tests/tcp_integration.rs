@@ -208,13 +208,19 @@ fn concurrent_misses_coalesce_to_one_pull_over_tcp() {
 
 #[test]
 fn graceful_503_when_socket_queue_full() {
+    // Threaded-front-end semantics by design: an idle connection pins a
+    // worker, so two idle holds exhaust worker + queue. Under the
+    // reactor front end idle connections are deliberately free; its
+    // 503 rung (spillover-queue full) is covered in reactor_tests.rs.
     let mut cfg = fast_config();
     cfg.n_workers = 1;
     cfg.socket_queue_len = 1;
     let id = ServerId::new("placeholder:0");
     let mut e = engine(&id, cfg);
     e.publish("/x.html", b"x".to_vec(), DocKind::Html, true);
-    let server = spawn(e);
+    let mut net = dcws_net::NetConfig::new(Duration::from_millis(25));
+    net.front_end = dcws_net::FrontEnd::Threaded;
+    let server = DcwsServer::spawn_with(e, "127.0.0.1:0", net).unwrap();
     let addr = server.addr();
 
     // Occupy the single worker and the single queue slot with idle

@@ -42,18 +42,24 @@ step env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 # on a short clock so lock regressions fail here, not in production;
 # connpress --quick additionally exits nonzero if the pooled arm's
 # connection reuse ratio is <= 0.9, so a silently disabled pool fails
-# the gate.
+# the gate; c10kpress --quick holds 1k keep-alive clients against the
+# reactor front end and exits nonzero unless served concurrency beats
+# the worker count with zero accept errors, so an event-loop
+# regression fails here too.
 if [[ $quick -eq 0 ]]; then
     step env DCWS_BENCH_QUICK=1 cargo run --release -q -p dcws-bench --bin fig6 -- --status-dump
     step env DCWS_BENCH_QUICK=1 cargo run --release -q -p dcws-bench --bin cachepress -- --status-dump
     step cargo run --release -q -p dcws-bench --bin lockpress -- --quick
     step cargo run --release -q -p dcws-bench --bin connpress -- --quick
+    step cargo run --release -q -p dcws-bench --bin c10kpress -- --quick
     test -s bench_results/fig6.csv
     test -s bench_results/cachepress.csv
     test -s bench_results/lockpress.csv
     test -s bench_results/BENCH_lockpress.json
     test -s bench_results/connpress.csv
     test -s bench_results/BENCH_connpress.json
+    test -s bench_results/c10kpress.csv
+    test -s bench_results/BENCH_c10kpress.json
 fi
 
 echo

@@ -192,6 +192,7 @@ struct Counters {
     insertions: AtomicU64,
     evictions: AtomicU64,
     oversize_rejects: AtomicU64,
+    admission_rejects: AtomicU64,
     coalesced_waits: AtomicU64,
 }
 
@@ -203,6 +204,8 @@ pub struct DocCache {
     shards: Box<[Mutex<Shard>]>,
     mask: u64,
     budget_bytes: AtomicU64,
+    /// Admission fraction as `f64` bits (see [`Self::set_admit_fraction`]).
+    admit_fraction_bits: AtomicU64,
     counters: Counters,
 }
 
@@ -231,8 +234,47 @@ impl DocCache {
             shards,
             mask: n as u64 - 1,
             budget_bytes: AtomicU64::new(cfg.budget_bytes),
+            admit_fraction_bits: AtomicU64::new(1.0f64.to_bits()),
             counters: Counters::default(),
         }
+    }
+
+    /// The admission cap for one shard's `budget` slice under `fraction`.
+    fn admit_limit(per_shard: u64, fraction: f64) -> u64 {
+        if fraction >= 1.0 {
+            per_shard
+        } else {
+            (per_shard as f64 * fraction) as u64
+        }
+    }
+
+    /// Set the byte-budgeted admission rule: entries costing more than
+    /// `fraction` of one shard's budget slice bypass the LRU entirely
+    /// (rejected, counted as `admission_rejects`) instead of evicting
+    /// the shard's working set — one Sequoia-class image can no longer
+    /// flush a shard of LOD documents. `1.0` (the default) admits
+    /// anything that fits a shard; values are clamped to `(0, 1]`.
+    pub fn set_admit_fraction(&self, fraction: f64) {
+        let fraction = if fraction.is_finite() && fraction > 0.0 {
+            fraction.min(1.0)
+        } else {
+            1.0
+        };
+        self.admit_fraction_bits
+            .store(fraction.to_bits(), Ordering::Relaxed);
+        let per_shard = self.budget_bytes() / self.shards.len() as u64;
+        let limit = Self::admit_limit(per_shard, fraction);
+        for shard in self.shards.iter() {
+            shard
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .set_admit_limit(limit);
+        }
+    }
+
+    /// The configured admission fraction (see [`Self::set_admit_fraction`]).
+    pub fn admit_fraction(&self) -> f64 {
+        f64::from_bits(self.admit_fraction_bits.load(Ordering::Relaxed))
     }
 
     fn shard(&self, key: &str) -> std::sync::MutexGuard<'_, Shard> {
@@ -270,12 +312,20 @@ impl DocCache {
     /// exceeds the shard's budget slice is rejected (`stored: false`)
     /// and any stale entry under the same key is dropped.
     pub fn insert(&self, key: &str, doc: CachedDoc) -> InsertResult {
-        let result = self.shard(key).insert(key, doc);
+        let cost = doc.cost(key);
+        let mut shard = self.shard(key);
+        let over_budget = cost > shard.budget();
+        let result = shard.insert(key, doc);
+        drop(shard);
         if result.stored {
             self.counters.insertions.fetch_add(1, Ordering::Relaxed);
-        } else {
+        } else if over_budget {
             self.counters
                 .oversize_rejects
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters
+                .admission_rejects
                 .fetch_add(1, Ordering::Relaxed);
         }
         self.counters
@@ -356,12 +406,12 @@ impl DocCache {
     pub fn set_budget(&self, budget_bytes: u64) -> Vec<Evicted> {
         self.budget_bytes.store(budget_bytes, Ordering::Relaxed);
         let per_shard = budget_bytes / self.shards.len() as u64;
+        let limit = Self::admit_limit(per_shard, self.admit_fraction());
         let mut evicted = Vec::new();
         for shard in self.shards.iter() {
-            shard
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .set_budget(per_shard, &mut evicted);
+            let mut s = shard.lock().unwrap_or_else(|e| e.into_inner());
+            s.set_budget(per_shard, &mut evicted);
+            s.set_admit_limit(limit);
         }
         self.counters
             .evictions
@@ -387,6 +437,7 @@ impl DocCache {
             insertions: self.counters.insertions.load(Ordering::Relaxed),
             evictions: self.counters.evictions.load(Ordering::Relaxed),
             oversize_rejects: self.counters.oversize_rejects.load(Ordering::Relaxed),
+            admission_rejects: self.counters.admission_rejects.load(Ordering::Relaxed),
             coalesced_waits: self.counters.coalesced_waits.load(Ordering::Relaxed),
             bytes_resident: self.bytes_resident(),
             entries: self.len() as u64,
@@ -465,6 +516,70 @@ mod tests {
         assert!(c.peek("/a").is_none(), "stale copy must not survive");
         assert_eq!(c.stats().oversize_rejects, 1);
         assert_eq!(c.bytes_resident(), 0);
+    }
+
+    #[test]
+    fn admission_rule_bypasses_large_entries() {
+        // Shard budget 4096; with a 0.25 admission fraction anything
+        // costing more than 1024 bypasses the LRU.
+        let c = DocCache::new(CacheConfig {
+            budget_bytes: 4096,
+            shards: 1,
+        });
+        c.set_admit_fraction(0.25);
+        assert!((c.admit_fraction() - 0.25).abs() < 1e-12);
+        // A working set of small entries...
+        for i in 0..8 {
+            assert!(c.insert(&format!("/s{i}"), doc("small")).stored);
+        }
+        let resident = c.len();
+        // ...survives an entry that fits the budget but not the rule.
+        let big = "x".repeat(2000);
+        let r = c.insert("/big", CachedDoc::new(big, "image/gif", 1, 0));
+        assert!(!r.stored);
+        assert!(r.evicted.is_empty(), "bypass must not evict");
+        assert_eq!(c.len(), resident);
+        let s = c.stats();
+        assert_eq!(s.admission_rejects, 1);
+        assert_eq!(s.oversize_rejects, 0);
+        // Truly over-budget entries still count as oversize.
+        let huge = "x".repeat(8192);
+        assert!(
+            !c.insert("/huge", CachedDoc::new(huge, "image/gif", 1, 0))
+                .stored
+        );
+        assert_eq!(c.stats().oversize_rejects, 1);
+        // Restoring the default fraction admits the big entry again.
+        c.set_admit_fraction(1.0);
+        let big = "x".repeat(2000);
+        assert!(
+            c.insert("/big", CachedDoc::new(big, "image/gif", 1, 0))
+                .stored
+        );
+    }
+
+    #[test]
+    fn admit_fraction_tracks_budget_changes() {
+        let c = DocCache::new(CacheConfig {
+            budget_bytes: 8192,
+            shards: 1,
+        });
+        c.set_admit_fraction(0.5);
+        // Fits under 0.5 * 8192.
+        let body = "x".repeat(3000);
+        assert!(
+            c.insert("/a", CachedDoc::new(body, "text/plain", 1, 0))
+                .stored
+        );
+        // After shrinking the budget the same entry no longer passes
+        // the (recomputed) admission cap.
+        c.set_budget(4096);
+        let body = "x".repeat(3000);
+        assert!(
+            !c.insert("/b", CachedDoc::new(body, "text/plain", 1, 0))
+                .stored
+        );
+        assert_eq!(c.stats().admission_rejects, 1);
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub(crate) struct Shard {
     tail: usize, // least recently used
     bytes: u64,
     budget: u64,
+    /// Admission cap: entries costing more than this are rejected even
+    /// when they would fit the budget, so one huge object cannot evict
+    /// a shard's whole working set. Always `<= budget`.
+    admit_limit: u64,
 }
 
 impl Shard {
@@ -41,7 +45,16 @@ impl Shard {
             tail: NIL,
             bytes: 0,
             budget,
+            admit_limit: budget,
         }
+    }
+
+    pub(crate) fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    pub(crate) fn set_admit_limit(&mut self, limit: u64) {
+        self.admit_limit = limit.min(self.budget);
     }
 
     pub(crate) fn len(&self) -> usize {
@@ -124,7 +137,7 @@ impl Shard {
             self.release(i);
         }
         let cost = doc.cost(key);
-        if cost > self.budget {
+        if cost > self.budget || cost > self.admit_limit {
             return result; // stored: false
         }
         self.evict_for(cost, &mut result.evicted);
@@ -190,6 +203,7 @@ impl Shard {
     /// residency fits.
     pub(crate) fn set_budget(&mut self, budget: u64, evicted: &mut Vec<Evicted>) {
         self.budget = budget;
+        self.admit_limit = self.admit_limit.min(budget);
         self.evict_for(0, evicted);
     }
 }

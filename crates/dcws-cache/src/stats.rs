@@ -17,6 +17,10 @@ pub struct CacheStats {
     /// Inserts rejected because the entry exceeded its shard's slice
     /// of the budget.
     pub oversize_rejects: u64,
+    /// Inserts rejected by the admission rule: the entry fit the shard
+    /// but cost more than the configured fraction of its budget, so it
+    /// bypassed the LRU instead of evicting the working set.
+    pub admission_rejects: u64,
     /// Requests that waited on another request's in-flight pull
     /// instead of pulling themselves.
     pub coalesced_waits: u64,
@@ -52,6 +56,7 @@ impl CacheStats {
             insertions: self.insertions + other.insertions,
             evictions: self.evictions + other.evictions,
             oversize_rejects: self.oversize_rejects + other.oversize_rejects,
+            admission_rejects: self.admission_rejects + other.admission_rejects,
             coalesced_waits: self.coalesced_waits + other.coalesced_waits,
             bytes_resident: self.bytes_resident + other.bytes_resident,
             entries: self.entries + other.entries,

@@ -86,6 +86,18 @@ pub struct ServerConfig {
     /// disables eviction; the paper's testbed never filled memory, so
     /// the default is generous rather than unbounded.
     pub cache_budget_bytes: u64,
+    /// Bodies at or above this size are served by the streaming path
+    /// (chunked reads straight from the [`DocStore`](crate::DocStore),
+    /// bypassing the regen cache and serve table) instead of being
+    /// buffered whole. `0` disables streaming. The default keeps every
+    /// LOD document buffered and streams only Sequoia-class objects.
+    pub stream_threshold_bytes: u64,
+    /// Cache admission rule: an object costing more than this fraction
+    /// of one cache shard's budget is never admitted to the LRU (served
+    /// pass-through instead), so a single Sequoia image cannot evict a
+    /// shard's whole small-document working set. `1.0` admits anything
+    /// that fits a shard — the pre-streaming behaviour.
+    pub cache_admit_fraction: f64,
 }
 
 impl ServerConfig {
@@ -110,6 +122,8 @@ impl ServerConfig {
             hot_replication: None,
             event_log_capacity: 512,
             cache_budget_bytes: 64 * 1024 * 1024,
+            stream_threshold_bytes: 256 * 1024,
+            cache_admit_fraction: 0.25,
         }
     }
 }
@@ -138,6 +152,8 @@ mod tests {
         assert!(!c.eager_migration);
         assert!(c.hot_replication.is_none());
         assert_eq!(c.cache_budget_bytes, 64 * 1024 * 1024);
+        assert_eq!(c.stream_threshold_bytes, 256 * 1024);
+        assert!((c.cache_admit_fraction - 0.25).abs() < 1e-12);
     }
 
     #[test]

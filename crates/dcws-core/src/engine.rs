@@ -151,13 +151,18 @@ impl ServerEngine {
         let window_ms = cfg.stat_interval_ms.max(1_000);
         let (regen_budget, coop_budget) = split_cache_budget(cfg.cache_budget_bytes);
         let coop_cache = Arc::new(DocCache::new(CacheConfig::new(coop_budget)));
+        let regen_cache = Arc::new(DocCache::new(CacheConfig::new(regen_budget)));
+        // Admission rule: a single Sequoia-class object must not evict a
+        // shard's whole small-document working set (it streams instead).
+        coop_cache.set_admit_fraction(cfg.cache_admit_fraction);
+        regen_cache.set_admit_fraction(cfg.cache_admit_fraction);
         let read = Arc::new(ReadPath::new(id.clone(), coop_cache.clone(), regen_budget));
         ServerEngine {
             glt: GlobalLoadTable::new(id.clone()),
             id,
             ldg: LocalDocGraph::new(),
             originals,
-            regen_cache: Arc::new(DocCache::new(CacheConfig::new(regen_budget))),
+            regen_cache,
             versions: HashMap::new(),
             modified: HashMap::new(),
             rewritten: HashSet::new(),
@@ -324,7 +329,12 @@ impl ServerEngine {
             Vec::new()
         };
         let size = bytes.len() as u64;
-        self.originals.put(name, bytes);
+        if self.originals.put(name, bytes).is_err() {
+            // The permanent original could not be stored durably (§3.2's
+            // robustness copy). Serving continues from caches; the counter
+            // makes the loss visible instead of silent.
+            self.stats.store_put_failures += 1;
+        }
         self.read.invalidate(name);
         self.regen_cache.remove(&home_variant_key(name));
         self.regen_cache.remove(&pull_variant_key(name));

@@ -60,6 +60,7 @@ pub mod serve;
 pub mod stats;
 pub mod status;
 pub mod store;
+pub mod stream;
 
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use config::{HotReplication, ServerConfig};
@@ -72,3 +73,4 @@ pub use serve::Outcome;
 pub use stats::EngineStats;
 pub use status::{HotDoc, PeerSummary, STATUS_HOT_DOCS, STATUS_RECENT_EVENTS};
 pub use store::{DiskStore, DocStore, MemStore};
+pub use stream::DocReader;

@@ -252,9 +252,14 @@ impl ReadPath {
             Ok(Some(t)) => self.serve_table(&t.path, req),
             Ok(None) => self.serve_table(path, req),
         };
-        let Some(mut resp) = resp else {
+        let Some(resp) = resp else {
             return self.fallback();
         };
+        // Client GETs may carry a byte range; 304s pass through untouched
+        // (If-Modified-Since wins). Bodies here are buffered snapshots —
+        // large objects never enter the table (cost > shard budget) and
+        // take the engine's streamed path instead.
+        let mut resp = dcws_http::apply_range(req, resp);
         if has_load {
             self.defer_reports(req);
             for r in self.published_reports() {

@@ -4,10 +4,11 @@ use crate::engine::{coop_cache_key, ServerEngine, PENDING_SERVE_CAP};
 use crate::events::EngineEvent;
 use crate::naming::decode_migrate_path;
 use dcws_cache::CachedDoc;
-use dcws_graph::{Location, ServerId};
+use dcws_graph::{DocKind, Location, ServerId};
 use dcws_http::{
-    body_checksum, checksum_matches, http_date, parse_http_date, Request, Response, StatusCode,
-    Url, CHECKSUM_HEADER,
+    apply_range, body_checksum, checksum_matches, content_range, content_range_unsatisfied,
+    http_date, parse_http_date, requested_range, Method, Request, ResolvedRange, Response,
+    StatusCode, StreamBody, Url, CHECKSUM_HEADER, STREAM_CHUNK,
 };
 
 /// Result of handing a request to the engine.
@@ -15,6 +16,17 @@ use dcws_http::{
 pub enum Outcome {
     /// A complete response to ship to the requester.
     Response(Response),
+    /// A large-object serve: the head (`resp`) is final — status,
+    /// `Content-Length`, and any `Content-Range` already set, body empty —
+    /// and the entity is produced by draining `body` in chunks. Front
+    /// ends write the head, then stream; hosts that cannot stream (the
+    /// simulator, tests) collapse it via [`Outcome::into_response`].
+    Stream {
+        /// Response head; its buffered body is empty.
+        resp: Response,
+        /// Chunked entity producer, already positioned for any `Range`.
+        body: StreamBody,
+    },
     /// Co-op miss (§4.2 case 1): the host must pull `path` from `home`
     /// (via [`ServerEngine::make_pull_request`]), deliver the result to
     /// [`ServerEngine::store_pulled`], then retry the original request.
@@ -27,10 +39,25 @@ pub enum Outcome {
 }
 
 impl Outcome {
-    /// The response, if this outcome is one (test helper).
+    /// The response, if this outcome carries one. A streamed outcome is
+    /// collapsed to a buffered response by draining its reader (used by
+    /// the simulator and tests; real front ends write chunks instead).
     pub fn into_response(self) -> Option<Response> {
         match self {
             Outcome::Response(r) => Some(r),
+            Outcome::Stream { mut resp, mut body } => {
+                let mut out = Vec::with_capacity(body.len() as usize);
+                let mut buf = vec![0u8; STREAM_CHUNK];
+                loop {
+                    match body.read_chunk(&mut buf) {
+                        Ok(0) => break,
+                        Ok(n) => out.extend_from_slice(&buf[..n]),
+                        Err(_) => break, // truncated source: serve what we got
+                    }
+                }
+                resp.body = out.into();
+                Some(resp)
+            }
             Outcome::FetchNeeded { .. } => None,
         }
     }
@@ -86,11 +113,28 @@ impl ServerEngine {
             Ok(Some(t)) => self.serve_home(&t.path, req, now_ms),
             Ok(None) => self.serve_home(&path, req, now_ms),
         };
-        if let Outcome::Response(resp) = &mut outcome {
-            self.window.record(now_ms, resp.body.len() as u64);
-            if inter {
-                self.attach_reports(&mut resp.headers, now_ms);
+        match &mut outcome {
+            Outcome::Response(resp) => {
+                if !inter {
+                    // Client GETs may carry a byte range; 304 conditional
+                    // hits and errors pass through apply_range untouched,
+                    // so If-Modified-Since wins over Range.
+                    let full = std::mem::replace(resp, Response::new(StatusCode::Ok));
+                    *resp = apply_range(req, full);
+                }
+                self.window.record(now_ms, resp.body.len() as u64);
+                if inter {
+                    self.attach_reports(&mut resp.headers, now_ms);
+                }
             }
+            Outcome::Stream { resp, body } => {
+                // Range was already resolved when the stream was opened.
+                self.window.record(now_ms, body.len());
+                if inter {
+                    self.attach_reports(&mut resp.headers, now_ms);
+                }
+            }
+            Outcome::FetchNeeded { .. } => {}
         }
         outcome
     }
@@ -218,6 +262,12 @@ impl ServerEngine {
                         );
                     }
                 }
+                // Sequoia-class objects stream straight from the store:
+                // no whole-body buffer, no regen-cache or serve-table
+                // copy, first chunk on the wire after one read.
+                if let Some(out) = self.try_stream_home(path, req, &last_modified) {
+                    return out;
+                }
                 let Some((bytes, ct)) = self.home_content(path) else {
                     // LDG/store inconsistency — treat as missing.
                     self.stats.not_found += 1;
@@ -234,6 +284,66 @@ impl ServerEngine {
                 )
             }
         }
+    }
+
+    /// The streamed serve of a large home object, when `path` qualifies:
+    /// a plain client `GET` of a non-HTML document (served verbatim,
+    /// never link-regenerated) at least `stream_threshold_bytes` long.
+    /// Any `Range` is resolved before the first read, so a resumed
+    /// transfer seeks instead of discarding a prefix. Returns `None` to
+    /// fall back to the buffered path.
+    fn try_stream_home(
+        &mut self,
+        path: &str,
+        req: &Request,
+        last_modified: &str,
+    ) -> Option<Outcome> {
+        let threshold = self.cfg.stream_threshold_bytes;
+        if threshold == 0 || req.method != Method::Get {
+            return None;
+        }
+        let kind = self.ldg.get(path).map(|e| e.kind)?;
+        if kind == DocKind::Html {
+            return None;
+        }
+        let total = self.originals.size(path)?;
+        if total < threshold {
+            return None;
+        }
+        let (status, start, end) = match requested_range(req, total) {
+            None => (StatusCode::Ok, 0, total),
+            Some(ResolvedRange::Slice { start, end }) => (StatusCode::PartialContent, start, end),
+            Some(ResolvedRange::Unsatisfiable) => {
+                let mut resp = Response::new(StatusCode::RangeNotSatisfiable);
+                resp.headers
+                    .set("Content-Length", "0")
+                    .expect("static header");
+                resp.headers
+                    .set("Content-Range", content_range_unsatisfied(total))
+                    .expect("valid header");
+                return Some(Outcome::Response(resp));
+            }
+        };
+        let mut reader = self.originals.open_stream(path)?;
+        if reader.seek_to(start).is_err() {
+            return None; // store raced shorter than its stat: buffer instead
+        }
+        let len = end - start;
+        let mut resp = Response::new(status)
+            .with_header("Content-Type", kind.content_type())
+            .with_header("Content-Length", &len.to_string())
+            .with_header("Last-Modified", last_modified);
+        if status == StatusCode::PartialContent {
+            resp = resp.with_header("Content-Range", &content_range(start, end, total));
+        }
+        self.ldg.record_hit(path, len);
+        self.stats.served_home += 1;
+        self.stats.streamed_serves += 1;
+        self.stats.bytes_sent += len;
+        Some(Outcome::Stream {
+            resp,
+            body: StreamBody::new(Box::new(reader), len),
+        })
     }
 
     /// Whether `requester` is (one of) the co-op(s) currently assigned to

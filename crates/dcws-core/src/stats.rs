@@ -53,6 +53,12 @@ pub struct EngineStats {
     /// 200 responses served from a copy whose freshness could not be
     /// verified (stale-marked, or a revoked/unreachable-home fallback).
     pub stale_serves: u64,
+    /// Documents whose permanent-original store write failed (disk
+    /// error); the publish proceeded in memory but durability was lost.
+    pub store_put_failures: u64,
+    /// 200-class responses whose body was streamed in chunks rather
+    /// than buffered (large-object path).
+    pub streamed_serves: u64,
 }
 
 impl EngineStats {
@@ -82,6 +88,8 @@ impl EngineStats {
             validation_failures: self.validation_failures - earlier.validation_failures,
             pull_failures: self.pull_failures - earlier.pull_failures,
             stale_serves: self.stale_serves - earlier.stale_serves,
+            store_put_failures: self.store_put_failures - earlier.store_put_failures,
+            streamed_serves: self.streamed_serves - earlier.streamed_serves,
         }
     }
 
@@ -95,7 +103,7 @@ impl EngineStats {
     /// The single source of truth for anything that enumerates the
     /// counters — the `/dcws/status` JSON, CSV headers, and the tests
     /// that check the endpoint exposes *all* of them.
-    pub fn fields(&self) -> [(&'static str, u64); 21] {
+    pub fn fields(&self) -> [(&'static str, u64); 23] {
         [
             ("requests", self.requests),
             ("served_home", self.served_home),
@@ -118,6 +126,8 @@ impl EngineStats {
             ("validation_failures", self.validation_failures),
             ("pull_failures", self.pull_failures),
             ("stale_serves", self.stale_serves),
+            ("store_put_failures", self.store_put_failures),
+            ("streamed_serves", self.streamed_serves),
         ]
     }
 
@@ -228,16 +238,18 @@ mod tests {
             validation_failures: 19,
             pull_failures: 20,
             stale_serves: 21,
+            store_put_failures: 22,
+            streamed_serves: 23,
         };
         let fields = s.fields();
-        assert_eq!(fields.len(), 21);
+        assert_eq!(fields.len(), 23);
         let sum: u64 = fields.iter().map(|(_, v)| v).sum();
-        assert_eq!(sum, (1..=21).sum::<u64>());
+        assert_eq!(sum, (1..=23).sum::<u64>());
         // Names are unique.
         let mut names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 21);
+        assert_eq!(names.len(), 23);
     }
 
     #[test]

@@ -462,6 +462,7 @@ mod tests {
         // linking page after its target's location could have changed.
         match e.handle_request(&Request::get("/a.html"), 1) {
             Outcome::Response(r) => assert!(r.status.is_success()),
+            Outcome::Stream { .. } => panic!("small HTML doc never streams"),
             Outcome::FetchNeeded { .. } => panic!("home doc needs no fetch"),
         }
         let drained = e.drain_events();

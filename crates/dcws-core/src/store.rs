@@ -7,6 +7,7 @@
 //! prototype's behaviour of writing regenerated documents back to their
 //! HTML source files.
 
+use crate::stream::DocReader;
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -16,13 +17,29 @@ use std::path::{Path, PathBuf};
 pub trait DocStore: Send {
     /// Fetch a document's bytes.
     fn get(&self, name: &str) -> Option<Vec<u8>>;
-    /// Store (or replace) a document's bytes.
-    fn put(&mut self, name: &str, bytes: Vec<u8>);
+    /// Store (or replace) a document's bytes. An error means the
+    /// document was *not* durably stored (invalid name, disk write or
+    /// rename failure); callers count these rather than losing
+    /// documents quietly.
+    fn put(&mut self, name: &str, bytes: Vec<u8>) -> io::Result<()>;
     /// Remove a document; returns whether it existed.
     fn remove(&mut self, name: &str) -> bool;
-    /// Whether a document exists.
+    /// Whether a document exists. Backends should answer from metadata
+    /// — the default is a full content fetch.
     fn contains(&self, name: &str) -> bool {
         self.get(name).is_some()
+    }
+    /// A document's size in bytes without fetching its content, or
+    /// `None` if absent. The streaming path uses this to decide
+    /// buffered-vs-streamed before touching any bytes.
+    fn size(&self, name: &str) -> Option<u64> {
+        self.get(name).map(|b| b.len() as u64)
+    }
+    /// Open a chunked reader over a document (`None` if absent). The
+    /// default buffers; [`DiskStore`] overrides with an incremental
+    /// `File` handle so large documents are never loaded whole.
+    fn open_stream(&self, name: &str) -> Option<DocReader> {
+        self.get(name).map(DocReader::from_bytes)
     }
     /// Number of stored documents.
     fn len(&self) -> usize;
@@ -33,6 +50,15 @@ pub trait DocStore: Send {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+/// The error used for document names a store refuses to map to a
+/// location (traversal, empty, NUL).
+fn bad_name(name: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidInput,
+        format!("unstorable document name: {name:?}"),
+    )
 }
 
 /// In-memory store; the paper assumes the graph and (here) documents fit
@@ -53,14 +79,18 @@ impl DocStore for MemStore {
     fn get(&self, name: &str) -> Option<Vec<u8>> {
         self.map.get(name).cloned()
     }
-    fn put(&mut self, name: &str, bytes: Vec<u8>) {
+    fn put(&mut self, name: &str, bytes: Vec<u8>) -> io::Result<()> {
         self.map.insert(name.to_string(), bytes);
+        Ok(())
     }
     fn remove(&mut self, name: &str) -> bool {
         self.map.remove(name).is_some()
     }
     fn contains(&self, name: &str) -> bool {
         self.map.contains_key(name)
+    }
+    fn size(&self, name: &str) -> Option<u64> {
+        self.map.get(name).map(|b| b.len() as u64)
     }
     fn len(&self) -> usize {
         self.map.len()
@@ -116,17 +146,46 @@ impl DocStore for DiskStore {
         std::fs::read(self.path_for(name)?).ok()
     }
 
-    fn put(&mut self, name: &str, bytes: Vec<u8>) {
-        let Some(p) = self.path_for(name) else { return };
+    fn put(&mut self, name: &str, bytes: Vec<u8>) -> io::Result<()> {
+        let p = self.path_for(name).ok_or_else(|| bad_name(name))?;
         if let Some(parent) = p.parent() {
-            let _ = std::fs::create_dir_all(parent);
+            std::fs::create_dir_all(parent)?;
         }
         // Write-rename for atomicity: a concurrent reader sees old or new,
         // never a torn file.
         let tmp = p.with_extension("tmp-dcws");
-        if std::fs::write(&tmp, &bytes).is_ok() {
-            let _ = std::fs::rename(&tmp, &p);
+        std::fs::write(&tmp, &bytes)?;
+        if let Err(e) = std::fs::rename(&tmp, &p) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
         }
+        Ok(())
+    }
+
+    /// Metadata stat — never reads the file.
+    fn contains(&self, name: &str) -> bool {
+        self.size(name).is_some()
+    }
+
+    /// Metadata stat — never reads the file.
+    fn size(&self, name: &str) -> Option<u64> {
+        let meta = std::fs::metadata(self.path_for(name)?).ok()?;
+        meta.is_file().then_some(meta.len())
+    }
+
+    /// An incremental `File` handle: chunked serves read at an offset
+    /// and never buffer the document.
+    fn open_stream(&self, name: &str) -> Option<DocReader> {
+        let p = self.path_for(name)?;
+        let len = {
+            let meta = std::fs::metadata(&p).ok()?;
+            if !meta.is_file() {
+                return None;
+            }
+            meta.len()
+        };
+        let f = std::fs::File::open(&p).ok()?;
+        Some(DocReader::from_file(f, len))
     }
 
     fn remove(&mut self, name: &str) -> bool {
@@ -184,12 +243,12 @@ mod tests {
     fn mem_store_basics() {
         let mut s = MemStore::new();
         assert!(s.is_empty());
-        s.put("/a.html", b"hello".to_vec());
+        s.put("/a.html", b"hello".to_vec()).unwrap();
         assert_eq!(s.get("/a.html").unwrap(), b"hello");
         assert!(s.contains("/a.html"));
         assert_eq!(s.len(), 1);
         assert_eq!(s.total_bytes(), 5);
-        s.put("/a.html", b"world".to_vec());
+        s.put("/a.html", b"world".to_vec()).unwrap();
         assert_eq!(s.get("/a.html").unwrap(), b"world");
         assert!(s.remove("/a.html"));
         assert!(!s.remove("/a.html"));
@@ -206,7 +265,7 @@ mod tests {
     fn disk_store_round_trip() {
         let dir = tmp_dir("rt");
         let mut s = DiskStore::open(&dir).unwrap();
-        s.put("/sub/dir/x.html", b"content".to_vec());
+        s.put("/sub/dir/x.html", b"content".to_vec()).unwrap();
         assert_eq!(s.get("/sub/dir/x.html").unwrap(), b"content");
         assert_eq!(s.len(), 1);
         assert_eq!(s.total_bytes(), 7);
@@ -219,10 +278,10 @@ mod tests {
     fn disk_store_rejects_traversal() {
         let dir = tmp_dir("trav");
         let mut s = DiskStore::open(&dir).unwrap();
-        s.put("/../escape.html", b"evil".to_vec());
+        assert!(s.put("/../escape.html", b"evil".to_vec()).is_err());
         assert!(s.get("/../escape.html").is_none());
         assert!(!dir.parent().unwrap().join("escape.html").exists());
-        s.put("/a/../../b.html", b"evil".to_vec());
+        assert!(s.put("/a/../../b.html", b"evil".to_vec()).is_err());
         assert_eq!(s.len(), 0);
         assert!(!s.remove("/.."));
         let _ = std::fs::remove_dir_all(&dir);
@@ -232,9 +291,9 @@ mod tests {
     fn disk_store_rejects_empty_and_nul() {
         let dir = tmp_dir("nul");
         let mut s = DiskStore::open(&dir).unwrap();
-        s.put("/", b"x".to_vec());
-        s.put("", b"x".to_vec());
-        s.put("/a\0b", b"x".to_vec());
+        assert!(s.put("/", b"x".to_vec()).is_err());
+        assert!(s.put("", b"x".to_vec()).is_err());
+        assert!(s.put("/a\0b", b"x".to_vec()).is_err());
         assert_eq!(s.len(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -243,8 +302,9 @@ mod tests {
     fn disk_store_overwrite_is_atomic_rename() {
         let dir = tmp_dir("atomic");
         let mut s = DiskStore::open(&dir).unwrap();
-        s.put("/x.html", b"one".to_vec());
-        s.put("/x.html", b"two".to_vec());
+        s.put("/x.html", b"one".to_vec()).unwrap();
+        s.put("/x.html", b"two".to_vec()).unwrap();
+        assert_eq!(s.size("/x.html"), Some(3));
         assert_eq!(s.get("/x.html").unwrap(), b"two");
         // No stray temp files left behind.
         let leftovers: Vec<_> = std::fs::read_dir(&dir)
@@ -254,5 +314,50 @@ mod tests {
             .collect();
         assert!(leftovers.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_store_stat_answers_contains_and_size() {
+        let dir = tmp_dir("stat");
+        let mut s = DiskStore::open(&dir).unwrap();
+        s.put("/big.bin", vec![0u8; 4096]).unwrap();
+        assert!(s.contains("/big.bin"));
+        assert_eq!(s.size("/big.bin"), Some(4096));
+        assert!(!s.contains("/missing.bin"));
+        assert_eq!(s.size("/missing.bin"), None);
+        // A directory on the path is not a document.
+        s.put("/sub/doc.html", b"x".to_vec()).unwrap();
+        assert!(!s.contains("/sub"));
+        assert_eq!(s.size("/sub"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_store_streams_incrementally_with_seek() {
+        use std::io::Read;
+        let dir = tmp_dir("stream");
+        let mut s = DiskStore::open(&dir).unwrap();
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        s.put("/seq/img.bin", data.clone()).unwrap();
+        let mut r = s.open_stream("/seq/img.bin").unwrap();
+        assert_eq!(r.len(), data.len() as u64);
+        r.seek_to(99_000).unwrap();
+        let mut tail = Vec::new();
+        r.read_to_end(&mut tail).unwrap();
+        assert_eq!(tail, &data[99_000..]);
+        assert!(s.open_stream("/seq/none.bin").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_store_stream_default_matches_get() {
+        use std::io::Read;
+        let mut s = MemStore::new();
+        s.put("/a.bin", vec![9u8; 5000]).unwrap();
+        assert_eq!(s.size("/a.bin"), Some(5000));
+        let mut r = s.open_stream("/a.bin").unwrap();
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, s.get("/a.bin").unwrap());
     }
 }

@@ -1,0 +1,142 @@
+//! Chunked reader handles over [`DocStore`](crate::DocStore) content.
+//!
+//! The whole-body `Arc<[u8]>` design is right for the LOD corpus
+//! (median ~6 KB) and wrong for Sequoia's 1–2.8 MB images: loading one
+//! of those buffers megabytes before the first byte reaches the wire.
+//! [`DocReader`] is the store-side half of the streaming path — a
+//! positioned handle yielding fixed-size chunks, backed either by bytes
+//! already in memory ([`MemStore`](crate::MemStore) hands over its
+//! copy) or by an open [`File`] read incrementally at an offset
+//! ([`DiskStore`](crate::DiskStore) never loads the document at all).
+//!
+//! A reader implements [`io::Read`], so the transport side wraps it in
+//! a [`StreamBody`](dcws_http::StreamBody) with the known length and
+//! drains it in [`STREAM_CHUNK`](dcws_http::STREAM_CHUNK)-sized pieces;
+//! [`seek_to`](DocReader::seek_to) positions it for `Range` serves.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+
+/// A positioned, chunk-oriented reader over one document's bytes.
+pub struct DocReader {
+    len: u64,
+    src: Source,
+}
+
+enum Source {
+    /// Document bytes already resident; `pos` tracks the read cursor.
+    Mem { bytes: Vec<u8>, pos: usize },
+    /// Open file read incrementally; the OS cursor tracks position.
+    Disk(File),
+}
+
+impl DocReader {
+    /// A reader over bytes already in memory.
+    pub fn from_bytes(bytes: Vec<u8>) -> DocReader {
+        DocReader {
+            len: bytes.len() as u64,
+            src: Source::Mem { bytes, pos: 0 },
+        }
+    }
+
+    /// A reader over an open file of `len` bytes (as stat'ed when the
+    /// stream was opened; a concurrent atomic replace leaves this handle
+    /// on the old inode, so the length stays consistent).
+    pub fn from_file(file: File, len: u64) -> DocReader {
+        DocReader {
+            len,
+            src: Source::Disk(file),
+        }
+    }
+
+    /// Total document length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the document is zero bytes long.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Position the reader at an absolute byte offset (for `Range`
+    /// serves). Offsets past the end are rejected.
+    pub fn seek_to(&mut self, offset: u64) -> io::Result<()> {
+        if offset > self.len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "seek past end of document",
+            ));
+        }
+        match &mut self.src {
+            Source::Mem { pos, .. } => *pos = offset as usize,
+            Source::Disk(f) => {
+                f.seek(SeekFrom::Start(offset))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Read for DocReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match &mut self.src {
+            Source::Mem { bytes, pos } => {
+                let n = buf.len().min(bytes.len().saturating_sub(*pos));
+                buf[..n].copy_from_slice(&bytes[*pos..*pos + n]);
+                *pos += n;
+                Ok(n)
+            }
+            Source::Disk(f) => f.read(buf),
+        }
+    }
+}
+
+impl std::fmt::Debug for DocReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.src {
+            Source::Mem { .. } => "mem",
+            Source::Disk(_) => "disk",
+        };
+        f.debug_struct("DocReader")
+            .field("len", &self.len)
+            .field("kind", &kind)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_reader_reads_and_seeks() {
+        let mut r = DocReader::from_bytes((0..=99u8).collect());
+        assert_eq!(r.len(), 100);
+        let mut buf = [0u8; 10];
+        assert_eq!(r.read(&mut buf).unwrap(), 10);
+        assert_eq!(buf[0], 0);
+        r.seek_to(95).unwrap();
+        assert_eq!(r.read(&mut buf).unwrap(), 5);
+        assert_eq!(buf[0], 95);
+        assert_eq!(r.read(&mut buf).unwrap(), 0);
+        assert!(r.seek_to(101).is_err());
+    }
+
+    #[test]
+    fn disk_reader_reads_at_offset() {
+        let dir = std::env::temp_dir().join(format!("dcws-stream-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("doc.bin");
+        let data: Vec<u8> = (0..200u32).map(|i| (i % 251) as u8).collect();
+        std::fs::write(&path, &data).unwrap();
+        let f = File::open(&path).unwrap();
+        let mut r = DocReader::from_file(f, data.len() as u64);
+        r.seek_to(150).unwrap();
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, &data[150..]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

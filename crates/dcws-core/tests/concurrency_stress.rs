@@ -86,10 +86,10 @@ fn readers_race_mutator_without_stale_or_failed_serves() {
                     None => {
                         let out = engine.lock().unwrap().handle_request(&req, now);
                         match out {
-                            Outcome::Response(resp) => resp,
                             Outcome::FetchNeeded { .. } => {
                                 panic!("home documents never need a fetch")
                             }
+                            buffered => buffered.into_response().expect("response outcome"),
                         }
                     }
                 };

@@ -689,6 +689,9 @@ fn eight_concurrent_misses_coalesce_to_one_pull() {
                         .handle_request(&Request::get(migrate_path), now);
                     match outcome {
                         Outcome::Response(r) => return r,
+                        Outcome::Stream { .. } => {
+                            return outcome.into_response().expect("streamed response")
+                        }
                         Outcome::FetchNeeded { home: h, path } => {
                             // The transport-level coalescing protocol: one
                             // leader pulls, everyone else waits on it.

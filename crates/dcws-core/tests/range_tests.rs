@@ -1,0 +1,156 @@
+//! Range-request edge cases on the client serve path, buffered and
+//! streamed: suffix ranges, out-of-bounds 416s with `Content-Range:
+//! bytes */len`, multi-range requests degraded to a full 200, and the
+//! If-Modified-Since interaction (the 304 wins over any Range header).
+
+use dcws_core::{MemStore, Outcome, ServerConfig, ServerEngine};
+use dcws_graph::{DocKind, ServerId};
+use dcws_http::{Request, Response, StatusCode};
+
+/// Below the streaming threshold: served buffered through the regen /
+/// serve-table path.
+const SMALL_LEN: usize = 64 * 1024;
+
+/// Above the default 256 KiB streaming threshold: served as
+/// `Outcome::Stream` straight off the store.
+const BIG_LEN: usize = 700 * 1024;
+
+fn make_home() -> ServerEngine {
+    let mut e = ServerEngine::new(
+        ServerId::new("home:8000"),
+        ServerConfig::paper_defaults(),
+        Box::new(MemStore::new()),
+    );
+    e.publish("/small.img", pattern(SMALL_LEN), DocKind::Image, false);
+    e.publish("/big.img", pattern(BIG_LEN), DocKind::Image, false);
+    e
+}
+
+/// Position-dependent bytes, so a slice from the wrong offset is
+/// detected, not just a slice of the wrong length.
+fn pattern(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i % 251) as u8).collect()
+}
+
+fn get_range(engine: &mut ServerEngine, path: &str, range: &str, now: u64) -> Response {
+    engine
+        .handle_request(&Request::get(path).with_header("Range", range), now)
+        .into_response()
+        .expect("direct response expected")
+}
+
+#[test]
+fn bounded_range_returns_206_slice() {
+    let mut home = make_home();
+    for path in ["/small.img", "/big.img"] {
+        let r = get_range(&mut home, path, "bytes=100-299", 1_000);
+        assert_eq!(r.status, StatusCode::PartialContent, "{path}");
+        assert_eq!(r.body, &pattern(300)[100..300], "{path}");
+        let total = if path == "/small.img" {
+            SMALL_LEN
+        } else {
+            BIG_LEN
+        };
+        assert_eq!(
+            r.headers.get("Content-Range"),
+            Some(format!("bytes 100-299/{total}").as_str()),
+            "{path}"
+        );
+        assert_eq!(r.headers.get("Content-Length"), Some("200"), "{path}");
+    }
+}
+
+#[test]
+fn suffix_range_returns_final_bytes() {
+    let mut home = make_home();
+    for (path, total) in [("/small.img", SMALL_LEN), ("/big.img", BIG_LEN)] {
+        let r = get_range(&mut home, path, "bytes=-500", 1_000);
+        assert_eq!(r.status, StatusCode::PartialContent, "{path}");
+        assert_eq!(r.body, &pattern(total)[total - 500..], "{path}");
+        assert_eq!(
+            r.headers.get("Content-Range"),
+            Some(format!("bytes {}-{}/{}", total - 500, total - 1, total).as_str()),
+            "{path}"
+        );
+    }
+}
+
+#[test]
+fn out_of_bounds_range_is_416_with_star_content_range() {
+    let mut home = make_home();
+    for (path, total) in [("/small.img", SMALL_LEN), ("/big.img", BIG_LEN)] {
+        let r = get_range(&mut home, path, &format!("bytes={total}-"), 1_000);
+        assert_eq!(r.status, StatusCode::RangeNotSatisfiable, "{path}");
+        assert!(r.body.is_empty(), "{path}: 416 must carry no body");
+        assert_eq!(
+            r.headers.get("Content-Range"),
+            Some(format!("bytes */{total}").as_str()),
+            "{path}"
+        );
+    }
+}
+
+#[test]
+fn multi_range_degrades_to_full_200() {
+    let mut home = make_home();
+    for (path, total) in [("/small.img", SMALL_LEN), ("/big.img", BIG_LEN)] {
+        let r = get_range(&mut home, path, "bytes=0-99,200-299", 1_000);
+        assert_eq!(r.status, StatusCode::Ok, "{path}");
+        assert_eq!(r.body.len(), total, "{path}: full entity expected");
+        assert_eq!(r.headers.get("Content-Range"), None, "{path}");
+    }
+}
+
+#[test]
+fn malformed_range_degrades_to_full_200() {
+    let mut home = make_home();
+    for (path, total) in [("/small.img", SMALL_LEN), ("/big.img", BIG_LEN)] {
+        let r = get_range(&mut home, path, "chapters=1-2", 1_000);
+        assert_eq!(r.status, StatusCode::Ok, "{path}");
+        assert_eq!(r.body.len(), total, "{path}");
+    }
+}
+
+#[test]
+fn if_modified_since_wins_over_range() {
+    let mut home = make_home();
+    for path in ["/small.img", "/big.img"] {
+        let fresh = home
+            .handle_request(&Request::get(path), 1_000)
+            .into_response()
+            .unwrap();
+        let last_modified = fresh
+            .headers
+            .get("Last-Modified")
+            .expect("200 carries Last-Modified")
+            .to_string();
+        let req = Request::get(path)
+            .with_header("If-Modified-Since", &last_modified)
+            .with_header("Range", "bytes=0-99");
+        let r = home.handle_request(&req, 2_000).into_response().unwrap();
+        assert_eq!(r.status, StatusCode::NotModified, "{path}: 304 wins");
+        assert!(r.body.is_empty(), "{path}");
+        assert_eq!(r.headers.get("Content-Range"), None, "{path}");
+    }
+}
+
+#[test]
+fn big_doc_range_still_streams() {
+    // A satisfiable range on a large document keeps the streamed
+    // outcome — the slice goes out chunk by chunk, not via a buffered
+    // copy of the whole entity.
+    let mut home = make_home();
+    let req = Request::get("/big.img").with_header("Range", "bytes=65536-196607");
+    match home.handle_request(&req, 1_000) {
+        Outcome::Stream { resp, body } => {
+            assert_eq!(resp.status, StatusCode::PartialContent);
+            assert_eq!(body.len(), 131_072);
+            assert_eq!(
+                resp.headers.get("Content-Range"),
+                Some(format!("bytes 65536-196607/{BIG_LEN}").as_str())
+            );
+        }
+        other => panic!("expected streamed outcome, got {other:?}"),
+    }
+    assert_eq!(home.stats().streamed_serves, 1);
+}

@@ -18,15 +18,58 @@
 /// as 16 lowercase hex digits.
 pub const CHECKSUM_HEADER: &str = "X-DCWS-Body-FNV";
 
+/// Incremental FNV-1a over a body that arrives in pieces.
+///
+/// Fold each chunk in with [`RollingChecksum::update`] as it comes off
+/// the wire; [`RollingChecksum::digest`] after the last chunk equals
+/// [`body_checksum`] over the concatenation. This is what lets a
+/// chunked inter-server pull verify integrity without ever holding the
+/// whole body just to hash it.
+#[derive(Debug, Clone)]
+pub struct RollingChecksum {
+    h: u64,
+}
+
+impl RollingChecksum {
+    /// Start a fresh hash (the FNV-1a offset basis).
+    pub fn new() -> RollingChecksum {
+        RollingChecksum {
+            h: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Fold `chunk` into the running hash.
+    pub fn update(&mut self, chunk: &[u8]) {
+        for b in chunk {
+            self.h ^= u64::from(*b);
+            self.h = self.h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// The digest so far, as 16 lowercase hex digits.
+    pub fn digest(&self) -> String {
+        format!("{:016x}", self.h)
+    }
+
+    /// Check the digest so far against a [`CHECKSUM_HEADER`] value
+    /// (case-insensitive, whitespace-tolerant).
+    pub fn matches(&self, header_value: &str) -> bool {
+        header_value.trim().eq_ignore_ascii_case(&self.digest())
+    }
+}
+
+impl Default for RollingChecksum {
+    fn default() -> RollingChecksum {
+        RollingChecksum::new()
+    }
+}
+
 /// FNV-1a over `body`, rendered as 16 lowercase hex digits — the
 /// value carried in [`CHECKSUM_HEADER`].
 pub fn body_checksum(body: &[u8]) -> String {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in body {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    format!("{h:016x}")
+    let mut sum = RollingChecksum::new();
+    sum.update(body);
+    sum.digest()
 }
 
 /// Check `body` against a checksum header value previously produced by
@@ -65,6 +108,19 @@ mod tests {
         ));
         assert!(!checksum_matches(b"dox", &sum));
         assert!(!checksum_matches(b"doc", "not-hex"));
+    }
+
+    #[test]
+    fn rolling_checksum_matches_whole_body_hash() {
+        let body = b"split across many chunk boundaries".to_vec();
+        for cut in 0..=body.len() {
+            let mut sum = RollingChecksum::new();
+            sum.update(&body[..cut]);
+            sum.update(&body[cut..]);
+            assert_eq!(sum.digest(), body_checksum(&body), "cut={cut}");
+            assert!(sum.matches(&body_checksum(&body)));
+        }
+        assert!(!RollingChecksum::new().matches(&body_checksum(&body)));
     }
 
     #[test]

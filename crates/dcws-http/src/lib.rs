@@ -41,22 +41,32 @@ pub mod integrity;
 pub mod method;
 pub mod parser;
 pub mod piggyback;
+pub mod range;
 pub mod request;
 pub mod reserved;
 pub mod response;
+pub mod source;
 pub mod status;
 pub mod url;
 
 pub use body::Body;
 pub use error::{HttpError, Result};
 pub use headers::{http_date, parse_http_date, Headers};
-pub use integrity::{body_checksum, checksum_matches, CHECKSUM_HEADER};
+pub use integrity::{body_checksum, checksum_matches, RollingChecksum, CHECKSUM_HEADER};
 pub use method::Method;
-pub use parser::{parse_request, parse_response, request_wire_len, response_wire_len, Parsed};
+pub use parser::{
+    parse_request, parse_response, parse_response_head, request_wire_len, response_wire_len,
+    Parsed, ResponseHead,
+};
 pub use piggyback::{LoadReport, PIGGYBACK_HEADER};
+pub use range::{
+    apply_range, content_range, content_range_unsatisfied, parse_range, requested_range, RangeSpec,
+    ResolvedRange, RANGE_HEADER,
+};
 pub use request::Request;
 pub use reserved::{is_reserved_path, RESERVED_PREFIX, STATUS_PATH};
 pub use response::Response;
+pub use source::{BodySource, StreamBody, STREAM_CHUNK};
 pub use status::StatusCode;
 pub use url::Url;
 

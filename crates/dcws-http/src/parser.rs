@@ -189,6 +189,66 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<Parsed<Request>>> {
     }))
 }
 
+/// A response head parsed before its body has arrived: the message with
+/// an empty body plus the framed body length still on the wire. This is
+/// what lets a chunked reader act on the status line and headers (and
+/// start integrity-checking the body) without buffering the entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseHead {
+    /// The response with status, headers, and an *empty* body.
+    pub resp: Response,
+    /// Entity bytes that follow the head on the wire (0 for `HEAD`
+    /// requests and bodyless statuses).
+    pub body_len: usize,
+}
+
+/// Try to parse just the head of the response at the front of `buf`,
+/// without requiring (or consuming) any body bytes. `consumed` covers
+/// the head only, so the entity can be drained from the stream in
+/// chunks afterwards. `Ok(None)` until the `\r\n\r\n` terminator is
+/// buffered. Framing follows [`parse_response`].
+pub fn parse_response_head(
+    buf: &[u8],
+    request_method: Method,
+) -> Result<Option<Parsed<ResponseHead>>> {
+    let (text, head_end) = match head_text(buf)? {
+        Some(t) => t,
+        None => return Ok(None),
+    };
+    let mut lines = text.lines();
+    let start = lines
+        .next()
+        .ok_or_else(|| HttpError::BadStatusLine(String::new()))?;
+    let mut parts = start.splitn(3, ' ');
+    let (v, c) = match (parts.next(), parts.next()) {
+        (Some(v), Some(c)) => (v, c),
+        _ => return Err(HttpError::BadStatusLine(start.to_string())),
+    };
+    let version = Version::parse(v)?;
+    let code: u16 = c
+        .parse()
+        .map_err(|_| HttpError::BadStatusCode(c.to_string()))?;
+    let status = StatusCode::from_code(code)?;
+    let headers = parse_header_lines(lines)?;
+    let body_len = if request_method == Method::Head || status.bodyless() {
+        0
+    } else {
+        framed_body_len(&headers)?
+    };
+    Ok(Some(Parsed {
+        message: ResponseHead {
+            resp: Response {
+                version,
+                status,
+                headers,
+                body: Vec::new().into(),
+            },
+            body_len,
+        },
+        consumed: head_end,
+    }))
+}
+
 /// Try to parse a complete response from the front of `buf`.
 ///
 /// `request_method` affects body framing: responses to `HEAD` have no body
@@ -411,6 +471,31 @@ mod tests {
             response_wire_len(wire304, Method::Get).unwrap(),
             Some(wire304.len())
         );
+    }
+
+    #[test]
+    fn response_head_parses_before_any_body_byte() {
+        let r = Response::ok(vec![7u8; 100], "application/octet-stream");
+        let wire = r.to_bytes();
+        let head_end = wire.len() - 100;
+        // Incomplete head: more bytes needed.
+        assert_eq!(
+            parse_response_head(&wire[..head_end - 1], Method::Get).unwrap(),
+            None
+        );
+        // Head complete, zero body bytes buffered: fully parsed.
+        let p = parse_response_head(&wire[..head_end], Method::Get)
+            .unwrap()
+            .unwrap();
+        assert_eq!(p.consumed, head_end);
+        assert_eq!(p.message.body_len, 100);
+        assert_eq!(p.message.resp.status, StatusCode::Ok);
+        assert!(p.message.resp.body.is_empty());
+        // HEAD framing: the entity never follows.
+        let ph = parse_response_head(&wire[..head_end], Method::Head)
+            .unwrap()
+            .unwrap();
+        assert_eq!(ph.message.body_len, 0);
     }
 
     #[test]

@@ -102,11 +102,12 @@ impl Response {
             .and_then(|l| Url::parse(l).ok())
     }
 
-    /// Serialize to wire bytes. When `head` is true the body is omitted
-    /// (response to a `HEAD` request) but `Content-Length` still reflects
-    /// the entity size, per RFC 2616.
-    pub fn to_bytes_for(&self, head: bool) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64 + if head { 0 } else { self.body.len() });
+    /// Serialize the status line, headers, and terminating blank line —
+    /// everything that precedes the entity on the wire. Streaming front
+    /// ends write this first, then drain a
+    /// [`StreamBody`](crate::StreamBody) behind it.
+    pub fn head_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
         out.extend_from_slice(self.version.as_str().as_bytes());
         out.push(b' ');
         out.extend_from_slice(self.status.code().to_string().as_bytes());
@@ -115,7 +116,16 @@ impl Response {
         out.extend_from_slice(b"\r\n");
         self.headers.write_to(&mut out);
         out.extend_from_slice(b"\r\n");
+        out
+    }
+
+    /// Serialize to wire bytes. When `head` is true the body is omitted
+    /// (response to a `HEAD` request) but `Content-Length` still reflects
+    /// the entity size, per RFC 2616.
+    pub fn to_bytes_for(&self, head: bool) -> Vec<u8> {
+        let mut out = self.head_bytes();
         if !head && !self.status.bodyless() {
+            out.reserve(self.body.len());
             out.extend_from_slice(&self.body);
         }
         out

@@ -12,6 +12,8 @@ use crate::error::{HttpError, Result};
 pub enum StatusCode {
     /// 200 — the document follows.
     Ok,
+    /// 206 — the requested byte range follows (`Content-Range` present).
+    PartialContent,
     /// 301 — the document migrated; `Location` holds the new URL.
     MovedPermanently,
     /// 304 — co-op revalidation found the copy still fresh.
@@ -20,6 +22,8 @@ pub enum StatusCode {
     BadRequest,
     /// 404 — no such document in the local document graph.
     NotFound,
+    /// 416 — the `Range` header asked for bytes past the entity's end.
+    RangeNotSatisfiable,
     /// 500 — internal failure.
     InternalServerError,
     /// 503 — socket queue overflow; client should back off exponentially.
@@ -33,10 +37,12 @@ impl StatusCode {
     pub fn code(&self) -> u16 {
         match self {
             StatusCode::Ok => 200,
+            StatusCode::PartialContent => 206,
             StatusCode::MovedPermanently => 301,
             StatusCode::NotModified => 304,
             StatusCode::BadRequest => 400,
             StatusCode::NotFound => 404,
+            StatusCode::RangeNotSatisfiable => 416,
             StatusCode::InternalServerError => 500,
             StatusCode::ServiceUnavailable => 503,
             StatusCode::Other(c) => *c,
@@ -47,10 +53,12 @@ impl StatusCode {
     pub fn reason(&self) -> &'static str {
         match self {
             StatusCode::Ok => "OK",
+            StatusCode::PartialContent => "Partial Content",
             StatusCode::MovedPermanently => "Moved Permanently",
             StatusCode::NotModified => "Not Modified",
             StatusCode::BadRequest => "Bad Request",
             StatusCode::NotFound => "Not Found",
+            StatusCode::RangeNotSatisfiable => "Range Not Satisfiable",
             StatusCode::InternalServerError => "Internal Server Error",
             StatusCode::ServiceUnavailable => "Service Unavailable",
             StatusCode::Other(_) => "Unknown",
@@ -64,10 +72,12 @@ impl StatusCode {
         }
         Ok(match code {
             200 => StatusCode::Ok,
+            206 => StatusCode::PartialContent,
             301 => StatusCode::MovedPermanently,
             304 => StatusCode::NotModified,
             400 => StatusCode::BadRequest,
             404 => StatusCode::NotFound,
+            416 => StatusCode::RangeNotSatisfiable,
             500 => StatusCode::InternalServerError,
             503 => StatusCode::ServiceUnavailable,
             other => StatusCode::Other(other),
@@ -111,6 +121,29 @@ mod tests {
         assert_eq!(
             StatusCode::from_code(503).unwrap(),
             StatusCode::ServiceUnavailable
+        );
+    }
+
+    #[test]
+    fn range_codes_normalize() {
+        assert_eq!(
+            StatusCode::from_code(206).unwrap(),
+            StatusCode::PartialContent
+        );
+        assert_eq!(
+            StatusCode::from_code(416).unwrap(),
+            StatusCode::RangeNotSatisfiable
+        );
+        assert!(StatusCode::PartialContent.is_success());
+        assert!(!StatusCode::PartialContent.bodyless());
+        assert!(!StatusCode::RangeNotSatisfiable.is_success());
+        assert_eq!(
+            StatusCode::PartialContent.to_string(),
+            "206 Partial Content"
+        );
+        assert_eq!(
+            StatusCode::RangeNotSatisfiable.to_string(),
+            "416 Range Not Satisfiable"
         );
     }
 

@@ -22,7 +22,8 @@
 
 use dcws_http::parser::MAX_HEAD_BYTES;
 use dcws_http::{
-    parse_request, parse_response, request_wire_len, response_wire_len, Method, Request, Response,
+    parse_request, parse_response, parse_response_head, request_wire_len, response_wire_len,
+    Method, Request, Response, ResponseHead, StreamBody, STREAM_CHUNK,
 };
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -224,6 +225,74 @@ pub fn read_response_buf(
     }
 }
 
+/// Read just the head of one HTTP response through `mb`, leaving the
+/// entity on the wire (any body prefix over-read with the head stays
+/// buffered for [`drain_body_chunks`]). This is the chunked-pull entry
+/// point: the caller learns the status, headers, and framed body length
+/// before a single entity byte has to be held.
+pub fn read_response_head_buf(
+    stream: &mut TcpStream,
+    method: Method,
+    mb: &mut MsgBuf,
+) -> io::Result<ResponseHead> {
+    loop {
+        if let Some(parsed) = parse_response_head(&mb.buf, method)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+        {
+            mb.consume(parsed.consumed);
+            return Ok(parsed.message);
+        }
+        if mb.fill(stream)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before response head",
+            ));
+        }
+    }
+}
+
+/// Drain the `body_len`-byte entity following a head read with
+/// [`read_response_head_buf`]: bytes already over-read into `mb` are
+/// delivered first, then the socket is read in [`STREAM_CHUNK`] pieces,
+/// invoking `on_chunk` for each slice in arrival order. EOF before
+/// `body_len` bytes is an error (`Content-Length` framing broken); an
+/// error from `on_chunk` aborts the drain immediately.
+pub fn drain_body_chunks(
+    stream: &mut TcpStream,
+    mb: &mut MsgBuf,
+    body_len: usize,
+    on_chunk: &mut dyn FnMut(&[u8]) -> io::Result<()>,
+) -> io::Result<()> {
+    let mut remaining = body_len;
+    let buffered = mb.buf.len().min(remaining);
+    if buffered > 0 {
+        on_chunk(&mb.buf[..buffered])?;
+        mb.consume(buffered);
+        remaining -= buffered;
+    }
+    if remaining == 0 {
+        return Ok(());
+    }
+    let mut chunk = vec![0u8; STREAM_CHUNK.min(remaining)];
+    while remaining > 0 {
+        let want = chunk.len().min(remaining);
+        let n = match stream.read(&mut chunk[..want]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ))
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        on_chunk(&chunk[..n])?;
+        remaining -= n;
+    }
+    Ok(())
+}
+
 /// Read one complete HTTP request from a stream (throwaway buffer; for
 /// keep-alive loops use [`read_request_buf`]).
 ///
@@ -253,6 +322,34 @@ pub fn write_response(
 ) -> io::Result<()> {
     let wire = resp.to_bytes_for(request_method == Method::Head);
     stream.write_all(&wire)?;
+    stream.flush()
+}
+
+/// Write a streamed response: the prebuilt head, then the entity drained
+/// from `body` in [`STREAM_CHUNK`]-sized pieces — the first chunk is on
+/// the wire before the rest of the entity has been read from its store.
+/// `HEAD` requests get the head only (the entity is never read).
+///
+/// A source that runs dry early is an error: the `Content-Length`
+/// framing is already committed, so the caller must close the
+/// connection rather than leave the peer waiting for missing bytes.
+pub fn write_streamed_response(
+    stream: &mut TcpStream,
+    resp: &Response,
+    request_method: Method,
+    body: &mut StreamBody,
+) -> io::Result<()> {
+    stream.write_all(&resp.head_bytes())?;
+    if request_method != Method::Head && !resp.status.bodyless() {
+        let mut buf = vec![0u8; STREAM_CHUNK];
+        loop {
+            let n = body.read_chunk(&mut buf)?;
+            if n == 0 {
+                break;
+            }
+            stream.write_all(&buf[..n])?;
+        }
+    }
     stream.flush()
 }
 

@@ -55,7 +55,7 @@ use crate::conn::READ_TIMEOUT;
 use crate::lock::assert_engine_unlocked;
 use crate::server::{Shared, SpillJob, WorkItem};
 use dcws_core::Json;
-use dcws_http::{Method, Response};
+use dcws_http::{Method, Response, StreamBody, STREAM_CHUNK};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::{AsRawFd, RawFd};
@@ -655,6 +655,10 @@ pub(crate) struct Completion {
     pub keep_alive: bool,
     pub started: Instant,
     pub resp: Response,
+    /// Present for large-object serves: the chunked entity producer.
+    /// The reactor parks it on the connection as resumable write-state
+    /// and refills the output buffer as the socket drains.
+    pub stream: Option<StreamBody>,
 }
 
 /// Shared between the spillover workers and the reactor: completed
@@ -708,6 +712,12 @@ const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
 /// (level-triggered polling re-delivers the residue immediately).
 const MAX_READ_PER_EVENT: usize = 256 * 1024;
 
+/// Per-connection cap on streamed-entity bytes refilled per flush, so a
+/// single Sequoia-class transfer cannot monopolize the event loop
+/// (writable interest stays armed while the stream is parked, so the
+/// next readiness turn resumes it).
+const MAX_WRITE_PER_EVENT: usize = 256 * 1024;
+
 /// Retry-After hint on spillover-full 503s (matches the front-end drop).
 const RETRY_AFTER_SECS: u32 = 1;
 
@@ -718,6 +728,11 @@ struct ClientConn {
     /// Pending response bytes not yet written (`sent` = flushed prefix).
     out: Vec<u8>,
     sent: usize,
+    /// In-progress streamed entity: refilled into `out` chunk by chunk
+    /// as the socket drains, so a 2.8 MB serve never occupies more than
+    /// one chunk of reactor memory. While present, reads are paused and
+    /// pipelined requests stay buffered — responses keep request order.
+    stream_body: Option<StreamBody>,
     /// A spillover job is in flight; reads are paused (interest drops to
     /// hangup-only, giving natural TCP backpressure) and further
     /// pipelined requests stay buffered until the response returns.
@@ -943,6 +958,7 @@ impl Reactor {
             mb: crate::conn::MsgBuf::new(),
             out: Vec::new(),
             sent: 0,
+            stream_body: None,
             awaiting_spill: false,
             close_after_flush: false,
             reg_readable: true,
@@ -1017,9 +1033,10 @@ impl Reactor {
         let mut read_bytes = 0usize;
         loop {
             let conn = self.conns[idx].as_mut().unwrap();
-            if conn.awaiting_spill || conn.close_after_flush {
+            if conn.awaiting_spill || conn.close_after_flush || conn.stream_body.is_some() {
                 // Paused: leave bytes in the kernel buffer (TCP
-                // backpressure) until the spill completes.
+                // backpressure) until the spill completes or the
+                // in-progress streamed response finishes.
                 return true;
             }
             match conn.mb.fill_from(&mut conn.stream) {
@@ -1061,7 +1078,7 @@ impl Reactor {
     fn process_buffered(&mut self, idx: usize) -> bool {
         loop {
             let conn = self.conns[idx].as_mut().unwrap();
-            if conn.awaiting_spill || conn.close_after_flush {
+            if conn.awaiting_spill || conn.close_after_flush || conn.stream_body.is_some() {
                 return true;
             }
             match conn.mb.try_extract_request() {
@@ -1107,7 +1124,7 @@ impl Reactor {
                 .reactor
                 .inline_served
                 .fetch_add(1, Ordering::Relaxed);
-            return self.queue_response(idx, resp, method, keep_alive, started);
+            return self.queue_response(idx, resp, None, method, keep_alive, started);
         }
         let token = pack_token(idx, self.conns[idx].as_ref().unwrap().gen);
         let job = SpillJob {
@@ -1136,18 +1153,20 @@ impl Reactor {
                     .fetch_add(1, Ordering::Relaxed);
                 self.shared.dropped.fetch_add(1, Ordering::Relaxed);
                 let resp = Response::service_unavailable(RETRY_AFTER_SECS);
-                self.queue_response(idx, resp, method, keep_alive, started)
+                self.queue_response(idx, resp, None, method, keep_alive, started)
             }
         }
     }
 
     /// Serialize `resp` onto the connection's output buffer and flush as
-    /// far as the socket allows. Returns `false` if the connection was
-    /// closed.
+    /// far as the socket allows. A streamed entity (`stream`) parks on
+    /// the connection and is refilled chunk by chunk as the socket
+    /// drains. Returns `false` if the connection was closed.
     fn queue_response(
         &mut self,
         idx: usize,
         mut resp: Response,
+        stream: Option<StreamBody>,
         method: Method,
         keep_alive: bool,
         started: Instant,
@@ -1160,8 +1179,17 @@ impl Reactor {
             resp = resp.with_header("Connection", "close");
         }
         let conn = self.conns[idx].as_mut().unwrap();
-        conn.out
-            .extend_from_slice(&resp.to_bytes_for(method == Method::Head));
+        let head_only = method == Method::Head;
+        match stream {
+            Some(body) if !head_only && !resp.status.bodyless() => {
+                // Head now, entity incrementally: the first chunk leaves
+                // on this flush, the rest as the socket drains.
+                conn.out.extend_from_slice(&resp.head_bytes());
+                conn.stream_body = Some(body);
+            }
+            // HEAD (or a bodyless status): the entity is never read.
+            _ => conn.out.extend_from_slice(&resp.to_bytes_for(head_only)),
+        }
         if !keep_alive || closing {
             conn.close_after_flush = true;
         }
@@ -1175,46 +1203,97 @@ impl Reactor {
         self.conns[idx].is_some()
     }
 
-    /// Write pending output until done or WouldBlock. Returns `false` if
-    /// the connection was closed.
+    /// Write pending output until done or WouldBlock, refilling from any
+    /// parked streamed entity (bounded per call, so one large transfer
+    /// cannot monopolize the loop). Returns `false` if the connection
+    /// was closed.
     fn flush(&mut self, idx: usize) -> bool {
-        let conn = self.conns[idx].as_mut().unwrap();
-        while conn.sent < conn.out.len() {
-            match conn.stream.write(&conn.out[conn.sent..]) {
-                Ok(0) => {
-                    self.close_conn(idx);
-                    return false;
-                }
-                Ok(n) => {
-                    conn.sent += n;
-                    conn.last_activity = Instant::now();
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    self.close_conn(idx);
-                    return false;
+        let mut refilled = 0usize;
+        let mut stream_finished = false;
+        loop {
+            let conn = self.conns[idx].as_mut().unwrap();
+            while conn.sent < conn.out.len() {
+                match conn.stream.write(&conn.out[conn.sent..]) {
+                    Ok(0) => {
+                        self.close_conn(idx);
+                        return false;
+                    }
+                    Ok(n) => {
+                        conn.sent += n;
+                        conn.last_activity = Instant::now();
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.close_conn(idx);
+                        return false;
+                    }
                 }
             }
+            conn.out.clear();
+            conn.sent = 0;
+            if let Some(body) = conn.stream_body.as_mut() {
+                if refilled >= MAX_WRITE_PER_EVENT {
+                    // Fairness cap: writable interest stays armed (the
+                    // stream is still parked), so level-triggered
+                    // readiness resumes this transfer next turn.
+                    return true;
+                }
+                // Batch chunks up to the per-event budget before
+                // writing, so the write syscalls below cover the whole
+                // refill instead of one 64 KiB piece each.
+                let mut chunk = vec![0u8; STREAM_CHUNK];
+                loop {
+                    match body.read_chunk(&mut chunk) {
+                        Ok(0) => {
+                            conn.stream_body = None;
+                            stream_finished = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            refilled += n;
+                            conn.out.extend_from_slice(&chunk[..n]);
+                            if refilled >= MAX_WRITE_PER_EVENT {
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            // The Content-Length framing is already on
+                            // the wire; a dry source is unrecoverable.
+                            self.close_conn(idx);
+                            return false;
+                        }
+                    }
+                }
+                if conn.sent < conn.out.len() {
+                    continue;
+                }
+            }
+            if conn.close_after_flush {
+                self.close_conn(idx);
+                return false;
+            }
+            break;
         }
-        conn.out.clear();
-        conn.sent = 0;
-        if conn.close_after_flush {
-            self.close_conn(idx);
-            return false;
+        if stream_finished {
+            // Reads were paused while the entity streamed; pipelined
+            // requests may already sit parsed in the buffer — serve
+            // them now (a readable event won't fire for them).
+            return self.process_buffered(idx);
         }
         true
     }
 
     /// Reconcile the poller's interest set with the connection's state:
-    /// readable unless paused for spillover/close, writable while output
-    /// is pending.
+    /// readable unless paused for spillover/stream/close, writable while
+    /// output (buffered or streamed) is pending.
     fn update_interest(&mut self, idx: usize) {
         let Some(conn) = self.conns[idx].as_mut() else {
             return;
         };
-        let want_read = !conn.awaiting_spill && !conn.close_after_flush;
-        let want_write = conn.sent < conn.out.len();
+        let want_read =
+            !conn.awaiting_spill && !conn.close_after_flush && conn.stream_body.is_none();
+        let want_write = conn.sent < conn.out.len() || conn.stream_body.is_some();
         if want_read == conn.reg_readable && want_write == conn.reg_writable {
             return;
         }
@@ -1255,7 +1334,7 @@ impl Reactor {
                 continue;
             };
             self.conns[idx].as_mut().unwrap().awaiting_spill = false;
-            if !self.queue_response(idx, c.resp, c.method, c.keep_alive, c.started) {
+            if !self.queue_response(idx, c.resp, c.stream, c.method, c.keep_alive, c.started) {
                 continue;
             }
             // Reads were paused while the job ran; pipelined requests
@@ -1278,7 +1357,7 @@ impl Reactor {
                 continue; // the worker owns the clock here
             }
             let idle = now.duration_since(conn.last_activity);
-            if conn.mb.mid_message() || conn.sent < conn.out.len() {
+            if conn.mb.mid_message() || conn.sent < conn.out.len() || conn.stream_body.is_some() {
                 // Mid-request (slow loris) or mid-response (dead
                 // reader): same budget a blocking worker's socket
                 // timeout would have enforced.

@@ -2,7 +2,9 @@
 //! paper's §5.1 threaded front end, a worker pool, a pinger thread, and
 //! the `/dcws/status` introspection endpoint.
 
-use crate::conn::{read_request_buf, write_response, MsgBuf, READ_TIMEOUT};
+use crate::conn::{
+    read_request_buf, write_response, write_streamed_response, MsgBuf, READ_TIMEOUT,
+};
 use crate::faults::FaultInjector;
 use crate::lock::EngineLock;
 use crate::metrics::TransportMetrics;
@@ -14,7 +16,7 @@ use crate::transport::{OpClass, Transport};
 use dcws_cache::SingleFlight;
 use dcws_core::{Json, Outcome, ReadPath, ServerEngine};
 use dcws_graph::ServerId;
-use dcws_http::{is_reserved_path, Method, Request, Response, StatusCode, STATUS_PATH};
+use dcws_http::{is_reserved_path, Method, Request, Response, StatusCode, StreamBody, STATUS_PATH};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -693,11 +695,16 @@ fn serve_connection(
                 .get("Connection")
                 .is_some_and(|c| c.eq_ignore_ascii_case("close"));
         let method = req.method;
-        let mut resp = serve_one(shared, req)?;
+        let (mut resp, streamed) = serve_one(shared, req)?;
         if closing {
             resp = resp.with_header("Connection", "close");
         }
-        write_response(stream, &resp, method)?;
+        match streamed {
+            // Large object: head first, then chunks straight from the
+            // store — the worker never holds the whole entity.
+            Some(mut body) => write_streamed_response(stream, &resp, method, &mut body)?,
+            None => write_response(stream, &resp, method)?,
+        }
         shared.metrics.service_time.record(started.elapsed());
         if !keep_alive {
             return Ok(());
@@ -711,31 +718,38 @@ fn serve_connection(
 /// reactor owns all client I/O.
 fn serve_spill(shared: &Arc<Shared>, bridge: &SpillBridge, job: SpillJob) {
     let method = job.req.method;
-    let resp = serve_one(shared, job.req)
-        .unwrap_or_else(|_| Response::new(StatusCode::InternalServerError));
+    let (resp, stream) = serve_one(shared, job.req)
+        .unwrap_or_else(|_| (Response::new(StatusCode::InternalServerError), None));
     bridge.push(Completion {
         token: job.token,
         method,
         keep_alive: job.keep_alive,
         started: job.started,
         resp,
+        stream,
     });
 }
 
-/// Produce the response for one request, performing any lazy pull.
-pub(crate) fn serve_one(shared: &Arc<Shared>, req: Request) -> std::io::Result<Response> {
+/// Produce the response for one request, performing any lazy pull. A
+/// large-object serve returns the finished head plus the chunked entity
+/// producer; the front end owns writing it (the threaded workers write
+/// chunks directly, the reactor parks it as resumable write-state).
+pub(crate) fn serve_one(
+    shared: &Arc<Shared>,
+    req: Request,
+) -> std::io::Result<(Response, Option<StreamBody>)> {
     // Reserved introspection namespace: answered by the transport, never
     // entering the engine's document path.
     if let Ok(url) = req.url() {
         if is_reserved_path(url.path()) {
-            return Ok(shared.reserved_response(url.path()));
+            return Ok((shared.reserved_response(url.path()), None));
         }
     }
     // Common case first: a primed home document, prebuilt 301, or warm
     // co-op copy is answered on the concurrent read path — no engine
     // lock taken at all.
     if let Some(resp) = shared.read.try_serve(&req, shared.now_ms()) {
-        return Ok(resp);
+        return Ok((resp, None));
     }
     // Two attempts: a co-op miss performs (or joins) the lazy pull, then
     // retries the request against the now-warm cache.
@@ -743,14 +757,15 @@ pub(crate) fn serve_one(shared: &Arc<Shared>, req: Request) -> std::io::Result<R
         let now = shared.now_ms();
         let outcome = shared.engine.lock().handle_request(&req, now);
         let (home, path) = match outcome {
-            Outcome::Response(r) => return Ok(r),
+            Outcome::Response(r) => return Ok((r, None)),
+            Outcome::Stream { resp, body } => return Ok((resp, Some(body))),
             Outcome::FetchNeeded { home, path } => (home, path),
         };
         if attempt > 0 {
             // The pull landed but the copy is already gone (evicted under
             // pressure, or a concurrent request consumed a staged
             // oversize body): give up rather than pull in a loop.
-            return Ok(Response::new(StatusCode::InternalServerError));
+            return Ok((Response::new(StatusCode::InternalServerError), None));
         }
         // Lazy physical migration (§4.2), coalesced: concurrent misses
         // for the same document ride one pull (the flight key carries
@@ -790,15 +805,15 @@ pub(crate) fn serve_one(shared: &Arc<Shared>, req: Request) -> std::io::Result<R
         }
         match flight.into_inner() {
             PullResult::Stored => continue,
-            PullResult::Rejected(resp) => return Ok(resp),
+            PullResult::Rejected(resp) => return Ok((resp, None)),
             PullResult::Unreachable => {
                 // Degradation ladder (docs/RESILIENCE.md): a retained copy
                 // — even a stale or negative one — beats an error page.
                 let now = shared.now_ms();
                 if let Some(resp) = shared.engine.lock().serve_stale(&home, &path, now) {
-                    return Ok(resp);
+                    return Ok((resp, None));
                 }
-                return Ok(Response::service_unavailable(RETRY_AFTER_SECS));
+                return Ok((Response::service_unavailable(RETRY_AFTER_SECS), None));
             }
         }
     }

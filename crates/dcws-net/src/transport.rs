@@ -31,13 +31,13 @@
 //! the lock's critical path.
 
 use crate::client::fetch_from_timeout;
-use crate::conn::{read_response_buf, write_request};
+use crate::conn::{drain_body_chunks, read_response_buf, read_response_head_buf, write_request};
 use crate::faults::{Decision, FaultInjector};
 use crate::lock::assert_engine_unlocked;
 use crate::pool::{ConnPool, Evict, PoolConfig, PooledConn};
 use crate::retry::RetryPolicy;
 use dcws_graph::ServerId;
-use dcws_http::{checksum_matches, Request, Response, Version, CHECKSUM_HEADER};
+use dcws_http::{checksum_matches, Request, Response, RollingChecksum, Version, CHECKSUM_HEADER};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -237,7 +237,15 @@ impl Transport {
         }
         let conn = self.pool.checkout(peer, timeout)?;
         let was_reused = conn.reused;
-        match self.exchange(peer, conn, req, &decision) {
+        let streamed = class == OpClass::Pull;
+        let run = |conn: PooledConn| {
+            if streamed {
+                self.exchange_streamed(peer, conn, req, &decision)
+            } else {
+                self.exchange(peer, conn, req, &decision)
+            }
+        };
+        match run(conn) {
             Ok(resp) => Ok(resp),
             Err(ExchangeErr {
                 err,
@@ -251,9 +259,7 @@ impl Transport {
                     self.counters.stale_retries.fetch_add(1, Ordering::Relaxed);
                     self.pool.note_stale_retry(peer);
                     let fresh = self.pool.dial(peer, timeout)?;
-                    return self
-                        .exchange(peer, fresh, req, &decision)
-                        .map_err(|e| e.err);
+                    return run(fresh).map_err(|e| e.err);
                 }
                 Err(err)
             }
@@ -325,6 +331,117 @@ impl Transport {
                 })
             }
         }
+    }
+
+    /// The chunked variant of [`Transport::exchange`], used for pulls:
+    /// the response head is parsed first, then the entity is drained
+    /// from the wire chunk by chunk with the rolling FNV folded in as
+    /// each piece arrives. A transfer that dies mid-body aborts at the
+    /// point of death instead of after buffering, and a digest mismatch
+    /// is detected before a [`Response`] carrying the bytes is ever
+    /// constructed — a corrupt copy cannot escape this function.
+    ///
+    /// Injected faults apply at byte granularity so the observable
+    /// schedule (error kinds, retry charges, counters) is identical to
+    /// the buffered path: a mid-response drop kills the transfer at the
+    /// body midpoint, a garble flips the byte at `body_len / 2` — the
+    /// same byte [`Transport::finish`] flips.
+    fn exchange_streamed(
+        &self,
+        peer: &ServerId,
+        mut conn: PooledConn,
+        req: &Request,
+        decision: &Decision,
+    ) -> Result<Response, ExchangeErr> {
+        let fail = |err: io::Error, buffered: usize| {
+            // Connection-level death before any response byte is the
+            // stale-reuse signature, exactly as in the buffered path.
+            let stale_candidate = buffered == 0 && is_conn_death(&err);
+            ExchangeErr {
+                err,
+                stale_candidate,
+            }
+        };
+        let head = write_request(&mut conn.stream, req)
+            .and_then(|()| read_response_head_buf(&mut conn.stream, req.method, &mut conn.buf));
+        let head = match head {
+            Ok(h) => h,
+            Err(err) => {
+                let e = fail(err, conn.buf.buffered());
+                self.pool.evict(peer, conn, Evict::Error);
+                return Err(e);
+            }
+        };
+        let body_len = head.body_len;
+        let cut = decision.drop_mid_response.then_some(body_len / 2);
+        let garble_at = (decision.garble && body_len > 0).then_some(body_len / 2);
+        let mut sum = RollingChecksum::new();
+        let mut body: Vec<u8> = Vec::with_capacity(body_len);
+        let drained = drain_body_chunks(&mut conn.stream, &mut conn.buf, body_len, &mut |chunk| {
+            let at = body.len();
+            if cut.is_some_and(|c| at + chunk.len() > c) {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "injected fault: connection closed mid-response",
+                ));
+            }
+            body.extend_from_slice(chunk);
+            if let Some(g) = garble_at {
+                if g >= at && g < body.len() {
+                    body[g] ^= 0x20;
+                }
+            }
+            sum.update(&body[at..]);
+            Ok(())
+        });
+        if let Err(err) = drained {
+            self.pool.evict(peer, conn, Evict::Error);
+            return Err(ExchangeErr {
+                err,
+                stale_candidate: false,
+            });
+        }
+        if decision.drop_mid_response {
+            // Empty-body edge: no chunk ever hit the midpoint cut, but
+            // the drop must still fire (the buffered path discards the
+            // completed exchange the same way).
+            self.pool.evict(peer, conn, Evict::Error);
+            return Err(ExchangeErr {
+                err: io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "injected fault: connection closed mid-response",
+                ),
+                stale_candidate: false,
+            });
+        }
+        if let Some(expect) = head.resp.headers.get(CHECKSUM_HEADER) {
+            if !sum.matches(expect) {
+                // The bytes never become a Response: dropped here,
+                // before any caller could install them.
+                self.counters.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.pool.evict(peer, conn, Evict::Error);
+                return Err(ExchangeErr {
+                    err: io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "inter-server body failed integrity check",
+                    ),
+                    stale_candidate: false,
+                });
+            }
+        }
+        let mut resp = head.resp;
+        resp.body = body.into();
+        let keep = resp.version == Version::Http11
+            && !resp
+                .headers
+                .get("Connection")
+                .is_some_and(|c| c.eq_ignore_ascii_case("close"));
+        if keep {
+            self.pool.checkin(peer, conn);
+        } else {
+            self.pool.evict(peer, conn, Evict::PeerClose);
+        }
+        Ok(resp)
     }
 
     /// Post-exchange response handling shared by the pooled and ping
@@ -526,6 +643,76 @@ mod tests {
         // Untrustworthy streams are never parked.
         assert_eq!(t2.pool().idle_total(), 0);
         assert_eq!(t2.pool().snapshot().evicted_error, 3);
+    }
+
+    #[test]
+    fn large_pull_streams_in_chunks_with_intact_checksum() {
+        // A body several STREAM_CHUNKs long: the pull path reads it in
+        // pieces, folding the rolling FNV in as each chunk arrives.
+        let body: Vec<u8> = (0..300_000u32).map(|i| (i * 31 % 251) as u8).collect();
+        let resp = Response::ok(body.clone(), "application/octet-stream")
+            .with_header(CHECKSUM_HEADER, &body_checksum(&body));
+        let (server, served) = counting_server(resp);
+        let t = Transport::new(fast_policy(), None);
+        let got = t
+            .call(&server, &Request::get("/big"), OpClass::Pull)
+            .unwrap();
+        assert_eq!(got.body, body.as_slice());
+        assert_eq!(served.load(Ordering::Relaxed), 1);
+        // The stream must be left exactly at the message boundary: a
+        // second pull on the same pooled connection still frames.
+        let got2 = t
+            .call(&server, &Request::get("/big"), OpClass::Pull)
+            .unwrap();
+        assert_eq!(got2.body, body.as_slice());
+        assert_eq!(t.pool().snapshot().dials, 1, "chunked reads must pool");
+    }
+
+    #[test]
+    fn streamed_garbled_pull_rejected_before_response_exists() {
+        // Every attempt garbles a mid-body byte; the incremental digest
+        // must reject each transfer without a Response (and thus any
+        // installable copy) ever being built.
+        let body = vec![0xa7u8; 200_000];
+        let resp = Response::ok(body.clone(), "application/octet-stream")
+            .with_header(CHECKSUM_HEADER, &body_checksum(&body));
+        let (server, _) = counting_server(resp);
+        let inj = Arc::new(FaultInjector::new(FaultPlan::new(1).with_garble(1.0)));
+        let t = Transport::new(fast_policy(), Some(inj));
+        let err = t
+            .call(&server, &Request::get("/big"), OpClass::Pull)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(t.snapshot().corrupt, 3);
+        assert_eq!(t.pool().idle_total(), 0, "tainted streams never parked");
+    }
+
+    #[test]
+    fn streamed_drop_matches_buffered_fault_schedule() {
+        // The same seeded plan against the same server content: a
+        // chunked pull and a buffered push must observe identical error
+        // kinds and identical retry accounting — chunking must not
+        // perturb the injected schedule (the chaos-replay contract).
+        let run = |class: OpClass| {
+            let body = vec![0x5au8; 150_000];
+            let resp = Response::ok(body.clone(), "application/octet-stream")
+                .with_header(CHECKSUM_HEADER, &body_checksum(&body));
+            let (server, _) = counting_server(resp);
+            let inj = Arc::new(FaultInjector::new(FaultPlan::new(77).with_drop(1.0)));
+            let t = Transport::new(fast_policy(), Some(inj.clone()));
+            let err = t.call(&server, &Request::get("/big"), class).unwrap_err();
+            (err.kind(), t.snapshot(), inj.snapshot())
+        };
+        let (kind_s, io_s, faults_s) = run(OpClass::Pull);
+        let (kind_b, io_b, faults_b) = run(OpClass::Push);
+        assert_eq!(kind_s, io::ErrorKind::UnexpectedEof);
+        assert_eq!(kind_s, kind_b);
+        assert_eq!(
+            (io_s.attempts, io_s.retries, io_s.giveups),
+            (io_b.attempts, io_b.retries, io_b.giveups)
+        );
+        assert_eq!(faults_s.drops, faults_b.drops);
+        assert_eq!(faults_s.decisions, faults_b.decisions);
     }
 
     #[test]

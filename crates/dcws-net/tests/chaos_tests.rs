@@ -364,6 +364,84 @@ fn garbled_pull_never_installs_corrupt_copy() {
     }
 }
 
+/// Satellite: a mid-body fault injected into a *streamed* pull — a
+/// Sequoia-class body several chunks long, read incrementally with the
+/// rolling FNV — must abort the transfer at the point of death, install
+/// nothing, and retry per the existing ladder. Pinned seed; the
+/// transport-level `streamed_drop_matches_buffered_fault_schedule` test
+/// pins the replay-identical half (chunked vs buffered reads draw the
+/// same fault schedule).
+#[test]
+fn streamed_pull_mid_body_fault_aborts_then_retries_clean() {
+    let ports = reserve_ports(2);
+    let home_id = ServerId::new(format!("127.0.0.1:{}", ports[0]));
+    let coop_id = ServerId::new(format!("127.0.0.1:{}", ports[1]));
+
+    // A large binary document: the pull body spans many STREAM_CHUNKs,
+    // so the injected drop really lands mid-transfer.
+    let big: Vec<u8> = (0..1_500_000u32).map(|i| (i % 251) as u8).collect();
+    let mut home_engine = engine(&home_id, fast_config());
+    home_engine.publish("/sequoia.img", big.clone(), DocKind::Image, false);
+    home_engine.add_peer(coop_id.clone());
+
+    let nodes = spawn_cluster(
+        vec![
+            (home_id.clone(), home_engine),
+            (coop_id.clone(), engine(&coop_id, fast_config())),
+        ],
+        vec![
+            FaultPlan::new(1999),
+            // The co-op's first pull of every document dies mid-body.
+            FaultPlan::new(1999).with_fail_first(1, FirstFaultKind::Drop),
+        ],
+    );
+
+    // Make the big document hot enough to migrate (the pull only
+    // happens for a document the home has actually handed off).
+    for _ in 0..40 {
+        let r = fetch_from(&home_id, &Request::get("/sequoia.img")).unwrap();
+        assert!(r.status.is_success() || r.status.is_redirect());
+    }
+    assert!(
+        wait_for(Duration::from_secs(8), || {
+            let eng = nodes[0].server.engine().lock();
+            eng.stats().migrations >= 1
+                && eng
+                    .ldg()
+                    .get("/sequoia.img")
+                    .map(|e| matches!(e.location, Location::Coop(_)))
+                    .unwrap_or(false)
+        }),
+        "big document never migrated under load"
+    );
+
+    // Ask the co-op for the big document: it holds no copy, so it pulls
+    // from home. Attempt one is cut off mid-body; the retry ladder must
+    // land attempt two and serve the exact payload.
+    let migrate_path = format!("/~migrate/127.0.0.1/{}/sequoia.img", ports[0]);
+    let resp = fetch_from(&coop_id, &Request::get(&migrate_path)).unwrap();
+    assert_eq!(resp.status, StatusCode::Ok, "retry ladder did not recover");
+    assert_eq!(resp.body.len(), big.len(), "truncated body escaped");
+    assert_eq!(resp.body, big.as_slice(), "corrupt body escaped");
+
+    // The drop really fired and the transport absorbed it.
+    let io = nodes[1].server.transport().snapshot();
+    assert!(io.retries >= 1, "no retry recorded: {io:?}");
+    assert!(nodes[1].faults.snapshot().drops >= 1);
+
+    // No corrupt (or partial) copy lingers anywhere: the big object is
+    // over the co-op cache's admission limit, so nothing may have been
+    // installed, and a repeat fetch re-pulls the exact payload again.
+    assert_eq!(nodes[1].server.engine().lock().coop_doc_count(), 0);
+    let again = fetch_from(&coop_id, &Request::get(&migrate_path)).unwrap();
+    assert_eq!(again.status, StatusCode::Ok);
+    assert_eq!(again.body, big.as_slice());
+
+    for n in nodes {
+        n.server.shutdown();
+    }
+}
+
 /// §4.5 crash insurance under a *partition* (both directions blacked
 /// out, so piggybacked load reports can't resurrect the peer): the home
 /// declares the co-op dead and recalls its documents; the isolated

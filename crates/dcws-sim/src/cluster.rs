@@ -495,7 +495,12 @@ impl SimCluster {
         let outcome = srv.engine.handle_request(&req, now_ms);
         let regens = srv.engine.stats().regenerations - regen_before;
         match outcome {
-            Outcome::Response(resp) => {
+            Outcome::Response(_) | Outcome::Stream { .. } => {
+                // The discrete-event model charges CPU per byte either
+                // way, so streamed outcomes collapse to buffered here.
+                let resp = outcome
+                    .into_response()
+                    .expect("response/stream outcome drains to a response");
                 let service = cost.service_us(resp.body.len()) + regens * cost.regen_cpu_us;
                 srv.in_service = Some((resp, origin));
                 srv.busy = true;

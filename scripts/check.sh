@@ -45,13 +45,17 @@ step env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 # the gate; c10kpress --quick holds 1k keep-alive clients against the
 # reactor front end and exits nonzero unless served concurrency beats
 # the worker count with zero accept errors, so an event-loop
-# regression fails here too.
+# regression fails here too; bigpress --quick serves a 2.8 MB corpus
+# streamed vs buffered and exits nonzero unless streamed TTFB beats
+# buffered and the cache admission rule protects the small-doc
+# working set, so a broken streaming path fails the gate.
 if [[ $quick -eq 0 ]]; then
     step env DCWS_BENCH_QUICK=1 cargo run --release -q -p dcws-bench --bin fig6 -- --status-dump
     step env DCWS_BENCH_QUICK=1 cargo run --release -q -p dcws-bench --bin cachepress -- --status-dump
     step cargo run --release -q -p dcws-bench --bin lockpress -- --quick
     step cargo run --release -q -p dcws-bench --bin connpress -- --quick
     step cargo run --release -q -p dcws-bench --bin c10kpress -- --quick
+    step cargo run --release -q -p dcws-bench --bin bigpress -- --quick
     test -s bench_results/fig6.csv
     test -s bench_results/cachepress.csv
     test -s bench_results/lockpress.csv
@@ -60,6 +64,8 @@ if [[ $quick -eq 0 ]]; then
     test -s bench_results/BENCH_connpress.json
     test -s bench_results/c10kpress.csv
     test -s bench_results/BENCH_c10kpress.json
+    test -s bench_results/bigpress.csv
+    test -s bench_results/BENCH_bigpress.json
 fi
 
 echo

@@ -16,6 +16,8 @@
 //! | `lockpress` | throughput vs worker threads (engine-lock contention) |
 //! | `connpress` | pooled keep-alive vs connect-per-request transport sweep |
 //! | `c10kpress` | concurrent keep-alive clients held: reactor vs threaded front end |
+//! | `scalepress` | simulator scale-out proof: 1,000+ servers, 10⁶+ sessions, determinism at scale |
+//! | `scenarios` | seeded scenario suite (flash crowd, diurnal, restarts, co-op failures) + invariant audits |
 //!
 //! Binaries honor `DCWS_BENCH_QUICK=1` for a fast smoke pass (fewer
 //! points, shorter runs) and write machine-readable CSV next to their

@@ -5,18 +5,29 @@
 //! TCP in `dcws-net` — so migrations, hyperlink rewrites, redirects,
 //! piggybacked gossip, pulls, validations, and pings all actually happen;
 //! only wire time and CPU time are modeled.
+//!
+//! # Scale-out structure
+//!
+//! Per-server and per-client state live in flat `Vec` slabs addressed by
+//! index; the hot routing path parses the simulator's `s<idx>` host
+//! naming directly instead of building `ServerId` keys, so steady-state
+//! event handling performs no per-event map allocation (the run loop
+//! carries a debug-build micro-assert, armed by `tests/alloc_probe.rs`).
+//! The few id-keyed structures left — pull parking, the DNS resolver's
+//! peer list — are either cold-path or deterministic-ordered (`BTreeMap`),
+//! which is what makes crash schedules replay byte-identically.
 
-use crate::config::SimConfig;
+use crate::config::{NetModel, SimConfig};
 use crate::event::{Delivery, Event, EventQueue, Origin, Purpose, SimTime};
-use crate::metrics::{Counters, Sample, SimResult};
+use crate::metrics::{Counters, LatencyHist, Sample, SimResult};
 use dcws_baselines::{CentralRouter, RoundRobinDns, Strategy};
-use dcws_core::{EventRecord, MemStore, Outcome, ServerEngine};
+use dcws_core::{EventRecord, MemStore, Outcome, ServerConfig, ServerEngine};
 use dcws_graph::{DocKind, ServerId};
 use dcws_http::{Request, Response, StatusCode, Url};
 use dcws_workloads::{materialize::materialize, PageKind};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, VecDeque};
+use rand::Rng;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Synthetic `from` index for connection-level failures.
 const FROM_NONE: usize = usize::MAX;
@@ -33,8 +44,9 @@ struct ServerSt {
     /// The response being serviced, shipped at `ServiceDone`.
     in_service: Option<(Response, Origin)>,
     nic_free_at: SimTime,
-    /// Requests parked awaiting a lazy pull, by (home, path).
-    parked: HashMap<(ServerId, String), Vec<(Request, Origin)>>,
+    /// Requests parked awaiting a lazy pull, by (home index, path).
+    /// Ordered so crash-time drains replay deterministically.
+    parked: BTreeMap<(usize, String), Vec<(Request, Origin)>>,
     crashed: bool,
     /// 503s issued by the front end.
     drops: u64,
@@ -75,10 +87,28 @@ struct ClientSt {
     current_url: Option<Url>,
     current_anchors: Vec<String>,
     pending_doc: Option<(u64, PendingFetch)>,
-    images_pending: HashMap<u64, PendingFetch>,
+    /// Outstanding image fetches (≤ `helpers` entries); a flat vec beats
+    /// a map at this size and keeps the hot path allocation-light.
+    images_pending: Vec<(u64, PendingFetch)>,
     images_queue: VecDeque<String>,
     next_token: u64,
     backoff_pow: u32,
+}
+
+impl ClientSt {
+    /// The in-flight image fetch for `token`, if any.
+    fn image_mut(&mut self, token: u64) -> Option<&mut PendingFetch> {
+        self.images_pending
+            .iter_mut()
+            .find(|(t, _)| *t == token)
+            .map(|(_, p)| p)
+    }
+
+    /// Remove and return the in-flight image fetch for `token`.
+    fn image_take(&mut self, token: u64) -> Option<PendingFetch> {
+        let pos = self.images_pending.iter().position(|(t, _)| *t == token)?;
+        Some(self.images_pending.remove(pos).1)
+    }
 }
 
 /// The simulated cluster. Construct with [`SimCluster::new`], then call
@@ -89,7 +119,14 @@ pub struct SimCluster {
     now: SimTime,
     servers: Vec<ServerSt>,
     clients: Vec<ClientSt>,
+    /// Cold-path id→index map (peer lookups, DNS results). The hot client
+    /// route parses `s<idx>` hosts directly and never touches this.
     id_to_idx: HashMap<ServerId, usize>,
+    /// Index→id slab, for restarts and control-plane targets.
+    server_ids: Vec<ServerId>,
+    /// The effective per-server engine config (strategy adjustments
+    /// applied), kept for cold restarts.
+    server_config: ServerConfig,
     entry_urls: Vec<Url>,
     dns: Option<RoundRobinDns>,
     router: Option<CentralRouter>,
@@ -97,12 +134,18 @@ pub struct SimCluster {
     router_queue: VecDeque<(Request, Origin)>,
     router_busy: bool,
     switch_free_at: SimTime,
+    /// Active flows under [`NetModel::SharedBandwidth`].
+    switch_flows: u64,
+    switch_peak_flows: u64,
     counters: Counters,
     samples: Vec<Sample>,
     last_counters: Counters,
     last_server_served: Vec<u64>,
     /// Scheduled crashes (ms, server index) from the config.
     crashes: Vec<(u64, usize)>,
+    /// Scheduled cold restarts (ms, server index); see
+    /// [`SimCluster::with_restart_schedule`].
+    restarts: Vec<(u64, usize)>,
     /// Memoized client-side parse results keyed by (final URL, body hash):
     /// clients re-fetch the same served bytes constantly, and parsing is a
     /// pure function of them. Entries are invalidated naturally because a
@@ -121,6 +164,10 @@ pub struct SimCluster {
     latency_us_sum: u64,
     /// Number of latencies in `latency_us_sum`.
     latency_n: u64,
+    /// Log₂-bucketed end-to-end latency distribution (200-completed only).
+    latency: LatencyHist,
+    /// Events handled by the run loop.
+    events: u64,
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -197,7 +244,7 @@ impl SimCluster {
                 busy: false,
                 in_service: None,
                 nic_free_at: 0,
-                parked: HashMap::new(),
+                parked: BTreeMap::new(),
                 crashed: false,
                 drops: 0,
             })
@@ -258,16 +305,28 @@ impl SimCluster {
             _ => None,
         };
 
+        if let Some(starts) = &cfg.client_starts {
+            assert_eq!(starts.len(), cfg.n_clients, "client_starts length");
+        }
+        if let Some(stops) = &cfg.client_stops {
+            assert_eq!(stops.len(), cfg.n_clients, "client_stops length");
+        }
+        if let Some(h) = &cfg.hot_entry {
+            assert!((0.0..=1.0).contains(&h.prob), "hot_entry.prob in [0,1]");
+        }
+
+        // Each client draws from its own named stream off the master seed,
+        // so adding clients (or scenario draws) never perturbs existing ones.
         let clients: Vec<ClientSt> = (0..cfg.n_clients)
             .map(|i| ClientSt {
-                rng: StdRng::seed_from_u64(cfg.seed ^ (0xC11E_0000 + i as u64)),
+                rng: crate::seed::stream(cfg.seed, "client", i as u64),
                 state: CState::NewSession,
                 cache: HashMap::new(),
                 steps_left: 0,
                 current_url: None,
                 current_anchors: Vec::new(),
                 pending_doc: None,
-                images_pending: HashMap::new(),
+                images_pending: Vec::new(),
                 images_queue: VecDeque::new(),
                 next_token: 0,
                 backoff_pow: 0,
@@ -275,24 +334,32 @@ impl SimCluster {
             .collect();
 
         let n = servers.len();
+        // Steady state keeps roughly a few events in flight per client plus
+        // one tick per server; presizing keeps heap growth out of the loop.
+        let queue_cap = (cfg.n_clients * 8 + n * 2 + 64).next_power_of_two();
         SimCluster {
             cfg,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(queue_cap),
             now: 0,
             servers,
             clients,
             id_to_idx,
+            server_ids: ids,
+            server_config,
             entry_urls,
             dns,
             router,
             router_queue: VecDeque::new(),
             router_busy: false,
             switch_free_at: 0,
+            switch_flows: 0,
+            switch_peak_flows: 0,
             counters: Counters::default(),
             samples: Vec::new(),
             last_counters: Counters::default(),
             last_server_served: vec![0; n],
             crashes,
+            restarts: Vec::new(),
             parse_cache: HashMap::new(),
             trace_out: Vec::new(),
             engine_events: Vec::new(),
@@ -300,14 +367,41 @@ impl SimCluster {
             replay_next_token: 0,
             latency_us_sum: 0,
             latency_n: 0,
+            latency: LatencyHist::default(),
+            events: 0,
         }
+    }
+
+    /// Schedule cold restarts `(t_ms, server)`: a crashed server comes back
+    /// with a fresh engine and an empty store (plus the dataset it would
+    /// hold on a cold deploy: the originals on the home, a full copy under
+    /// replicated strategies). Restarting a live server is a no-op, so pair
+    /// each entry with an earlier crash.
+    pub fn with_restart_schedule(mut self, restarts: Vec<(u64, usize)>) -> Self {
+        self.restarts = restarts;
+        self
     }
 
     /// Run to completion and reduce the metrics.
     pub fn run(mut self) -> SimResult {
+        self.run_loop();
+        self.collect()
+    }
+
+    /// Run to completion, then audit quiesced ownership (documents lost,
+    /// multiply owned, GLT staleness) across the surviving servers. The
+    /// scenario invariant tests use this; `run` skips the audit walk.
+    pub fn run_audited(mut self) -> (SimResult, OwnershipAudit) {
+        self.run_loop();
+        let result = self.collect();
+        let audit = self.quiesce_audit();
+        (result, audit)
+    }
+
+    fn run_loop(&mut self) {
         let duration_us = self.cfg.duration_ms * 1_000;
         // Prime the schedule: ticks, samples, staggered client starts,
-        // crashes.
+        // crashes, restarts.
         for s in 0..self.servers.len() {
             self.queue.push(
                 self.cfg.tick_interval_ms * 1_000,
@@ -323,6 +417,12 @@ impl SimCluster {
                 self.queue
                     .push(ev.t_ms * 1_000 + 1, Event::ReplayFire { idx });
             }
+        } else if let Some(starts) = self.cfg.client_starts.clone() {
+            // Scenario-shaped arrivals: each client wakes at its own time.
+            for (c, &t_ms) in starts.iter().enumerate() {
+                self.queue
+                    .push((t_ms * 1_000).max(1), Event::ClientWake { client: c });
+            }
         } else {
             for c in 0..self.clients.len() {
                 // Spread session starts over the first second.
@@ -330,11 +430,28 @@ impl SimCluster {
                 self.queue.push(jitter, Event::ClientWake { client: c });
             }
         }
+        for &(t_ms, s) in &self.restarts {
+            self.queue
+                .push((t_ms * 1_000).max(1), Event::ServerRestart { server: s });
+        }
         let mut crashes = std::mem::take(&mut self.crashes);
         crashes.sort();
         let mut crash_iter = crashes.into_iter().peekable();
 
-        while let Some((t, ev)) = self.queue.pop() {
+        loop {
+            // The queue pop itself must never allocate: it is the one
+            // operation every single event pays for. The probe harness
+            // (tests/alloc_probe.rs) arms this assert.
+            #[cfg(debug_assertions)]
+            let allocs_before = crate::alloc::allocations();
+            let popped = self.queue.pop();
+            #[cfg(debug_assertions)]
+            debug_assert_eq!(
+                crate::alloc::allocations(),
+                allocs_before,
+                "event-queue pop must not allocate"
+            );
+            let Some((t, ev)) = popped else { break };
             // Apply any crash whose time has come before this event.
             while let Some(&(ct_ms, cs)) = crash_iter.peek() {
                 if ct_ms * 1_000 <= t {
@@ -348,9 +465,9 @@ impl SimCluster {
                 break;
             }
             self.now = t;
+            self.events += 1;
             self.handle(ev);
         }
-        self.finish()
     }
 
     fn crash_server(&mut self, s: usize) {
@@ -360,7 +477,12 @@ impl SimCluster {
         srv.in_service = None;
         // Connections die: every queued requester sees a failure.
         let dead: Vec<(Request, Origin)> = srv.queue.drain(..).collect();
-        let parked: Vec<(Request, Origin)> = srv.parked.drain().flat_map(|(_, v)| v).collect();
+        // BTreeMap: drains in key order, so the failure deliveries replay
+        // identically run to run.
+        let parked: Vec<(Request, Origin)> = std::mem::take(&mut srv.parked)
+            .into_values()
+            .flatten()
+            .collect();
         for (_, origin) in dead.into_iter().chain(parked) {
             self.queue.push(
                 self.now + 1,
@@ -373,7 +495,7 @@ impl SimCluster {
         }
     }
 
-    fn finish(mut self) -> SimResult {
+    fn collect(&mut self) -> SimResult {
         let mut regenerations = 0;
         let mut migrations = 0;
         let mut revocations = 0;
@@ -399,7 +521,7 @@ impl SimCluster {
         self.engine_events
             .sort_by_key(|(srv, r)| (r.t_ms, *srv, r.seq));
         SimResult {
-            samples: self.samples,
+            samples: std::mem::take(&mut self.samples),
             totals: self.counters,
             regenerations,
             migrations,
@@ -410,13 +532,18 @@ impl SimCluster {
             } else {
                 self.latency_us_sum as f64 / self.latency_n as f64 / 1_000.0
             },
+            latency: self.latency.clone(),
+            events: self.events,
+            switch_peak_flows: self.switch_peak_flows,
             duration_ms: self.cfg.duration_ms,
             trace: if self.cfg.record_trace {
-                Some(crate::trace::Trace::new(self.trace_out))
+                Some(crate::trace::Trace::new(std::mem::take(
+                    &mut self.trace_out,
+                )))
             } else {
                 None
             },
-            engine_events: self.engine_events,
+            engine_events: std::mem::take(&mut self.engine_events),
         }
     }
 
@@ -437,7 +564,63 @@ impl SimCluster {
             Event::ClientWake { client } => self.client_wake(client),
             Event::Sample => self.sample(),
             Event::ReplayFire { idx } => self.replay_fire(idx),
+            Event::SwitchRelease => {
+                self.switch_flows = self.switch_flows.saturating_sub(1);
+            }
+            Event::ServerRestart { server } => self.restart_server(server),
         }
+    }
+
+    /// Cold-restart a crashed server: fresh engine, empty store, the full
+    /// peer group re-registered, plus the dataset a cold deploy would hold.
+    /// Everything it had migrated or cached before the crash is gone — the
+    /// group must re-converge, which is exactly what the rolling-restart
+    /// scenario measures.
+    fn restart_server(&mut self, s: usize) {
+        if !self.servers[s].crashed {
+            return;
+        }
+        let mut engine = ServerEngine::new(
+            self.server_ids[s].clone(),
+            self.server_config.clone(),
+            Box::new(MemStore::new()),
+        );
+        for id in &self.server_ids {
+            engine.add_peer(id.clone());
+        }
+        if s == 0 || self.cfg.strategy.replicated() {
+            for doc in &self.cfg.dataset.docs {
+                let kind = match doc.kind {
+                    PageKind::Html => DocKind::Html,
+                    PageKind::Image => DocKind::Image,
+                };
+                engine.publish(&doc.name, materialize(doc), kind, doc.entry_point);
+            }
+        }
+        let srv = &mut self.servers[s];
+        // Preserve the dead engine's event tail before replacing it.
+        let tail: Vec<(usize, EventRecord)> = srv
+            .engine
+            .drain_events()
+            .into_iter()
+            .map(|r| (s, r))
+            .collect();
+        self.engine_events.extend(tail);
+        let srv = &mut self.servers[s];
+        srv.engine = engine;
+        srv.queue.clear();
+        srv.busy = false;
+        srv.in_service = None;
+        srv.nic_free_at = self.now;
+        srv.parked.clear();
+        srv.crashed = false;
+        // The fresh engine's served counter restarts at zero; realign the
+        // per-sample CPS baseline or the next sample underflows.
+        self.last_server_served[s] = 0;
+        self.queue.push(
+            self.now + self.cfg.tick_interval_ms * 1_000,
+            Event::ServerTick { server: s },
+        );
     }
 
     // ---------------------------------------------------------------- servers
@@ -511,7 +694,8 @@ impl SimCluster {
                 // Park the request; first parker triggers the pull, later
                 // ones coalesce onto it (the simulator's analogue of the
                 // transport singleflight).
-                let key = (home.clone(), path.clone());
+                let home_idx = self.id_to_idx.get(&home).copied();
+                let key = (home_idx.unwrap_or(FROM_NONE), path.clone());
                 let first = !srv.parked.contains_key(&key);
                 if !first {
                     srv.engine.coop_cache().record_coalesced_wait();
@@ -522,7 +706,6 @@ impl SimCluster {
                     .push(self.now + cost.conn_cpu_us, Event::ServiceDone { server });
                 if first {
                     let pull = srv.engine.make_pull_request(&path, now_ms);
-                    let home_idx = self.id_to_idx.get(&home).copied();
                     let ev = Event::RequestArrive {
                         server: home_idx.unwrap_or(FROM_NONE),
                         req: pull,
@@ -576,8 +759,24 @@ impl SimCluster {
             let tx_start = self.now.max(srv.nic_free_at);
             let tx_end = tx_start + cost.tx_us(bytes);
             srv.nic_free_at = tx_end;
-            let sw_end = tx_end.max(self.switch_free_at) + cost.switch_us(bytes);
-            self.switch_free_at = sw_end;
+            let sw_end = match self.cfg.net_model {
+                NetModel::ConstantBandwidth => {
+                    // One aggregate pipe: transfers serialize at full rate.
+                    let e = tx_end.max(self.switch_free_at) + cost.switch_us(bytes);
+                    self.switch_free_at = e;
+                    e
+                }
+                NetModel::SharedBandwidth => {
+                    // Fair share, snapshotted at admission: with k flows in
+                    // flight this one runs at capacity/k for its whole
+                    // transfer. SwitchRelease returns the share.
+                    self.switch_flows += 1;
+                    self.switch_peak_flows = self.switch_peak_flows.max(self.switch_flows);
+                    let e = tx_end + cost.switch_us(bytes) * self.switch_flows;
+                    self.queue.push(e, Event::SwitchRelease);
+                    e
+                }
+            };
             self.queue.push(
                 sw_end + cost.latency_us,
                 Event::Deliver {
@@ -759,7 +958,8 @@ impl SimCluster {
         let now_ms = self.now / 1_000;
         match purpose {
             Purpose::Pull { home, path } => {
-                let key = (home.clone(), path.clone());
+                let home_idx = self.id_to_idx.get(&home).copied().unwrap_or(FROM_NONE);
+                let key = (home_idx, path.clone());
                 let parked = self.servers[server].parked.remove(&key).unwrap_or_default();
                 let ok = match &delivery {
                     Delivery::Response(resp) if resp.status == StatusCode::Ok => self.servers
@@ -832,13 +1032,23 @@ impl SimCluster {
 
     // ---------------------------------------------------------------- clients
 
+    /// Resolve a simulator host name (`s<idx>`, port 80) to a server slab
+    /// index without building a `ServerId` — this sits on every client
+    /// request, and is what keeps routing allocation-free.
+    fn host_to_idx(&self, host: &str, port: u16) -> Option<usize> {
+        if port != 80 {
+            return None;
+        }
+        let idx: usize = host.strip_prefix('s')?.parse().ok()?;
+        (idx < self.servers.len()).then_some(idx)
+    }
+
     /// Route a client request for `url` to a server index per strategy.
     fn route(&mut self, client: usize, url: &Url) -> Option<usize> {
         match &self.cfg.strategy {
             Strategy::Dcws => {
                 let host = url.host()?;
-                let sid = ServerId::new(format!("{host}:{}", url.port()));
-                self.id_to_idx.get(&sid).copied()
+                self.host_to_idx(host, url.port())
             }
             Strategy::Single => Some(0),
             Strategy::RoundRobinDns { .. } => {
@@ -894,10 +1104,26 @@ impl SimCluster {
     fn client_wake(&mut self, client: usize) {
         match self.clients[client].state {
             CState::NewSession => {
+                if let Some(stops) = &self.cfg.client_stops {
+                    // Retired client: the session that would start now never
+                    // does (diurnal ramp-down). No further wakes.
+                    if self.now / 1_000 >= stops[client] {
+                        return;
+                    }
+                }
+                let hot = match &self.cfg.hot_entry {
+                    Some(h) if self.now / 1_000 >= h.from_ms && h.entry < self.entry_urls.len() => {
+                        Some(h.clone())
+                    }
+                    _ => None,
+                };
                 let c = &mut self.clients[client];
                 c.cache.clear();
                 c.steps_left = c.rng.gen_range(1..=self.cfg.client.max_steps);
-                let e = c.rng.gen_range(0..self.entry_urls.len());
+                let e = match hot {
+                    Some(h) if c.rng.gen_bool(h.prob) => h.entry,
+                    _ => c.rng.gen_range(0..self.entry_urls.len()),
+                };
                 c.current_url = Some(self.entry_urls[e].clone());
                 c.current_anchors.clear();
                 c.state = CState::IssueDoc;
@@ -960,14 +1186,14 @@ impl SimCluster {
             let Ok(url) = Url::parse(&next) else { continue };
             let token = c.next_token;
             c.next_token += 1;
-            c.images_pending.insert(
+            c.images_pending.push((
                 token,
                 PendingFetch {
                     url: url.clone(),
                     redirects_left: self.cfg.client.max_redirects,
                     issued_at: self.now,
                 },
-            );
+            ));
             self.send_client_request(client, &url, token);
         }
         let c = &mut self.clients[client];
@@ -1025,7 +1251,11 @@ impl SimCluster {
             .is_some_and(|(t, _)| *t == token);
         if is_doc {
             self.client_doc_response(client, token, delivery);
-        } else if self.clients[client].images_pending.contains_key(&token) {
+        } else if self.clients[client]
+            .images_pending
+            .iter()
+            .any(|(t, _)| *t == token)
+        {
             self.client_image_response(client, token, delivery);
         }
         // else: stale token (e.g. response after a crash reset) — drop.
@@ -1098,8 +1328,10 @@ impl SimCluster {
                 let c = &mut self.clients[client];
                 c.backoff_pow = 0;
                 let (_, pending) = c.pending_doc.take().expect("doc response has pending");
-                self.latency_us_sum += self.now.saturating_sub(pending.issued_at);
+                let delta = self.now.saturating_sub(pending.issued_at);
+                self.latency_us_sum += delta;
                 self.latency_n += 1;
+                self.latency.record_us(delta);
                 let final_url = pending.url;
                 let requested = c.current_url.clone().map(|u| u.to_string());
                 let is_html = resp
@@ -1192,7 +1424,7 @@ impl SimCluster {
             Delivery::Failed => {
                 // Connection refused: skip this image entirely.
                 self.counters.failures += 1;
-                self.clients[client].images_pending.remove(&token);
+                let _ = self.clients[client].image_take(token);
                 self.client_launch_images(client);
                 return;
             }
@@ -1207,8 +1439,7 @@ impl SimCluster {
                 self.counters.redirects += 1;
                 if std::env::var("DCWS_TRACE_REDIR").is_ok() {
                     let from = self.clients[client]
-                        .images_pending
-                        .get(&token)
+                        .image_mut(token)
                         .map(|p| p.url.to_string());
                     eprintln!(
                         "IMG-REDIR t={} client={} from={:?} loc={:?}",
@@ -1219,9 +1450,9 @@ impl SimCluster {
                     );
                 }
                 let c = &mut self.clients[client];
-                let pending = c.images_pending.get_mut(&token).expect("image pending");
+                let pending = c.image_mut(token).expect("image pending");
                 if pending.redirects_left == 0 {
-                    c.images_pending.remove(&token);
+                    let _ = c.image_take(token);
                     self.client_launch_images(client);
                     return;
                 }
@@ -1232,7 +1463,7 @@ impl SimCluster {
                         self.send_client_request(client, &loc, token);
                     }
                     _ => {
-                        c.images_pending.remove(&token);
+                        let _ = c.image_take(token);
                         self.client_launch_images(client);
                     }
                 }
@@ -1242,9 +1473,11 @@ impl SimCluster {
                 self.counters.bytes += resp.body.len() as u64;
                 let c = &mut self.clients[client];
                 c.backoff_pow = 0;
-                if let Some(p) = c.images_pending.remove(&token) {
-                    self.latency_us_sum += self.now.saturating_sub(p.issued_at);
+                if let Some(p) = c.image_take(token) {
+                    let delta = self.now.saturating_sub(p.issued_at);
+                    self.latency_us_sum += delta;
                     self.latency_n += 1;
+                    self.latency.record_us(delta);
                     let c = &mut self.clients[client];
                     c.cache.insert(p.url.to_string(), CacheEntry::Other);
                 }
@@ -1252,7 +1485,7 @@ impl SimCluster {
             }
             _ => {
                 self.counters.failures += 1;
-                self.clients[client].images_pending.remove(&token);
+                let _ = self.clients[client].image_take(token);
                 self.client_launch_images(client);
             }
         }
@@ -1262,7 +1495,7 @@ impl SimCluster {
         // Push the image back on the queue; the helper slot frees up and a
         // back-off wake relaunches if nothing else is in flight.
         let c = &mut self.clients[client];
-        if let Some(p) = c.images_pending.remove(&token) {
+        if let Some(p) = c.image_take(token) {
             c.images_queue.push_back(p.url.to_string());
         }
         let pow = c.backoff_pow;
@@ -1317,6 +1550,140 @@ impl SimCluster {
     /// Total front-end 503 drops across servers (test/diagnostic access).
     pub fn total_server_drops(&self) -> u64 {
         self.servers.iter().map(|s| s.drops).sum()
+    }
+
+    // ------------------------------------------------------------------ audit
+
+    /// Post-run ownership audit (the chaos-suite invariants, evaluated
+    /// in-process). Probes mutate engine stats, so this runs only after
+    /// [`SimCluster::collect`] has reduced the metrics.
+    fn quiesce_audit(&mut self) -> OwnershipAudit {
+        let now_ms = self.now / 1_000;
+        let n = self.servers.len();
+        let names: Vec<String> = self
+            .cfg
+            .dataset
+            .docs
+            .iter()
+            .map(|d| d.name.clone())
+            .collect();
+        let mut lost = Vec::new();
+        let mut multi_owner = Vec::new();
+        // Replicated strategies have no ownership protocol to audit: every
+        // server holds a full copy by construction.
+        if !self.cfg.strategy.replicated() {
+            for name in &names {
+                // Single owner: exactly one live LDG claims the name (the
+                // plain URL is always answered — directly or via 301 — by
+                // the one server whose LDG holds it).
+                let claimants = (0..n)
+                    .filter(|&i| {
+                        !self.servers[i].crashed && self.servers[i].engine.ldg().contains(name)
+                    })
+                    .count();
+                if claimants > 1 {
+                    multi_owner.push(name.clone());
+                }
+                if !self.doc_reachable(name, now_ms) {
+                    lost.push(name.clone());
+                }
+            }
+        }
+        // GLT convergence: no live server considers another live server
+        // stale once the pinger has had a few periods to re-hear everyone.
+        let window_ms = 6 * self
+            .server_config
+            .pinger_interval_ms
+            .max(self.server_config.stat_interval_ms);
+        let live: Vec<bool> = self.servers.iter().map(|s| !s.crashed).collect();
+        let mut glt_stale = Vec::new();
+        for i in 0..n {
+            if !live[i] {
+                continue;
+            }
+            let has_stale_live_peer = self.servers[i]
+                .engine
+                .glt()
+                .stale_peers(now_ms, window_ms)
+                .into_iter()
+                .any(|p| self.id_to_idx.get(&p).is_some_and(|&j| live[j]));
+            if has_stale_live_peer {
+                glt_stale.push(i);
+            }
+        }
+        OwnershipAudit {
+            docs: names.len(),
+            lost,
+            multi_owner,
+            glt_stale,
+        }
+    }
+
+    /// Follow the 301 chain for `name` from its home (server 0); true if a
+    /// live server answers 200, or a lazy-pull `FetchNeeded` whose home is
+    /// alive (the copy is one pull away — not lost).
+    fn doc_reachable(&mut self, name: &str, now_ms: u64) -> bool {
+        let mut target = 0usize;
+        let mut path = name.to_string();
+        for _ in 0..8 {
+            if self.servers[target].crashed {
+                return false;
+            }
+            let req = Request::get(&path);
+            match self.servers[target].engine.handle_request(&req, now_ms) {
+                Outcome::FetchNeeded { home, .. } => {
+                    return self
+                        .id_to_idx
+                        .get(&home)
+                        .is_some_and(|&h| !self.servers[h].crashed);
+                }
+                out => {
+                    let Some(resp) = out.into_response() else {
+                        return false;
+                    };
+                    match resp.status {
+                        StatusCode::Ok => return true,
+                        StatusCode::MovedPermanently => {
+                            let Some(loc) = resp.location() else {
+                                return false;
+                            };
+                            let Some(idx) =
+                                loc.host().and_then(|h| self.host_to_idx(h, loc.port()))
+                            else {
+                                return false;
+                            };
+                            target = idx;
+                            path = loc.path().to_string();
+                        }
+                        _ => return false,
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// What [`SimCluster::run_audited`] found at quiesce: the chaos-suite
+/// invariants (no document lost, a single owner per name) plus GLT
+/// convergence, checked across the surviving servers.
+#[derive(Debug, Clone)]
+pub struct OwnershipAudit {
+    /// Documents in the dataset.
+    pub docs: usize,
+    /// Names no live server can produce (200 or recoverable pull) within a
+    /// bounded redirect chain from the home.
+    pub lost: Vec<String>,
+    /// Names claimed by more than one live server's LDG.
+    pub multi_owner: Vec<String>,
+    /// Live servers whose GLT still lists another *live* server as stale.
+    pub glt_stale: Vec<usize>,
+}
+
+impl OwnershipAudit {
+    /// All invariants hold.
+    pub fn clean(&self) -> bool {
+        self.lost.is_empty() && self.multi_owner.is_empty() && self.glt_stale.is_empty()
     }
 }
 

@@ -6,6 +6,37 @@ use dcws_baselines::Strategy;
 use dcws_core::ServerConfig;
 use dcws_workloads::Dataset;
 
+/// How the cluster's switch fabric is modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetModel {
+    /// The §5.2 testbed model: every transfer serializes through one
+    /// aggregate pipe at the switch's full rate. Cheap and adequate while
+    /// total offered load sits well under the aggregate capacity.
+    #[default]
+    ConstantBandwidth,
+    /// Fair-share contention: concurrent flows divide the aggregate
+    /// capacity, so a transfer admitted while `k-1` others are in flight
+    /// runs at `capacity / k`. The share is snapshotted at admission
+    /// (a deterministic O(1) approximation of processor sharing — flows
+    /// admitted later do not retroactively slow earlier ones), which
+    /// models the switch as a finite shared resource rather than an
+    /// infinite pipe.
+    SharedBandwidth,
+}
+
+/// Flash-crowd style entry-point skew: from `from_ms` on, each new
+/// session picks entry point `entry` with probability `prob` instead of
+/// drawing uniformly (the remaining `1-prob` stays uniform).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotEntry {
+    /// Virtual time (ms) at which the skew switches on.
+    pub from_ms: u64,
+    /// Index into the dataset's entry points.
+    pub entry: usize,
+    /// Probability a new session targets the hot entry; must be in `[0,1]`.
+    pub prob: f64,
+}
+
 /// Client-benchmark parameters (Algorithm 2, Figure 5).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClientModel {
@@ -67,8 +98,22 @@ pub struct SimConfig {
     pub sample_interval_ms: u64,
     /// How often each server's control plane runs (drives engine timers).
     pub tick_interval_ms: u64,
-    /// Master RNG seed; everything derives from it.
+    /// Master RNG seed; every component stream derives from it (see
+    /// [`crate::seed`]).
     pub seed: u64,
+    /// Switch fabric model (see [`NetModel`]).
+    pub net_model: NetModel,
+    /// Per-client first-wake times, ms. `None` keeps the default behavior
+    /// of staggering session starts over the first second. Scenarios use
+    /// this for load shapes: flash-crowd surges, diurnal ramps.
+    /// When `Some`, the length must equal `n_clients`.
+    pub client_starts: Option<Vec<u64>>,
+    /// Per-client retirement times, ms: a client whose next session would
+    /// start at or after its stop time goes dormant instead (diurnal
+    /// ramp-down). When `Some`, the length must equal `n_clients`.
+    pub client_stops: Option<Vec<u64>>,
+    /// Entry-point skew for flash-crowd scenarios.
+    pub hot_entry: Option<HotEntry>,
     /// Record every client request as an access log, returned in
     /// [`crate::SimResult::trace`].
     pub record_trace: bool,
@@ -97,6 +142,21 @@ impl SimConfig {
         self
     }
 
+    /// Quiet the control-plane timers for pure data-plane scale runs: the
+    /// pinger, validation, and remigration intervals are pushed past the
+    /// run's end so a 1,000-server group does not spend the whole run in
+    /// O(N²) ping storms. `scalepress` uses this; scenario runs keep the
+    /// (accelerated) timers because the control plane *is* the scenario.
+    pub fn quiet_control_plane(mut self) -> Self {
+        let beyond = self.duration_ms.saturating_mul(10).max(3_600_000);
+        let c = &mut self.server_config;
+        c.pinger_interval_ms = beyond;
+        c.validation_interval_ms = beyond;
+        c.remigration_interval_ms = beyond;
+        c.coop_migration_interval_ms = beyond;
+        self
+    }
+
     /// A configuration mirroring the paper's setup for `dataset` with the
     /// given cluster and client sizes.
     pub fn paper(dataset: Dataset, n_servers: usize, n_clients: usize) -> Self {
@@ -117,6 +177,10 @@ impl SimConfig {
             sample_interval_ms: 10_000,
             tick_interval_ms: 1_000,
             seed: 42,
+            net_model: NetModel::ConstantBandwidth,
+            client_starts: None,
+            client_stops: None,
+            hot_entry: None,
             record_trace: false,
             replay: None,
         }
@@ -136,5 +200,18 @@ mod tests {
         assert_eq!(c.client.helpers, 4);
         assert_eq!(c.client.max_steps, 25);
         assert_eq!(c.strategy, Strategy::Dcws);
+        assert_eq!(c.net_model, NetModel::ConstantBandwidth);
+        assert!(c.client_starts.is_none());
+        assert!(c.hot_entry.is_none());
+    }
+
+    #[test]
+    fn quiet_control_plane_outlasts_run() {
+        let mut c = SimConfig::paper(Dataset::lod(1), 2, 4);
+        c.duration_ms = 30_000;
+        let c = c.quiet_control_plane();
+        assert!(c.server_config.pinger_interval_ms > c.duration_ms);
+        assert!(c.server_config.validation_interval_ms > c.duration_ms);
+        assert!(c.server_config.coop_migration_interval_ms > c.duration_ms);
     }
 }

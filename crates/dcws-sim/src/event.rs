@@ -1,8 +1,16 @@
 //! The discrete-event core: virtual time and the event queue.
+//!
+//! The queue is a hand-rolled binary min-heap over a flat `Vec`, keyed by
+//! `(virtual time, insertion sequence)`. The explicit sequence number
+//! gives **FIFO tie-breaking** on equal timestamps — the property every
+//! determinism guarantee in this crate rests on — and the flat layout
+//! makes `pop` allocation-free: popping swaps the root with the tail slot
+//! and sifts down in place, never touching the allocator. `push` only
+//! allocates when the backing `Vec` grows, which a steady-state run
+//! amortizes to zero (see `tests/alloc_probe.rs`, which arms the
+//! debug-build micro-assert in the run loop with a counting allocator).
 
 use dcws_http::{Request, Response};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Virtual time in microseconds.
 pub type SimTime = u64;
@@ -111,6 +119,15 @@ pub enum Event {
         /// Index into the replayed trace's events.
         idx: usize,
     },
+    /// One shared-bandwidth switch flow finished; its capacity share is
+    /// returned to the pool (see [`crate::NetModel::SharedBandwidth`]).
+    SwitchRelease,
+    /// A crashed server finishes rebooting and rejoins the group cold
+    /// (rolling-restart scenarios).
+    ServerRestart {
+        /// The server coming back.
+        server: usize,
+    },
 }
 
 struct Scheduled {
@@ -119,31 +136,23 @@ struct Scheduled {
     event: Event,
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl Scheduled {
+    /// Heap ordering key: earliest time first, then insertion order.
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
     }
 }
 
 /// Earliest-first event queue with deterministic FIFO tie-breaking.
+///
+/// A flat-`Vec` binary min-heap: `pop` is allocation-free, `push`
+/// allocates only on capacity growth. Use [`EventQueue::with_capacity`]
+/// (or [`EventQueue::reserve`]) to pre-size for the expected event
+/// population so the steady-state loop never grows it.
 #[derive(Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Scheduled>,
+    heap: Vec<Scheduled>,
     seq: u64,
 }
 
@@ -151,6 +160,24 @@ impl EventQueue {
     /// An empty queue.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty queue with room for `cap` events before any growth.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: Vec::with_capacity(cap),
+            seq: 0,
+        }
+    }
+
+    /// Ensure room for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Current backing capacity (diagnostics for the allocation probe).
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
     }
 
     /// Schedule `event` at absolute time `at`.
@@ -161,11 +188,21 @@ impl EventQueue {
             seq: self.seq,
             event,
         });
+        self.sift_up(self.heap.len() - 1);
     }
 
-    /// Pop the earliest event, if any.
+    /// Pop the earliest event, if any. Never allocates.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|s| (s.at, s.event))
+        if self.heap.is_empty() {
+            return None;
+        }
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        let s = self.heap.pop().expect("non-empty heap pops");
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        Some((s.at, s.event))
     }
 
     /// Pending event count.
@@ -176,6 +213,38 @@ impl EventQueue {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].key() < self.heap[parent].key() {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let l = 2 * i + 1;
+            let r = l + 1;
+            let mut smallest = i;
+            if l < n && self.heap[l].key() < self.heap[smallest].key() {
+                smallest = l;
+            }
+            if r < n && self.heap[r].key() < self.heap[smallest].key() {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.heap.swap(i, smallest);
+            i = smallest;
+        }
     }
 }
 
@@ -210,12 +279,33 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(50, Event::Sample);
+        q.push(10, Event::Sample);
+        assert_eq!(q.pop().unwrap().0, 10);
+        q.push(5, Event::Sample); // earlier than the remaining 50
+        q.push(50, Event::Sample); // ties with the older 50: FIFO
+        assert_eq!(q.pop().unwrap().0, 5);
+        assert_eq!(q.pop().unwrap().0, 50);
+        assert_eq!(q.pop().unwrap().0, 50);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
     fn len_tracks() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
         q.push(1, Event::Sample);
         assert_eq!(q.len(), 1);
         q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn with_capacity_presizes() {
+        let q = EventQueue::with_capacity(1024);
+        assert!(q.capacity() >= 1024);
         assert!(q.is_empty());
     }
 }

@@ -33,15 +33,19 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod cluster;
 pub mod config;
 pub mod cost;
 pub mod event;
 pub mod metrics;
+pub mod scenario;
+pub mod seed;
 pub mod trace;
 
-pub use cluster::{run_sim, SimCluster};
-pub use config::{ClientModel, SimConfig};
+pub use cluster::{run_sim, OwnershipAudit, SimCluster};
+pub use config::{ClientModel, HotEntry, NetModel, SimConfig};
 pub use cost::CostModel;
-pub use metrics::{Counters, Sample, SimResult};
+pub use metrics::{Counters, LatencyHist, Sample, SimResult};
+pub use scenario::{Scenario, ScenarioKind};
 pub use trace::{Trace, TraceEvent};

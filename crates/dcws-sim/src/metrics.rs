@@ -23,6 +23,61 @@ pub struct Counters {
     pub sessions: u64,
 }
 
+/// Log₂-bucketed client-latency histogram (µs buckets).
+///
+/// Fixed-size and allocation-free, so the hot completion path can record
+/// into it at 10⁶-session scale, and structurally comparable, so two runs
+/// of the same seed must produce identical histograms (the determinism
+/// suite compares them). Bucket `k` holds latencies in `[2^k, 2^{k+1})` µs;
+/// the last bucket absorbs everything ≥ 2^31 µs (~36 min — beyond any
+/// simulated fetch).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyHist {
+    buckets: [u64; 32],
+    count: u64,
+}
+
+impl LatencyHist {
+    /// Record one latency in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        let idx = (63 - us.max(1).leading_zeros() as usize).min(31);
+        self.buckets[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Number of recorded latencies.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as a bucket upper bound, µs.
+    /// Returns 0 when nothing was recorded.
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return (1u64 << (k + 1)) - 1;
+            }
+        }
+        (1u64 << 32) - 1
+    }
+
+    /// Median latency, ms (bucket upper bound).
+    pub fn p50_ms(&self) -> f64 {
+        self.percentile_us(0.50) as f64 / 1_000.0
+    }
+
+    /// 99th-percentile latency, ms (bucket upper bound).
+    pub fn p99_ms(&self) -> f64 {
+        self.percentile_us(0.99) as f64 / 1_000.0
+    }
+}
+
 /// One sampling point (the paper samples every 10 s).
 #[derive(Debug, Clone)]
 pub struct Sample {
@@ -61,6 +116,15 @@ pub struct SimResult {
     /// Mean client-observed fetch latency over completed (200) fetches,
     /// ms — redirect hops and lazy-pull waits included.
     pub mean_response_ms: f64,
+    /// Full latency distribution behind [`SimResult::mean_response_ms`]
+    /// (same population: completed fetches, end to end).
+    pub latency: LatencyHist,
+    /// Number of discrete events the run processed — the denominator of
+    /// the scale headline (events/sec = `events` / wall-clock).
+    pub events: u64,
+    /// Peak number of concurrent switch flows observed (always 0 under
+    /// [`crate::NetModel::ConstantBandwidth`], which serializes).
+    pub switch_peak_flows: u64,
     /// Run length, ms.
     pub duration_ms: u64,
     /// The access log recorded during the run, when
@@ -131,6 +195,33 @@ impl SimResult {
         f.flush()
     }
 
+    /// A compact, integer-only digest of the run for determinism checks:
+    /// two runs of the same `(seed, scenario, net model)` must produce
+    /// byte-identical digests. Floats are deliberately excluded so the
+    /// digest is stable under formatting differences; the event-trace CSV
+    /// comparison covers the fine-grained ordering.
+    pub fn digest(&self) -> String {
+        format!(
+            "completed={} bytes={} drops={} redirects={} failures={} sessions={} \
+             migrations={} revocations={} regenerations={} events={} samples={} \
+             latencies={} p99_us={} engine_events={}",
+            self.totals.completed,
+            self.totals.bytes,
+            self.totals.drops,
+            self.totals.redirects,
+            self.totals.failures,
+            self.totals.sessions,
+            self.migrations,
+            self.revocations,
+            self.regenerations,
+            self.events,
+            self.samples.len(),
+            self.latency.count(),
+            self.latency.percentile_us(0.99),
+            self.engine_events.len(),
+        )
+    }
+
     /// Coefficient of variation of per-server load in the final sample —
     /// the load-balance quality measure (0 = perfectly even).
     pub fn final_load_imbalance(&self) -> f64 {
@@ -179,6 +270,9 @@ mod tests {
             revocations: 0,
             cache: CacheStats::default(),
             mean_response_ms: 0.0,
+            latency: LatencyHist::default(),
+            events: 0,
+            switch_peak_flows: 0,
             duration_ms: cps.len() as u64 * 10_000,
             trace: None,
             engine_events: Vec::new(),
@@ -245,6 +339,34 @@ mod tests {
         }
         assert!(lines[1].starts_with("1000,0,0,migration_started,"));
         assert!(lines[2].starts_with("2500,1,0,pull_served,"));
+    }
+
+    #[test]
+    fn latency_hist_percentiles() {
+        let mut h = LatencyHist::default();
+        assert_eq!(h.percentile_us(0.99), 0);
+        // 99 fast fetches (~1 ms) and one slow outlier (~1 s).
+        for _ in 0..99 {
+            h.record_us(1_000);
+        }
+        h.record_us(1_000_000);
+        assert_eq!(h.count(), 100);
+        // p50 lands in the 1000 µs bucket [512, 1024).
+        assert_eq!(h.percentile_us(0.50), 1_023);
+        // p99 still in the fast bucket; p100 reaches the outlier's bucket.
+        assert_eq!(h.percentile_us(0.99), 1_023);
+        assert!(h.percentile_us(1.0) >= 1_000_000);
+        assert!(h.p99_ms() < h.percentile_us(1.0) as f64 / 1_000.0);
+    }
+
+    #[test]
+    fn digest_is_stable_and_distinguishes() {
+        let a = result(&[1.0, 2.0]);
+        let b = result(&[1.0, 2.0]);
+        assert_eq!(a.digest(), b.digest());
+        let mut c = result(&[1.0, 2.0]);
+        c.totals.completed = 7;
+        assert_ne!(a.digest(), c.digest());
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Property tests for the event queue's ordering contract.
+//!
+//! The scale-out run loop trusts two properties of
+//! [`dcws_sim::event::EventQueue`] unconditionally: virtual time never
+//! runs backwards across pops, and events scheduled for the same instant
+//! pop in insertion (FIFO) order — the tie-break that makes whole-run
+//! determinism possible in the first place. These tests state both as
+//! properties over arbitrary push sequences, including pushes
+//! interleaved with pops the way the simulator actually drives the heap.
+
+use dcws_sim::event::{Event, EventQueue, SimTime};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+/// Drains the queue, returning `(time, client)` per pop. Every event the
+/// tests push is a `ClientWake`, with the client id as insertion index.
+fn drain(q: &mut EventQueue) -> Vec<(SimTime, usize)> {
+    let mut out = Vec::new();
+    while let Some((at, ev)) = q.pop() {
+        let Event::ClientWake { client } = ev else {
+            panic!("queue returned an event that was never pushed");
+        };
+        out.push((at, client));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pops_never_decrease_in_time(times in pvec(0u64..10_000, 1..256)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, Event::ClientWake { client: i });
+        }
+        let popped = drain(&mut q);
+        prop_assert_eq!(popped.len(), times.len(), "no event may be dropped");
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn equal_timestamps_pop_fifo(times in pvec(0u64..6, 1..256)) {
+        // A tiny timestamp domain forces heavy collision: nearly every
+        // pop exercises the (at, seq) tie-break rather than `at` alone.
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, Event::ClientWake { client: i });
+        }
+        let popped = drain(&mut q);
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            let ((t0, c0), (t1, c1)) = (w[0], w[1]);
+            prop_assert!(
+                t0 < t1 || (t0 == t1 && c0 < c1),
+                "tie at t={} broke FIFO: client {} before {}",
+                t1, c0, c1
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered(
+        ops in pvec((0u64..1_000, any::<bool>()), 1..256)
+    ) {
+        // Simulator discipline: nothing is ever scheduled in the past,
+        // i.e. pushes happen at `now + delta`. Under that contract pops
+        // must be globally non-decreasing even with pushes interleaved.
+        let mut q = EventQueue::new();
+        let mut now: SimTime = 0;
+        let (mut pushed, mut popped_n) = (0usize, 0usize);
+        for &(delta, do_pop) in &ops {
+            q.push(now + delta, Event::ClientWake { client: pushed });
+            pushed += 1;
+            if do_pop {
+                let (at, _) = q.pop().expect("queue cannot be empty here");
+                prop_assert!(at >= now, "pop at {} before now {}", at, now);
+                now = at;
+                popped_n += 1;
+            }
+        }
+        for (at, _) in drain(&mut q) {
+            prop_assert!(at >= now);
+            now = at;
+            popped_n += 1;
+        }
+        prop_assert_eq!(popped_n, pushed, "every push must pop exactly once");
+        prop_assert!(q.is_empty());
+        prop_assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn presized_queue_behaves_like_grown_one(times in pvec(0u64..100, 1..128)) {
+        // with_capacity is a performance hint only: pop order must match
+        // a queue that grew organically from empty.
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::with_capacity(times.len() * 2);
+        for (i, &t) in times.iter().enumerate() {
+            a.push(t, Event::ClientWake { client: i });
+            b.push(t, Event::ClientWake { client: i });
+        }
+        prop_assert_eq!(drain(&mut a), drain(&mut b));
+    }
+}

@@ -48,7 +48,12 @@ step env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 # regression fails here too; bigpress --quick serves a 2.8 MB corpus
 # streamed vs buffered and exits nonzero unless streamed TTFB beats
 # buffered and the cache admission rule protects the small-doc
-# working set, so a broken streaming path fails the gate.
+# working set, so a broken streaming path fails the gate; scalepress
+# --quick runs the simulator at 240 servers / 3,000 clients and exits
+# nonzero unless every arm clears 10^5 sessions inside the wall-clock
+# bound and the shared-bandwidth re-run reproduces its digest exactly,
+# so an event-core scale or determinism regression fails the gate
+# (docs/SIMULATION.md).
 if [[ $quick -eq 0 ]]; then
     step env DCWS_BENCH_QUICK=1 cargo run --release -q -p dcws-bench --bin fig6 -- --status-dump
     step env DCWS_BENCH_QUICK=1 cargo run --release -q -p dcws-bench --bin cachepress -- --status-dump
@@ -56,6 +61,7 @@ if [[ $quick -eq 0 ]]; then
     step cargo run --release -q -p dcws-bench --bin connpress -- --quick
     step cargo run --release -q -p dcws-bench --bin c10kpress -- --quick
     step cargo run --release -q -p dcws-bench --bin bigpress -- --quick
+    step cargo run --release -q -p dcws-bench --bin scalepress -- --quick
     test -s bench_results/fig6.csv
     test -s bench_results/cachepress.csv
     test -s bench_results/lockpress.csv
@@ -66,6 +72,8 @@ if [[ $quick -eq 0 ]]; then
     test -s bench_results/BENCH_c10kpress.json
     test -s bench_results/bigpress.csv
     test -s bench_results/BENCH_bigpress.json
+    test -s bench_results/scalepress.csv
+    test -s bench_results/BENCH_scalepress.json
 fi
 
 echo

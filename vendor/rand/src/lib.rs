@@ -50,6 +50,18 @@ pub trait Rng: RngCore {
     {
         range.sample_single(self)
     }
+
+    /// Returns `true` with probability `p`. Panics unless `0 <= p <= 1`.
+    ///
+    /// Like the real crate's Bernoulli sampler, the draw uses 53 random
+    /// bits, so `p = 1.0` always returns `true` and `p = 0.0` never does.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
 }
 
 impl<T: RngCore> Rng for T {}

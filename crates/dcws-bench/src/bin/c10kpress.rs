@@ -90,6 +90,10 @@ fn spawn_server(front_end: FrontEnd) -> DcwsServer {
     engine.publish("/doc.html", b"<p>c10k</p>".to_vec(), DocKind::Html, true);
     let mut net = NetConfig::new(Duration::from_millis(500));
     net.front_end = front_end;
+    // Single-loop premise: the batch-size histogram and fairness gates
+    // reason about one event loop holding every connection; sharding
+    // (benched separately by `corepress`) would dilute both.
+    net.reactor_shards = 1;
     DcwsServer::spawn_with(engine, "127.0.0.1:0", net).expect("spawn server")
 }
 

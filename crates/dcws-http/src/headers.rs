@@ -132,6 +132,16 @@ impl Headers {
         }
     }
 
+    /// Exact number of bytes [`Self::write_to`] will emit: each field is
+    /// `name + ": " + value + "\r\n"`. Lets serializers size their buffer
+    /// once instead of reallocating as fields append.
+    pub fn wire_len(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(n, v)| n.len() + v.len() + 4)
+            .sum()
+    }
+
     /// Serialize all fields as `Name: value\r\n` lines.
     pub fn write_to(&self, out: &mut Vec<u8>) {
         for (n, v) in &self.entries {

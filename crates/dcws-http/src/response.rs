@@ -102,30 +102,54 @@ impl Response {
             .and_then(|l| Url::parse(l).ok())
     }
 
+    /// Exact on-wire size of the head: status line, headers, and the
+    /// terminating blank line. [`Self::head_bytes`] allocates exactly
+    /// this much, so head serialization never reallocates mid-build —
+    /// this path runs once per served request on every front end.
+    pub fn head_len(&self) -> usize {
+        // "HTTP/1.1" + " " + 3-digit code + " " + reason + "\r\n"
+        self.version.as_str().len()
+            + 1
+            + 3
+            + 1
+            + self.status.reason().len()
+            + 2
+            + self.headers.wire_len()
+            + 2 // terminating blank line
+    }
+
     /// Serialize the status line, headers, and terminating blank line —
     /// everything that precedes the entity on the wire. Streaming front
     /// ends write this first, then drain a
-    /// [`StreamBody`](crate::StreamBody) behind it.
+    /// [`StreamBody`](crate::StreamBody) behind it. The buffer is sized
+    /// with [`Self::head_len`] up front (no reallocation).
     pub fn head_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64);
+        let mut out = Vec::with_capacity(self.head_len());
+        self.write_head(&mut out);
+        out
+    }
+
+    fn write_head(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(self.version.as_str().as_bytes());
         out.push(b' ');
         out.extend_from_slice(self.status.code().to_string().as_bytes());
         out.push(b' ');
         out.extend_from_slice(self.status.reason().as_bytes());
         out.extend_from_slice(b"\r\n");
-        self.headers.write_to(&mut out);
+        self.headers.write_to(out);
         out.extend_from_slice(b"\r\n");
-        out
     }
 
     /// Serialize to wire bytes. When `head` is true the body is omitted
     /// (response to a `HEAD` request) but `Content-Length` still reflects
-    /// the entity size, per RFC 2616.
+    /// the entity size, per RFC 2616. Head and body sizes are computed
+    /// up front, so the result is built in a single allocation.
     pub fn to_bytes_for(&self, head: bool) -> Vec<u8> {
-        let mut out = self.head_bytes();
-        if !head && !self.status.bodyless() {
-            out.reserve(self.body.len());
+        let with_body = !head && !self.status.bodyless();
+        let body_len = if with_body { self.body.len() } else { 0 };
+        let mut out = Vec::with_capacity(self.head_len() + body_len);
+        self.write_head(&mut out);
+        if with_body {
             out.extend_from_slice(&self.body);
         }
         out
@@ -194,5 +218,38 @@ mod tests {
     #[test]
     fn not_found_is_404() {
         assert_eq!(Response::not_found().status.code(), 404);
+    }
+
+    /// `head_len` must predict the serialized head exactly: `head_bytes`
+    /// sizes its buffer with it, so any drift would reintroduce the
+    /// per-serve realloc this accounting removes.
+    #[test]
+    fn head_len_is_exact() {
+        let samples = [
+            Response::new(StatusCode::Ok),
+            Response::ok(b"hello world".to_vec(), "text/html"),
+            Response::not_found(),
+            Response::service_unavailable(1),
+            Response::not_modified(),
+            Response::moved_permanently(
+                &Url::parse("http://coop:8001/~migrate/home/80/x.html").unwrap(),
+            ),
+            Response::ok(vec![0u8; 4096], "application/octet-stream")
+                .with_header("X-DCWS-Load", "a=1,b=2")
+                .with_header("Last-Modified", "Sun, 06 Nov 1994 08:49:37 GMT"),
+        ];
+        for r in samples {
+            let head = r.head_bytes();
+            assert_eq!(
+                head.len(),
+                r.head_len(),
+                "head_len drift for {:?}",
+                r.status
+            );
+            // Full serialization is one exact allocation too.
+            let wire = r.to_bytes();
+            let body = if r.status.bodyless() { 0 } else { r.body.len() };
+            assert_eq!(wire.len(), r.head_len() + body);
+        }
     }
 }

@@ -5,27 +5,37 @@
 //! A [`DcwsServer`] runs these thread roles (see
 //! `docs/ARCHITECTURE.md` for the full request lifecycle):
 //!
-//! * **reactor thread** (default front end, [`reactor`]): a nonblocking
-//!   accept loop plus an `epoll`/`poll` readiness event loop that owns
-//!   every client connection — tens of thousands of idle keep-alive
-//!   clients cost an fd and a few hundred bytes each, not a thread.
+//! * **reactor shards** (default front end, [`reactor`];
+//!   `NetConfig::reactor_shards`, default `min(cores, 8)`): each shard
+//!   is one thread running a nonblocking accept loop plus an
+//!   `epoll`/`poll` readiness event loop over its own connection slab —
+//!   tens of thousands of idle keep-alive clients cost an fd and a few
+//!   hundred bytes each, not a thread. On Linux every shard binds its
+//!   own `SO_REUSEPORT` listener and the kernel spreads accepts;
+//!   elsewhere shard 0 owns the lone listener and hands accepted
+//!   sockets to its peers round-robin over their waker pipes.
+//!   Responses leave through zero-copy vectored writes: the response
+//!   head and the shared entity [`Body`](dcws_http::Body) Arc go out in
+//!   one `writev(2)` with no per-serve copy of the document bytes.
 //!   Common-case GETs are answered inline on the engine's concurrent
 //!   [`ReadPath`](dcws_core::ReadPath); engine-locked work spills to
-//!   the worker pool over a bounded queue, with accept-pause and
-//!   `503 Retry-After` backpressure. The paper's literal
+//!   the worker pool over one shared bounded queue, with accept-pause
+//!   and `503 Retry-After` backpressure. The paper's literal
 //!   **front-end thread** (N_fe = 1: blocking accept + enqueue whole
 //!   connections, worker-count concurrency) is kept behind
 //!   [`FrontEnd::Threaded`] for A/B measurement (`c10kpress`);
 //! * **worker threads** (N_wk = 12 by default): under the reactor,
 //!   compute responses for spilled requests (misses, mutations,
-//!   inter-server verbs, `/dcws/*`) and post them back over a
-//!   completion bridge — they never touch client sockets; under the
-//!   threaded front end, own one connection end-to-end;
+//!   inter-server verbs, `/dcws/*`) and post them back over the
+//!   originating shard's completion bridge — they never touch client
+//!   sockets; under the threaded front end, own one connection
+//!   end-to-end;
 //! * **pinger/statistics thread** (N_pi = 1): drives
 //!   [`ServerEngine::tick`](dcws_core::ServerEngine::tick) — statistics
 //!   recalculation, migration decisions, artificial ping transfers,
 //!   co-op revalidation — and performs the resulting inter-server HTTP
-//!   traffic.
+//!   traffic, folding each ping round-trip into a per-peer RTT EWMA
+//!   surfaced as `transport.peer_rtt_ms` in `/dcws/status`.
 //!
 //! The multithreaded (rather than pool-of-processes) design is the
 //! paper's: workers and the statistics module share the Local Document

@@ -158,6 +158,60 @@ mod sys {
         pub fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
         pub fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
     }
+
+    /// `struct iovec` — identical layout on every POSIX platform.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct IoVec {
+        pub base: *const u8,
+        pub len: usize,
+    }
+
+    extern "C" {
+        /// Gather-write: one syscall drains head + body segments without
+        /// ever concatenating them in user space.
+        pub fn writev(fd: c_int, iov: *const IoVec, iovcnt: c_int) -> isize;
+    }
+
+    // Socket-level FFI for SO_REUSEPORT listener sharding. Only Linux
+    // gets the real thing (every other platform takes the hand-off
+    // fallback), so the constants below are the Linux ABI values.
+    #[cfg(target_os = "linux")]
+    pub const AF_INET: c_int = 2;
+    #[cfg(target_os = "linux")]
+    pub const SOCK_STREAM: c_int = 1;
+    #[cfg(target_os = "linux")]
+    pub const SOCK_CLOEXEC: c_int = 0o2000000;
+    #[cfg(target_os = "linux")]
+    pub const SOL_SOCKET: c_int = 1;
+    #[cfg(target_os = "linux")]
+    pub const SO_REUSEADDR: c_int = 2;
+    #[cfg(target_os = "linux")]
+    pub const SO_REUSEPORT: c_int = 15;
+
+    /// `struct sockaddr_in` (Linux): port and address in network order.
+    #[cfg(target_os = "linux")]
+    #[repr(C)]
+    pub struct SockAddrIn {
+        pub family: u16,
+        pub port: u16,
+        pub addr: u32,
+        pub zero: [u8; 8],
+    }
+
+    #[cfg(target_os = "linux")]
+    extern "C" {
+        pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        pub fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            name: c_int,
+            value: *const c_int,
+            len: u32,
+        ) -> c_int;
+        pub fn bind(fd: c_int, addr: *const SockAddrIn, len: u32) -> c_int;
+        pub fn listen(fd: c_int, backlog: c_int) -> c_int;
+    }
 }
 
 /// Try to raise the process's open-file soft limit to at least `want`
@@ -196,6 +250,68 @@ pub fn raise_nofile_limit(want: u64) -> u64 {
         }
         lim.rlim_cur
     }
+}
+
+/// Bind a listener at `addr` with `SO_REUSEPORT` set, so several shards
+/// can share one port and the kernel spreads incoming connections across
+/// their accept queues (hashed on the 4-tuple). Linux-only — the option
+/// must be set *before* bind, which `std`'s `TcpListener` offers no hook
+/// for, hence the raw FFI. IPv4 only; anything else reports
+/// `Unsupported` and the caller falls back to single-listener hand-off.
+#[cfg(target_os = "linux")]
+pub(crate) fn bind_reuseport(addr: std::net::SocketAddr) -> io::Result<TcpListener> {
+    use std::os::unix::io::FromRawFd;
+    let std::net::SocketAddr::V4(v4) = addr else {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "SO_REUSEPORT sharding is IPv4-only",
+        ));
+    };
+    unsafe {
+        let fd = sys::socket(sys::AF_INET, sys::SOCK_STREAM | sys::SOCK_CLOEXEC, 0);
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // Close the raw fd on any early error below.
+        struct Guard(RawFd, bool);
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                if self.1 {
+                    unsafe { sys::close(self.0) };
+                }
+            }
+        }
+        let mut guard = Guard(fd, true);
+        let one: std::os::raw::c_int = 1;
+        let optlen = std::mem::size_of_val(&one) as u32;
+        for opt in [sys::SO_REUSEADDR, sys::SO_REUSEPORT] {
+            if sys::setsockopt(fd, sys::SOL_SOCKET, opt, &one, optlen) != 0 {
+                return Err(io::Error::last_os_error());
+            }
+        }
+        let sa = sys::SockAddrIn {
+            family: sys::AF_INET as u16,
+            port: v4.port().to_be(),
+            addr: u32::from(*v4.ip()).to_be(),
+            zero: [0; 8],
+        };
+        if sys::bind(fd, &sa, std::mem::size_of::<sys::SockAddrIn>() as u32) != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if sys::listen(fd, 1024) != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        guard.1 = false;
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+pub(crate) fn bind_reuseport(_addr: std::net::SocketAddr) -> io::Result<TcpListener> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "SO_REUSEPORT sharding requires Linux; using accept hand-off",
+    ))
 }
 
 // ---------------------------------------------------------------------
@@ -534,6 +650,19 @@ pub struct ReactorStats {
     /// Connections closed mid-message by the sweep (slow-loris guard:
     /// a partial head/body older than [`READ_TIMEOUT`]).
     pub timeout_closed: AtomicU64,
+    /// `writev(2)` syscalls issued by the vectored flush path.
+    pub writev_calls: AtomicU64,
+    /// Total iovec segments across those calls (mean segments per call =
+    /// `writev_segments / writev_calls`).
+    pub writev_segments: AtomicU64,
+    /// Response bodies queued as a shared `Arc` segment — no memcpy; the
+    /// refcount holds the bytes until the kernel has taken them all.
+    pub bodies_zero_copy: AtomicU64,
+    /// Response bodies memcpy'd into the out-buffer (the legacy
+    /// copy-on-serve path, kept selectable for A/B measurement via
+    /// `NetConfig::reactor_copy_writes`). The corepress gate asserts this
+    /// stays zero on the vectored arm.
+    pub body_copies: AtomicU64,
 }
 
 impl ReactorStats {
@@ -640,6 +769,56 @@ impl ReactorStats {
                     ),
                 ]),
             ),
+            (
+                "writes",
+                Json::obj(vec![
+                    (
+                        "writev_calls",
+                        Json::from(self.writev_calls.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "writev_segments",
+                        Json::from(self.writev_segments.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "bodies_zero_copy",
+                        Json::from(self.bodies_zero_copy.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "body_copies",
+                        Json::from(self.body_copies.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Compact per-shard breakdown appended to the aggregate `reactor`
+    /// status section as the `shards` array.
+    pub fn shard_json(&self, shard: usize) -> Json {
+        Json::obj(vec![
+            ("shard", Json::from(shard as u64)),
+            (
+                "registered_conns",
+                Json::from(self.registered.load(Ordering::Relaxed)),
+            ),
+            ("peak_conns", Json::from(self.peak.load(Ordering::Relaxed))),
+            (
+                "accepted",
+                Json::from(self.accepted.load(Ordering::Relaxed)),
+            ),
+            (
+                "inline_served",
+                Json::from(self.inline_served.load(Ordering::Relaxed)),
+            ),
+            (
+                "spillover_jobs",
+                Json::from(self.spillover_jobs.load(Ordering::Relaxed)),
+            ),
+            (
+                "writev_calls",
+                Json::from(self.writev_calls.load(Ordering::Relaxed)),
+            ),
         ])
     }
 }
@@ -661,11 +840,17 @@ pub(crate) struct Completion {
     pub stream: Option<StreamBody>,
 }
 
-/// Shared between the spillover workers and the reactor: completed
-/// responses plus the waker that kicks the event loop awake to write
-/// them. Also how `DcwsServer::stop` wakes the loop for shutdown.
+/// Shared between the spillover workers and one reactor shard: completed
+/// responses plus the waker that kicks that shard's event loop awake to
+/// write them. Also how `DcwsServer::stop` wakes the loops for shutdown,
+/// and — under the single-listener hand-off fallback — how shard 0
+/// forwards accepted connections to its peers.
 pub(crate) struct SpillBridge {
     completions: Mutex<Vec<Completion>>,
+    /// Accepted connections handed to this shard by the distributor
+    /// (shard 0) when `SO_REUSEPORT` is unavailable. The streams travel
+    /// in-process; the waker pipe only signals their arrival.
+    handoffs: Mutex<Vec<TcpStream>>,
     /// Write half of the waker pipe (nonblocking; a full pipe means a
     /// wake is already pending, so `WouldBlock` is success).
     waker_tx: UnixStream,
@@ -680,12 +865,116 @@ impl SpillBridge {
         self.wake();
     }
 
+    fn push_handoff(&self, stream: TcpStream) {
+        self.handoffs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(stream);
+        self.wake();
+    }
+
     pub(crate) fn wake(&self) {
         let _ = (&self.waker_tx).write(&[1u8]);
     }
 
     fn drain(&self) -> Vec<Completion> {
         std::mem::take(&mut *self.completions.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    fn drain_handoffs(&self) -> Vec<TcpStream> {
+        std::mem::take(&mut *self.handoffs.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Zero-copy output queue.
+// ---------------------------------------------------------------------
+
+/// Cap on iovec segments gathered per `writev`: a head + body pair plus
+/// a few pipelined successors; IOV_MAX (1024) is never approached.
+const MAX_IOVECS: usize = 8;
+
+/// One pending output segment: either bytes the connection owns (heads,
+/// error pages, streamed-entity refills) or a shared entity body whose
+/// `Arc` refcount pins the cached allocation until the kernel has taken
+/// every byte — the serve itself never copies it.
+enum Seg {
+    Owned(Vec<u8>),
+    Shared(dcws_http::Body),
+}
+
+impl Seg {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Seg::Owned(v) => v,
+            Seg::Shared(b) => b,
+        }
+    }
+}
+
+/// A connection's pending output: a queue of segments flushed with
+/// `writev(2)`, with `offset` marking the already-written prefix of the
+/// front segment (partial-write resumption).
+#[derive(Default)]
+struct OutQueue {
+    segs: std::collections::VecDeque<Seg>,
+    offset: usize,
+    pending: usize,
+}
+
+impl OutQueue {
+    fn push_owned(&mut self, v: Vec<u8>) {
+        if v.is_empty() {
+            return;
+        }
+        self.pending += v.len();
+        self.segs.push_back(Seg::Owned(v));
+    }
+
+    fn push_shared(&mut self, b: dcws_http::Body) {
+        if b.is_empty() {
+            return;
+        }
+        self.pending += b.len();
+        self.segs.push_back(Seg::Shared(b));
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Fill `iov` with the next unwritten slices (front segment starts
+    /// at `offset`); returns how many entries were filled.
+    fn gather(&self, iov: &mut [sys::IoVec]) -> usize {
+        let mut n = 0;
+        for (i, seg) in self.segs.iter().take(iov.len()).enumerate() {
+            let b = seg.bytes();
+            let b = if i == 0 { &b[self.offset..] } else { b };
+            iov[n] = sys::IoVec {
+                base: b.as_ptr(),
+                len: b.len(),
+            };
+            n += 1;
+        }
+        n
+    }
+
+    /// Consume `n` written bytes from the front, dropping (and for
+    /// `Shared` segments, releasing the `Arc` of) fully-flushed segments.
+    fn advance(&mut self, mut n: usize) {
+        debug_assert!(n <= self.pending, "advance past pending output");
+        self.pending -= n;
+        while n > 0 {
+            let front_left = self.segs[0].bytes().len() - self.offset;
+            if n >= front_left {
+                n -= front_left;
+                self.offset = 0;
+                self.segs.pop_front();
+            } else {
+                self.offset += n;
+                n = 0;
+            }
+        }
     }
 }
 
@@ -725,9 +1014,9 @@ struct ClientConn {
     stream: TcpStream,
     gen: u32,
     mb: crate::conn::MsgBuf,
-    /// Pending response bytes not yet written (`sent` = flushed prefix).
-    out: Vec<u8>,
-    sent: usize,
+    /// Pending response segments not yet taken by the kernel, flushed
+    /// with `writev` (heads owned, bodies shared zero-copy).
+    out: OutQueue,
     /// In-progress streamed entity: refilled into `out` chunk by chunk
     /// as the socket drains, so a 2.8 MB serve never occupies more than
     /// one chunk of reactor memory. While present, reads are paused and
@@ -745,6 +1034,23 @@ struct ClientConn {
     last_activity: Instant,
 }
 
+/// Per-shard knobs for [`Reactor::new`], computed once in `spawn_with`.
+pub(crate) struct ShardConfig {
+    /// This shard's index in `[0, n_shards)`.
+    pub shard: usize,
+    /// Total reactor shards the server runs.
+    pub n_shards: usize,
+    /// This shard's registered-connection ceiling. Under `SO_REUSEPORT`
+    /// each shard gets an equal slice of `max_reactor_conns`; under
+    /// hand-off the distributor caps on the aggregate gauge instead.
+    pub max_conns: usize,
+    pub keepalive_idle: Duration,
+    pub force_poll_backend: bool,
+    /// Serve responses through the legacy memcpy path instead of the
+    /// zero-copy segment queue (A/B arm for `corepress`).
+    pub copy_writes: bool,
+}
+
 pub(crate) struct Reactor {
     shared: Arc<Shared>,
     shutdown: Arc<AtomicBool>,
@@ -752,6 +1058,18 @@ pub(crate) struct Reactor {
     listener: Option<TcpListener>,
     waker_rx: UnixStream,
     bridge: Arc<SpillBridge>,
+    /// Every shard's bridge, indexed by shard id. Non-empty only on the
+    /// hand-off distributor (shard 0 without `SO_REUSEPORT`), which
+    /// round-robins accepted connections across them.
+    peers: Vec<Arc<SpillBridge>>,
+    /// This shard's own stat counters; every bump also lands on the
+    /// aggregate `shared.reactor` so existing gauges stay whole-server.
+    stats: Arc<ReactorStats>,
+    shard: usize,
+    n_shards: usize,
+    /// Round-robin cursor for hand-off distribution.
+    rr: usize,
+    copy_writes: bool,
     conns: Vec<Option<ClientConn>>,
     free: Vec<usize>,
     live: usize,
@@ -764,7 +1082,7 @@ pub(crate) struct Reactor {
     draining: Option<Instant>,
 }
 
-/// Build the waker pair: `rx` lives in the reactor's poller, `tx` inside
+/// Build the waker pair: `rx` lives in the shard's poller, `tx` inside
 /// the [`SpillBridge`] handed to workers and `stop()`.
 pub(crate) fn spill_bridge() -> io::Result<(Arc<SpillBridge>, UnixStream)> {
     let (tx, rx) = UnixStream::pair()?;
@@ -773,6 +1091,7 @@ pub(crate) fn spill_bridge() -> io::Result<(Arc<SpillBridge>, UnixStream)> {
     Ok((
         Arc::new(SpillBridge {
             completions: Mutex::new(Vec::new()),
+            handoffs: Mutex::new(Vec::new()),
             waker_tx: tx,
         }),
         rx,
@@ -784,34 +1103,46 @@ impl Reactor {
     pub(crate) fn new(
         shared: Arc<Shared>,
         shutdown: Arc<AtomicBool>,
-        listener: TcpListener,
+        cfg: ShardConfig,
+        listener: Option<TcpListener>,
         bridge: Arc<SpillBridge>,
+        peers: Vec<Arc<SpillBridge>>,
         waker_rx: UnixStream,
-        max_conns: usize,
-        keepalive_idle: Duration,
-        force_poll_backend: bool,
     ) -> io::Result<Reactor> {
-        listener.set_nonblocking(true)?;
-        let mut poller = if force_poll_backend {
+        let mut poller = if cfg.force_poll_backend {
             Poller::with_poll_backend()?
         } else {
             Poller::new()?
         };
-        poller.register(listener.as_raw_fd(), LISTENER_TOKEN, true, false)?;
+        if let Some(listener) = &listener {
+            listener.set_nonblocking(true)?;
+            poller.register(listener.as_raw_fd(), LISTENER_TOKEN, true, false)?;
+        }
         poller.register(waker_rx.as_raw_fd(), WAKER_TOKEN, true, false)?;
+        let stats = shared
+            .shard_stats
+            .get(cfg.shard)
+            .cloned()
+            .unwrap_or_default();
         Ok(Reactor {
             shared,
             shutdown,
             poller,
-            listener: Some(listener),
+            listener,
             waker_rx,
             bridge,
+            peers,
+            stats,
+            shard: cfg.shard,
+            n_shards: cfg.n_shards.max(1),
+            rr: 0,
+            copy_writes: cfg.copy_writes,
             conns: Vec::new(),
             free: Vec::new(),
             live: 0,
             next_gen: 1,
-            max_conns: max_conns.max(1),
-            keepalive_idle,
+            max_conns: cfg.max_conns.max(1),
+            keepalive_idle: cfg.keepalive_idle,
             accept_paused: false,
             events: Vec::new(),
             last_sweep: Instant::now(),
@@ -819,8 +1150,22 @@ impl Reactor {
         })
     }
 
+    /// True on the shard that owns the lone listener and forwards
+    /// accepted connections to its peers (`SO_REUSEPORT` unavailable).
+    fn distributes(&self) -> bool {
+        self.n_shards > 1 && !self.peers.is_empty()
+    }
+
     pub(crate) fn backend_name(&self) -> &'static str {
         self.poller.backend_name()
+    }
+
+    /// Apply a counter update to both this shard's stats and the
+    /// whole-server aggregate, so existing gauges (and tests) keep their
+    /// meaning while `/dcws/status` gains the per-shard breakdown.
+    fn bump(&self, f: impl Fn(&ReactorStats)) {
+        f(&self.shared.reactor);
+        f(&self.stats);
     }
 
     /// The event loop. Returns when shutdown has drained (or timed out).
@@ -847,7 +1192,7 @@ impl Reactor {
             .poller
             .wait(&mut self.events, Some(timeout))
             .unwrap_or_default();
-        self.shared.reactor.note_batch(n);
+        self.bump(|s| s.note_batch(n));
         let events = std::mem::take(&mut self.events);
         for ev in &events {
             match ev.token {
@@ -857,12 +1202,18 @@ impl Reactor {
             }
         }
         self.events = events;
-        // Completions can land while we were dispatching; drain
-        // unconditionally (cheap when empty).
+        // Hand-off adoption and completions can land while we were
+        // dispatching; drain both unconditionally (cheap when empty).
+        self.adopt_handoffs();
         self.run_completions();
         if self.last_sweep.elapsed() >= SWEEP_EVERY {
             self.sweep_timeouts();
             self.last_sweep = Instant::now();
+        }
+        // A paused distributor must notice peers draining conns it never
+        // sees close; re-check occupancy every turn while paused.
+        if self.accept_paused {
+            self.maybe_resume_accept();
         }
         if self.shutdown.load(Ordering::Relaxed) {
             return self.drive_shutdown();
@@ -872,9 +1223,20 @@ impl Reactor {
 
     // -- accept path ---------------------------------------------------
 
+    /// Registered-connection occupancy the accept cap applies to: this
+    /// shard's own slab with a per-shard listener, the whole-server
+    /// aggregate when this shard distributes accepts to its peers.
+    fn occupancy(&self) -> usize {
+        if self.distributes() {
+            self.shared.reactor.registered.load(Ordering::Relaxed) as usize
+        } else {
+            self.live
+        }
+    }
+
     fn accept_burst(&mut self) {
         loop {
-            if self.live >= self.max_conns {
+            if self.occupancy() >= self.max_conns {
                 self.pause_accept();
                 return;
             }
@@ -901,18 +1263,44 @@ impl Reactor {
                         continue;
                     }
                     let _ = stream.set_nodelay(true);
+                    if self.distributes() {
+                        // Hand-off fallback: spread accepted connections
+                        // round-robin; peers adopt them on their next
+                        // waker wake.
+                        let target = self.rr % self.n_shards;
+                        self.rr = self.rr.wrapping_add(1);
+                        if target != self.shard {
+                            self.peers[target].push_handoff(stream);
+                            continue;
+                        }
+                    }
                     self.register_conn(stream);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => {
-                    self.shared
-                        .reactor
-                        .accept_errors
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.bump(|s| {
+                        s.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    });
                     return;
                 }
             }
+        }
+    }
+
+    /// Register connections a distributing peer handed to this shard.
+    fn adopt_handoffs(&mut self) {
+        if self.n_shards == 1 {
+            return;
+        }
+        for stream in self.bridge.drain_handoffs() {
+            if self.draining.is_some() {
+                // Mid-shutdown adoptions close immediately — the drain
+                // already passed its request-boundary sweep.
+                drop(stream);
+                continue;
+            }
+            self.register_conn(stream);
         }
     }
 
@@ -923,10 +1311,9 @@ impl Reactor {
         if let Some(listener) = &self.listener {
             let _ = self.poller.deregister(listener.as_raw_fd());
             self.accept_paused = true;
-            self.shared
-                .reactor
-                .accept_pauses
-                .fetch_add(1, Ordering::Relaxed);
+            self.bump(|s| {
+                s.accept_pauses.fetch_add(1, Ordering::Relaxed);
+            });
         }
     }
 
@@ -936,7 +1323,7 @@ impl Reactor {
         }
         // Re-arm below 90% of the cap so the listener doesn't flap
         // on/off around the boundary.
-        if self.live < self.max_conns - self.max_conns / 10 {
+        if self.occupancy() < self.max_conns - self.max_conns / 10 {
             if let Some(listener) = &self.listener {
                 if self
                     .poller
@@ -956,8 +1343,7 @@ impl Reactor {
             stream,
             gen,
             mb: crate::conn::MsgBuf::new(),
-            out: Vec::new(),
-            sent: 0,
+            out: OutQueue::default(),
             stream_body: None,
             awaiting_spill: false,
             close_after_flush: false,
@@ -983,7 +1369,7 @@ impl Reactor {
             return;
         }
         self.live += 1;
-        self.shared.reactor.note_conn_open();
+        self.bump(ReactorStats::note_conn_open);
     }
 
     fn close_conn(&mut self, idx: usize) {
@@ -994,7 +1380,7 @@ impl Reactor {
         drop(conn);
         self.free.push(idx);
         self.live -= 1;
-        self.shared.reactor.note_conn_close();
+        self.bump(ReactorStats::note_conn_close);
         self.maybe_resume_accept();
     }
 
@@ -1044,7 +1430,7 @@ impl Reactor {
                     // EOF. Anything buffered mid-message is an aborted
                     // request; either way the conversation is over once
                     // pending output drains.
-                    if conn.out.len() > conn.sent {
+                    if !conn.out.is_empty() {
                         conn.close_after_flush = true;
                         return true;
                     }
@@ -1094,7 +1480,7 @@ impl Reactor {
                     // behaviour as the threaded workers.
                     let resp = Response::new(dcws_http::StatusCode::BadRequest);
                     let conn = self.conns[idx].as_mut().unwrap();
-                    conn.out.extend_from_slice(&resp.to_bytes_for(false));
+                    conn.out.push_owned(resp.to_bytes_for(false));
                     conn.close_after_flush = true;
                     return self.flush(idx);
                 }
@@ -1120,25 +1506,24 @@ impl Reactor {
         // /dcws/*) needs the engine and spills to the worker pool; the
         // reactor thread itself never takes the engine lock.
         if let Some(resp) = self.shared.read.try_serve(&req, self.shared.now_ms()) {
-            self.shared
-                .reactor
-                .inline_served
-                .fetch_add(1, Ordering::Relaxed);
+            self.bump(|s| {
+                s.inline_served.fetch_add(1, Ordering::Relaxed);
+            });
             return self.queue_response(idx, resp, None, method, keep_alive, started);
         }
         let token = pack_token(idx, self.conns[idx].as_ref().unwrap().gen);
         let job = SpillJob {
             token,
+            shard: self.shard,
             req,
             keep_alive,
             started,
         };
         match self.shared.queue.try_push(WorkItem::Spill(job)) {
             Ok(()) => {
-                self.shared
-                    .reactor
-                    .spillover_jobs
-                    .fetch_add(1, Ordering::Relaxed);
+                self.bump(|s| {
+                    s.spillover_jobs.fetch_add(1, Ordering::Relaxed);
+                });
                 let conn = self.conns[idx].as_mut().unwrap();
                 conn.awaiting_spill = true;
                 true
@@ -1147,10 +1532,9 @@ impl Reactor {
                 // Spillover full: the explicit 503 + Retry-After rung of
                 // the backpressure ladder. The connection stays alive —
                 // this is a graceful drop, not a slammed socket.
-                self.shared
-                    .reactor
-                    .spillover_rejected
-                    .fetch_add(1, Ordering::Relaxed);
+                self.bump(|s| {
+                    s.spillover_rejected.fetch_add(1, Ordering::Relaxed);
+                });
                 self.shared.dropped.fetch_add(1, Ordering::Relaxed);
                 let resp = Response::service_unavailable(RETRY_AFTER_SECS);
                 self.queue_response(idx, resp, None, method, keep_alive, started)
@@ -1178,20 +1562,44 @@ impl Reactor {
             // never let the reactor drain.
             resp = resp.with_header("Connection", "close");
         }
-        let conn = self.conns[idx].as_mut().unwrap();
         let head_only = method == Method::Head;
+        let with_body = !head_only && !resp.status.bodyless() && !resp.body.is_empty();
+        let copy_writes = self.copy_writes;
+        let streamed = stream.is_some();
+        let conn = self.conns[idx].as_mut().unwrap();
         match stream {
             Some(body) if !head_only && !resp.status.bodyless() => {
                 // Head now, entity incrementally: the first chunk leaves
                 // on this flush, the rest as the socket drains.
-                conn.out.extend_from_slice(&resp.head_bytes());
+                conn.out.push_owned(resp.head_bytes());
                 conn.stream_body = Some(body);
             }
-            // HEAD (or a bodyless status): the entity is never read.
-            _ => conn.out.extend_from_slice(&resp.to_bytes_for(head_only)),
+            // Buffered entity: head as an owned segment, body as a
+            // shared one — the serve is an `Arc` refcount bump, and the
+            // bytes leave user space exactly once, via `writev`. (HEAD
+            // and bodyless statuses queue the head alone; the legacy
+            // copy arm rebuilds head+body into one owned segment.)
+            _ if copy_writes || !with_body => {
+                conn.out.push_owned(resp.to_bytes_for(head_only));
+            }
+            _ => {
+                conn.out.push_owned(resp.head_bytes());
+                conn.out.push_shared(resp.body.clone());
+            }
         }
         if !keep_alive || closing {
             conn.close_after_flush = true;
+        }
+        if with_body && !streamed {
+            if copy_writes {
+                self.bump(|s| {
+                    s.body_copies.fetch_add(1, Ordering::Relaxed);
+                });
+            } else {
+                self.bump(|s| {
+                    s.bodies_zero_copy.fetch_add(1, Ordering::Relaxed);
+                });
+            }
         }
         self.shared.metrics.service_time.record(started.elapsed());
         if !self.flush(idx) {
@@ -1207,31 +1615,52 @@ impl Reactor {
     /// parked streamed entity (bounded per call, so one large transfer
     /// cannot monopolize the loop). Returns `false` if the connection
     /// was closed.
+    ///
+    /// The write syscall is `writev(2)` over the segment queue: head and
+    /// body leave in one gather, a partial write advances the queue's
+    /// front offset, and the next writable event resumes mid-segment.
     fn flush(&mut self, idx: usize) -> bool {
         let mut refilled = 0usize;
         let mut stream_finished = false;
         loop {
-            let conn = self.conns[idx].as_mut().unwrap();
-            while conn.sent < conn.out.len() {
-                match conn.stream.write(&conn.out[conn.sent..]) {
-                    Ok(0) => {
-                        self.close_conn(idx);
-                        return false;
-                    }
-                    Ok(n) => {
-                        conn.sent += n;
-                        conn.last_activity = Instant::now();
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                    Err(_) => {
-                        self.close_conn(idx);
-                        return false;
+            // Drain the segment queue.
+            loop {
+                let conn = self.conns[idx].as_mut().unwrap();
+                if conn.out.is_empty() {
+                    break;
+                }
+                let mut iov = [sys::IoVec {
+                    base: std::ptr::null(),
+                    len: 0,
+                }; MAX_IOVECS];
+                let cnt = conn.out.gather(&mut iov);
+                let fd = conn.stream.as_raw_fd();
+                // SAFETY: each iovec points into a segment owned by
+                // `conn.out`, which is not touched until `advance` below.
+                let n = unsafe { sys::writev(fd, iov.as_ptr(), cnt as std::os::raw::c_int) };
+                if n > 0 {
+                    conn.out.advance(n as usize);
+                    conn.last_activity = Instant::now();
+                    self.bump(|s| {
+                        s.writev_calls.fetch_add(1, Ordering::Relaxed);
+                        s.writev_segments.fetch_add(cnt as u64, Ordering::Relaxed);
+                    });
+                } else if n == 0 {
+                    self.close_conn(idx);
+                    return false;
+                } else {
+                    let err = io::Error::last_os_error();
+                    match err.kind() {
+                        io::ErrorKind::WouldBlock => return true,
+                        io::ErrorKind::Interrupted => continue,
+                        _ => {
+                            self.close_conn(idx);
+                            return false;
+                        }
                     }
                 }
             }
-            conn.out.clear();
-            conn.sent = 0;
+            let conn = self.conns[idx].as_mut().unwrap();
             if let Some(body) = conn.stream_body.as_mut() {
                 if refilled >= MAX_WRITE_PER_EVENT {
                     // Fairness cap: writable interest stays armed (the
@@ -1239,9 +1668,10 @@ impl Reactor {
                     // readiness resumes this transfer next turn.
                     return true;
                 }
-                // Batch chunks up to the per-event budget before
-                // writing, so the write syscalls below cover the whole
-                // refill instead of one 64 KiB piece each.
+                // Batch chunks up to the per-event budget into one owned
+                // segment, so the writev above covers the whole refill
+                // instead of one 64 KiB piece each.
+                let mut batch = Vec::new();
                 let mut chunk = vec![0u8; STREAM_CHUNK];
                 loop {
                     match body.read_chunk(&mut chunk) {
@@ -1252,7 +1682,7 @@ impl Reactor {
                         }
                         Ok(n) => {
                             refilled += n;
-                            conn.out.extend_from_slice(&chunk[..n]);
+                            batch.extend_from_slice(&chunk[..n]);
                             if refilled >= MAX_WRITE_PER_EVENT {
                                 break;
                             }
@@ -1265,11 +1695,13 @@ impl Reactor {
                         }
                     }
                 }
-                if conn.sent < conn.out.len() {
+                let conn = self.conns[idx].as_mut().unwrap();
+                conn.out.push_owned(batch);
+                if !conn.out.is_empty() {
                     continue;
                 }
             }
-            if conn.close_after_flush {
+            if self.conns[idx].as_ref().unwrap().close_after_flush {
                 self.close_conn(idx);
                 return false;
             }
@@ -1293,7 +1725,7 @@ impl Reactor {
         };
         let want_read =
             !conn.awaiting_spill && !conn.close_after_flush && conn.stream_body.is_none();
-        let want_write = conn.sent < conn.out.len() || conn.stream_body.is_some();
+        let want_write = !conn.out.is_empty() || conn.stream_body.is_some();
         if want_read == conn.reg_readable && want_write == conn.reg_writable {
             return;
         }
@@ -1357,23 +1789,21 @@ impl Reactor {
                 continue; // the worker owns the clock here
             }
             let idle = now.duration_since(conn.last_activity);
-            if conn.mb.mid_message() || conn.sent < conn.out.len() || conn.stream_body.is_some() {
+            if conn.mb.mid_message() || !conn.out.is_empty() || conn.stream_body.is_some() {
                 // Mid-request (slow loris) or mid-response (dead
                 // reader): same budget a blocking worker's socket
                 // timeout would have enforced.
                 if idle >= READ_TIMEOUT {
-                    self.shared
-                        .reactor
-                        .timeout_closed
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.bump(|s| {
+                        s.timeout_closed.fetch_add(1, Ordering::Relaxed);
+                    });
                     self.close_conn(idx);
                 }
             } else if idle >= self.keepalive_idle {
                 // Parked at a request boundary past the keep-alive TTL.
-                self.shared
-                    .reactor
-                    .idle_closed
-                    .fetch_add(1, Ordering::Relaxed);
+                self.bump(|s| {
+                    s.idle_closed.fetch_add(1, Ordering::Relaxed);
+                });
                 self.close_conn(idx);
             }
         }
@@ -1397,7 +1827,7 @@ impl Reactor {
                 let Some(conn) = self.conns[idx].as_ref() else {
                     continue;
                 };
-                if !conn.awaiting_spill && conn.out.len() == conn.sent {
+                if !conn.awaiting_spill && conn.out.is_empty() {
                     self.close_conn(idx);
                 }
             }
@@ -1438,22 +1868,33 @@ mod tests {
         )
     }
 
+    fn shard_cfg(shard: usize, n_shards: usize) -> ShardConfig {
+        ShardConfig {
+            shard,
+            n_shards,
+            max_conns: 1024,
+            keepalive_idle: Duration::from_secs(60),
+            force_poll_backend: false,
+            copy_writes: false,
+        }
+    }
+
     fn test_reactor() -> (Arc<Shared>, Reactor) {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let net = NetConfig::new(Duration::from_millis(1000));
+        let mut net = NetConfig::new(Duration::from_millis(1000));
+        net.reactor_shards = 1;
         let shared = Shared::build(test_engine(), &net, addr);
         let (bridge, waker_rx) = spill_bridge().unwrap();
         let shutdown = Arc::new(AtomicBool::new(false));
         let reactor = Reactor::new(
             shared.clone(),
             shutdown,
-            listener,
+            shard_cfg(0, 1),
+            Some(listener),
             bridge,
+            Vec::new(),
             waker_rx,
-            1024,
-            Duration::from_secs(60),
-            false,
         )
         .unwrap();
         (shared, reactor)
@@ -1529,6 +1970,127 @@ mod tests {
             assert_eq!(unpack_token(t), (idx, gen));
             assert_ne!(t, LISTENER_TOKEN);
             assert_ne!(t, WAKER_TOKEN);
+        }
+    }
+
+    /// `OutQueue` bookkeeping across partial writes: `gather` must slice
+    /// the front segment at `offset`, and `advance` must release
+    /// fully-flushed segments while preserving byte accounting.
+    #[test]
+    fn out_queue_partial_write_resumption() {
+        let mut q = OutQueue::default();
+        q.push_owned(b"HEAD".to_vec());
+        q.push_shared(dcws_http::Body::from(b"BODYBODY".to_vec()));
+        q.push_owned(Vec::new()); // empty segments are skipped
+        assert_eq!(q.pending, 12);
+
+        let mut iov = [sys::IoVec {
+            base: std::ptr::null(),
+            len: 0,
+        }; MAX_IOVECS];
+        assert_eq!(q.gather(&mut iov), 2);
+        assert_eq!(iov[0].len, 4);
+        assert_eq!(iov[1].len, 8);
+
+        // Kernel took the head plus two body bytes.
+        q.advance(6);
+        assert_eq!(q.pending, 6);
+        let n = q.gather(&mut iov);
+        assert_eq!(n, 1);
+        assert_eq!(iov[0].len, 6);
+        let resumed = unsafe { std::slice::from_raw_parts(iov[0].base, iov[0].len) };
+        assert_eq!(resumed, b"DYBODY");
+
+        // Drain the rest: queue empty, offset reset, no segments held
+        // (a fully-flushed `Shared` segment releases its `Arc` here).
+        q.advance(6);
+        assert!(q.is_empty());
+        assert_eq!(q.gather(&mut iov), 0);
+        assert!(q.segs.is_empty(), "flushed segments must be released");
+    }
+
+    /// A completion carrying shard A's token posted to shard B's bridge
+    /// must be dropped by B's generation/slot check — never written to
+    /// an unrelated connection, never resurrecting a vacant slot.
+    #[test]
+    fn cross_shard_completion_never_resurrects() {
+        let listener_a = TcpListener::bind("127.0.0.1:0").unwrap();
+        let listener_b = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr_a = listener_a.local_addr().unwrap();
+        let mut net = NetConfig::new(Duration::from_millis(1000));
+        net.reactor_shards = 2;
+        let shared = Shared::build(test_engine(), &net, addr_a);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (bridge_a, waker_a) = spill_bridge().unwrap();
+        let (bridge_b, waker_b) = spill_bridge().unwrap();
+        let mut shard_a = Reactor::new(
+            shared.clone(),
+            shutdown.clone(),
+            shard_cfg(0, 2),
+            Some(listener_a),
+            bridge_a,
+            Vec::new(),
+            waker_a,
+        )
+        .unwrap();
+        let mut shard_b = Reactor::new(
+            shared.clone(),
+            shutdown,
+            shard_cfg(1, 2),
+            Some(listener_b),
+            bridge_b.clone(),
+            Vec::new(),
+            waker_b,
+        )
+        .unwrap();
+
+        // A client lands on shard A and gets a slab slot + token there.
+        let client = TcpStream::connect(addr_a).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while shard_a.live == 0 && Instant::now() < deadline {
+            shard_a.poll_once(Duration::from_millis(10));
+        }
+        assert_eq!(shard_a.live, 1, "shard A must have accepted the client");
+        let (idx, conn) = shard_a
+            .conns
+            .iter()
+            .enumerate()
+            .find_map(|(i, c)| c.as_ref().map(|c| (i, c)))
+            .unwrap();
+        let token = pack_token(idx, conn.gen);
+
+        // Misroute a completion for that token to shard B.
+        bridge_b.push(Completion {
+            token,
+            method: Method::Get,
+            keep_alive: true,
+            started: Instant::now(),
+            resp: Response::ok(b"misrouted".to_vec(), "text/plain"),
+            stream: None,
+        });
+        shard_b.poll_once(Duration::from_millis(10));
+        assert_eq!(shard_b.live, 0, "shard B must not materialize a conn");
+        assert!(
+            shard_b.conns.iter().all(|c| c.is_none()),
+            "no slot on shard B may be resurrected by a foreign token"
+        );
+
+        // The response must not have leaked onto shard A's client either.
+        shard_a.poll_once(Duration::from_millis(10));
+        client
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let mut buf = [0u8; 64];
+        use std::io::Read as _;
+        match (&client).read(&mut buf) {
+            Ok(n) => panic!("client unexpectedly received {n} bytes"),
+            Err(e) => assert!(
+                matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ),
+                "expected read timeout, got {e:?}"
+            ),
         }
     }
 

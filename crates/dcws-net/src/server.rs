@@ -10,7 +10,9 @@ use crate::lock::EngineLock;
 use crate::metrics::TransportMetrics;
 use crate::pool::PoolConfig;
 use crate::queue::SocketQueue;
-use crate::reactor::{spill_bridge, Completion, Reactor, ReactorStats, SpillBridge};
+use crate::reactor::{
+    bind_reuseport, spill_bridge, Completion, Reactor, ReactorStats, ShardConfig, SpillBridge,
+};
 use crate::retry::RetryPolicy;
 use crate::transport::{OpClass, Transport};
 use dcws_cache::SingleFlight;
@@ -91,6 +93,19 @@ pub struct NetConfig {
     /// `epoll` is available — used by tests and the `c10kpress` bench
     /// to exercise the fallback path on Linux.
     pub reactor_force_poll: bool,
+    /// Reactor only: how many reactor shards to run (default
+    /// `min(cores, 8)`). Each shard is one thread with its own poller,
+    /// connection slab, and — on Linux — its own `SO_REUSEPORT` listener,
+    /// so the kernel spreads clients across cores. Where `SO_REUSEPORT`
+    /// is unavailable, shard 0 owns the lone listener and round-robins
+    /// accepted connections to its peers. Benches whose premises are
+    /// single-loop (batch histograms, fairness caps) pin this to 1.
+    pub reactor_shards: usize,
+    /// Reactor only: serve buffered response bodies through the legacy
+    /// memcpy path instead of the zero-copy `writev` segment queue.
+    /// Exists solely as the A/B baseline arm for `corepress`; leave
+    /// `false` in production.
+    pub reactor_copy_writes: bool,
 }
 
 impl NetConfig {
@@ -110,6 +125,11 @@ impl NetConfig {
             max_reactor_conns: 16_384,
             reactor_keepalive_idle: Duration::from_secs(60),
             reactor_force_poll: false,
+            reactor_shards: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+            reactor_copy_writes: false,
         }
     }
 
@@ -141,6 +161,10 @@ pub(crate) struct SpillJob {
     /// The reactor's generation-tagged connection token; a stale token
     /// (connection died while the job ran) makes the completion a no-op.
     pub token: u64,
+    /// Which reactor shard owns the connection: the worker posts the
+    /// completion to that shard's bridge (tokens are per-shard, so
+    /// cross-shard delivery could resurrect an unrelated slot).
+    pub shard: usize,
     pub req: Request,
     /// Decided by the reactor at parse time (HTTP version, Connection
     /// header, shutdown state) so the worker doesn't re-derive it.
@@ -176,9 +200,16 @@ pub(crate) struct Shared {
     /// worker can sit in a read for up to [`READ_TIMEOUT`]; `stop()`
     /// shuts these sockets down so workers unblock immediately.
     active_conns: Vec<std::sync::Mutex<Option<TcpStream>>>,
-    /// Reactor counters (zero-valued under the threaded front end, so
-    /// the status document keeps a stable shape).
+    /// Whole-server reactor counters (zero-valued under the threaded
+    /// front end, so the status document keeps a stable shape). Every
+    /// shard bumps these alongside its own entry in `shard_stats`.
     pub(crate) reactor: ReactorStats,
+    /// Per-shard reactor counters, indexed by shard id (empty under the
+    /// threaded front end).
+    pub(crate) shard_stats: Vec<Arc<ReactorStats>>,
+    /// Per-peer smoothed ping round-trip time (EWMA, milliseconds) —
+    /// the measurement input for delay-aware co-op choice.
+    peer_rtt: std::sync::Mutex<std::collections::BTreeMap<String, f64>>,
     front_end: FrontEnd,
     /// Which poller backend the reactor chose ("epoll"/"poll"), set
     /// once at spawn.
@@ -206,6 +237,14 @@ impl Shared {
                 .map(|_| std::sync::Mutex::new(None))
                 .collect(),
             reactor: ReactorStats::default(),
+            shard_stats: if net.front_end == FrontEnd::Reactor {
+                (0..net.reactor_shards.max(1))
+                    .map(|_| Arc::new(ReactorStats::default()))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            peer_rtt: std::sync::Mutex::new(std::collections::BTreeMap::new()),
             front_end: net.front_end,
             reactor_backend: OnceLock::new(),
             epoch: Instant::now(),
@@ -215,6 +254,30 @@ impl Shared {
 
     pub(crate) fn now_ms(&self) -> u64 {
         self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// EWMA smoothing factor for per-peer ping RTT: responsive enough to
+    /// track congestion shifts within a few control intervals, smooth
+    /// enough that one outlier sample doesn't whipsaw a placement choice.
+    const RTT_ALPHA: f64 = 0.2;
+
+    /// Fold one successful ping round-trip into the peer's RTT estimate.
+    pub(crate) fn note_peer_rtt(&self, peer: &ServerId, rtt: Duration) {
+        let ms = rtt.as_secs_f64() * 1000.0;
+        let mut map = self.peer_rtt.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(peer.to_string())
+            .and_modify(|e| *e += Self::RTT_ALPHA * (ms - *e))
+            .or_insert(ms);
+    }
+
+    /// Snapshot of the smoothed per-peer RTTs (milliseconds).
+    pub(crate) fn peer_rtt_snapshot(&self) -> Vec<(String, f64)> {
+        self.peer_rtt
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
     }
 
     /// The full `/dcws/status` document: the engine's introspection
@@ -240,6 +303,15 @@ impl Shared {
             (
                 "service_time",
                 self.metrics.service_time.snapshot().to_json(),
+            ),
+            (
+                "peer_rtt_ms",
+                Json::Obj(
+                    self.peer_rtt_snapshot()
+                        .into_iter()
+                        .map(|(peer, ms)| (peer, Json::from(ms)))
+                        .collect(),
+                ),
             ),
             ("pull_flights", {
                 let fs = self.pulls.stats();
@@ -339,12 +411,24 @@ impl Shared {
                 ])
             }),
         ]);
-        let reactor = self.reactor.to_json(
+        let mut reactor = self.reactor.to_json(
             self.front_end == FrontEnd::Reactor,
             self.reactor_backend.get().copied().unwrap_or("none"),
             self.queue.len(),
             self.queue.capacity(),
         );
+        if let Json::Obj(pairs) = &mut reactor {
+            pairs.push((
+                "shards".to_string(),
+                Json::Arr(
+                    self.shard_stats
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| s.shard_json(i))
+                        .collect(),
+                ),
+            ));
+        }
         match engine_status {
             Json::Obj(mut pairs) => {
                 pairs.push(("transport".to_string(), transport));
@@ -380,10 +464,55 @@ impl Drop for QueueCloser {
 pub struct DcwsServer {
     shared: Arc<Shared>,
     shutdown: Arc<AtomicBool>,
-    /// Present under the reactor front end: how `stop()` wakes the
-    /// event loop and workers post completions.
-    bridge: Option<Arc<SpillBridge>>,
+    /// Per-shard bridges under the reactor front end (empty when
+    /// threaded): how `stop()` wakes each event loop and workers post
+    /// completions back to the owning shard.
+    bridges: Vec<Arc<SpillBridge>>,
     threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Bind the client-facing listener(s). A sharded reactor tries one
+/// `SO_REUSEPORT` listener per shard (Linux, concrete IPv4 address);
+/// anywhere that fails, shard 0 gets the lone `std` listener (`None` for
+/// its peers) and distributes accepted connections by round-robin.
+fn bind_front_end(
+    bind_addr: &str,
+    shards: usize,
+) -> std::io::Result<(Vec<Option<TcpListener>>, SocketAddr)> {
+    if shards > 1 {
+        if let Ok(want) = bind_addr.parse::<SocketAddr>() {
+            if let Ok(first) = bind_reuseport(want) {
+                // Re-bind the siblings to the *resolved* address, so an
+                // ephemeral port 0 request lands every shard on the same
+                // concrete port.
+                let addr = first.local_addr()?;
+                let mut listeners = vec![Some(first)];
+                let mut complete = true;
+                for _ in 1..shards {
+                    match bind_reuseport(addr) {
+                        Ok(l) => listeners.push(Some(l)),
+                        Err(_) => {
+                            complete = false;
+                            break;
+                        }
+                    }
+                }
+                if complete {
+                    return Ok((listeners, addr));
+                }
+                // Partial failure: drop what we bound and fall through
+                // to the hand-off layout on a fresh socket.
+            }
+        }
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let mut listeners = vec![Some(listener)];
+        listeners.extend((1..shards).map(|_| None));
+        return Ok((listeners, addr));
+    }
+    let listener = TcpListener::bind(bind_addr)?;
+    let addr = listener.local_addr()?;
+    Ok((vec![Some(listener)], addr))
 }
 
 impl DcwsServer {
@@ -405,49 +534,82 @@ impl DcwsServer {
         bind_addr: &str,
         net: NetConfig,
     ) -> std::io::Result<DcwsServer> {
-        let listener = TcpListener::bind(bind_addr)?;
-        let addr = listener.local_addr()?;
+        let n_shards = match net.front_end {
+            FrontEnd::Reactor => net.reactor_shards.max(1),
+            FrontEnd::Threaded => 1,
+        };
+        let (mut listeners, addr) = bind_front_end(bind_addr, n_shards)?;
         let n_workers = engine.config().n_workers;
         let control_interval = net.control_interval;
         let shared = Shared::build(engine, &net, addr);
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let mut threads = Vec::new();
-        let mut bridge_handle = None;
+        let mut bridge_handles = Vec::new();
 
         match net.front_end {
-            // Reactor front end: one thread multiplexes every client
-            // connection; the worker pool only sees spillover jobs.
+            // Reactor front end: N shard threads multiplex the client
+            // connections; the worker pool only sees spillover jobs.
             FrontEnd::Reactor => {
-                let (bridge, waker_rx) = spill_bridge()?;
-                let mut reactor = Reactor::new(
-                    shared.clone(),
-                    shutdown.clone(),
-                    listener,
-                    bridge.clone(),
-                    waker_rx,
-                    net.max_reactor_conns,
-                    net.reactor_keepalive_idle,
-                    net.reactor_force_poll,
-                )?;
-                let _ = shared.reactor_backend.set(reactor.backend_name());
-                bridge_handle = Some(bridge);
-                let closer = QueueCloser(shared.clone());
-                threads.push(
-                    std::thread::Builder::new()
-                        .name("dcws-reactor".into())
-                        .spawn(move || {
-                            // The guard closes the queue when the loop
-                            // exits (or panics), so workers always join.
-                            let _closer = closer;
-                            reactor.run();
-                        })
-                        .expect("spawn reactor"),
-                );
+                let reuseport = listeners.iter().all(|l| l.is_some());
+                let mut wakers = Vec::with_capacity(n_shards);
+                for _ in 0..n_shards {
+                    let (bridge, waker_rx) = spill_bridge()?;
+                    bridge_handles.push(bridge);
+                    wakers.push(waker_rx);
+                }
+                // One shared guard: the queue closes (releasing the
+                // workers) when the *last* shard's loop exits or panics.
+                let closer = Arc::new(QueueCloser(shared.clone()));
+                // Per-shard connection ceiling: an equal slice under
+                // SO_REUSEPORT; the hand-off distributor instead caps on
+                // the aggregate gauge, so the whole-server limit holds
+                // in both layouts.
+                let per_shard_cap = (net.max_reactor_conns / n_shards).max(1);
+                for (shard, waker_rx) in wakers.into_iter().enumerate() {
+                    let listener = listeners[shard].take();
+                    let distributes = !reuseport && shard == 0 && n_shards > 1;
+                    let mut reactor = Reactor::new(
+                        shared.clone(),
+                        shutdown.clone(),
+                        ShardConfig {
+                            shard,
+                            n_shards,
+                            max_conns: if distributes {
+                                net.max_reactor_conns.max(1)
+                            } else {
+                                per_shard_cap
+                            },
+                            keepalive_idle: net.reactor_keepalive_idle,
+                            force_poll_backend: net.reactor_force_poll,
+                            copy_writes: net.reactor_copy_writes,
+                        },
+                        listener,
+                        bridge_handles[shard].clone(),
+                        if distributes {
+                            bridge_handles.clone()
+                        } else {
+                            Vec::new()
+                        },
+                        waker_rx,
+                    )?;
+                    let _ = shared.reactor_backend.set(reactor.backend_name());
+                    let closer = closer.clone();
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("dcws-reactor-{shard}"))
+                            .spawn(move || {
+                                let _closer = closer;
+                                reactor.run();
+                            })
+                            .expect("spawn reactor"),
+                    );
+                }
             }
             // Threaded front end (§5.1 literal): accept + enqueue whole
             // connections, 503 on overflow (§5.2).
             FrontEnd::Threaded => {
+                let listener = listeners[0].take().expect("threaded front end listener");
                 let shared = shared.clone();
                 let shutdown = shutdown.clone();
                 threads.push(
@@ -493,7 +655,7 @@ impl DcwsServer {
         for i in 0..n_workers {
             let shared = shared.clone();
             let shutdown = shutdown.clone();
-            let bridge = bridge_handle.clone();
+            let bridges = bridge_handles.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("dcws-worker-{i}"))
@@ -518,8 +680,11 @@ impl DcwsServer {
                                 // the reactor is draining and needs the
                                 // in-flight responses to finish cleanly.
                                 WorkItem::Spill(job) => {
+                                    // Route the completion to the shard
+                                    // that owns the connection — tokens
+                                    // are per-shard.
                                     let bridge =
-                                        bridge.as_ref().expect("spill job without a bridge");
+                                        bridges.get(job.shard).expect("spill job without a bridge");
                                     serve_spill(&shared, bridge, job);
                                 }
                             }
@@ -551,7 +716,7 @@ impl DcwsServer {
         Ok(DcwsServer {
             shared,
             shutdown,
-            bridge: bridge_handle,
+            bridges: bridge_handles,
             threads,
         })
     }
@@ -622,16 +787,17 @@ impl DcwsServer {
 
     fn stop(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        match &self.bridge {
-            // Reactor: the waker pipe interrupts the event loop, which
-            // drains at request boundaries and closes the queue on exit
-            // (releasing the workers).
-            Some(bridge) => bridge.wake(),
+        if self.bridges.is_empty() {
             // Threaded: unblock the acceptor (its queue-closer guard
             // then releases the workers).
-            None => {
-                let _ = TcpStream::connect(self.shared.addr);
-                self.shared.queue.close();
+            let _ = TcpStream::connect(self.shared.addr);
+            self.shared.queue.close();
+        } else {
+            // Reactor: each shard's waker pipe interrupts its event
+            // loop, which drains at request boundaries; the queue closes
+            // when the last shard exits (releasing the workers).
+            for bridge in &self.bridges {
+                bridge.wake();
             }
         }
         // Workers may be blocked reading a kept-alive connection — a
@@ -825,7 +991,13 @@ fn run_tick_actions(shared: &Arc<Shared>, out: dcws_core::TickOutput, now: u64) 
     for (peer, req) in out.pings {
         // Single attempt, short timeout: a dead peer must fail fast and
         // feed the §4.5 failure counter, not be masked by retries.
+        let t0 = Instant::now();
         let result = shared.transport.call(&peer, &req, OpClass::Ping);
+        if result.is_ok() {
+            // A round-trip that came back is an RTT sample for the
+            // delay-aware co-op choice (ROADMAP item 1).
+            shared.note_peer_rtt(&peer, t0.elapsed());
+        }
         let mut eng = shared.engine.lock();
         match result {
             Ok(resp) => {

@@ -27,10 +27,20 @@ fn engine_with_doc(cfg: ServerConfig) -> ServerEngine {
 }
 
 fn spawn_reactor(cfg: ServerConfig, tune: impl FnOnce(&mut NetConfig)) -> DcwsServer {
+    spawn_reactor_with(cfg, tune, |_| {})
+}
+
+fn spawn_reactor_with(
+    cfg: ServerConfig,
+    tune: impl FnOnce(&mut NetConfig),
+    prep: impl FnOnce(&mut ServerEngine),
+) -> DcwsServer {
     let mut net = NetConfig::new(Duration::from_millis(50));
     net.front_end = FrontEnd::Reactor;
     tune(&mut net);
-    DcwsServer::spawn_with(engine_with_doc(cfg), "127.0.0.1:0", net).unwrap()
+    let mut engine = engine_with_doc(cfg);
+    prep(&mut engine);
+    DcwsServer::spawn_with(engine, "127.0.0.1:0", net).unwrap()
 }
 
 /// Wait until `pred` holds or the timeout elapses.
@@ -102,8 +112,11 @@ fn slow_loris_head_resumed_across_wakeups() {
 #[test]
 fn pipelined_requests_in_one_batch() {
     for force_poll in [false, true] {
+        // Single-loop premise: in-order inline/spill interleaving on one
+        // connection is reasoned about against one event loop.
         let server = spawn_reactor(ServerConfig::paper_defaults(), |net| {
             net.reactor_force_poll = force_poll;
+            net.reactor_shards = 1;
         });
         let addr = server.addr();
 
@@ -181,7 +194,9 @@ fn spillover_queue_full_yields_503_retry_after() {
     let mut cfg = ServerConfig::paper_defaults();
     cfg.n_workers = 1;
     cfg.socket_queue_len = 1;
-    let server = spawn_reactor(cfg, |_| {});
+    // Single-loop premise: the wedge/fill/overflow sequencing assumes
+    // all three connections share one reactor's view of the queue.
+    let server = spawn_reactor(cfg, |net| net.reactor_shards = 1);
     let addr = server.addr();
 
     // Wedge the single worker: hold the engine lock, then send an
@@ -257,7 +272,9 @@ fn spillover_queue_full_yields_503_retry_after() {
 /// thread never takes the engine lock).
 #[test]
 fn status_exposes_reactor_section() {
-    let server = spawn_reactor(ServerConfig::paper_defaults(), |_| {});
+    // Single-loop premise: inline_served/spillover counts are reasoned
+    // about for one loop serving all three connections.
+    let server = spawn_reactor(ServerConfig::paper_defaults(), |net| net.reactor_shards = 1);
     let addr = server.addr();
 
     // Prime the read path, then serve a hit inline.
@@ -294,4 +311,134 @@ fn status_exposes_reactor_section() {
         "/dcws/status and the cold first GET must spill to the workers"
     );
     server.shutdown();
+}
+
+/// A warm GET whose body exceeds what the kernel will buffer in one
+/// send (`tcp_wmem` caps sndbuf well below it): the response leaves in
+/// several `writev`s, each resumed mid-segment after `WouldBlock` — and
+/// the body never gets memcpy'd into the connection (the `Arc` is
+/// shared with the cache until the last byte leaves).
+#[test]
+fn writev_partial_write_resumption_is_zero_copy() {
+    const BODY: usize = 8 << 20;
+    let mut cfg = ServerConfig::paper_defaults();
+    // Keep the body on the buffered zero-copy path, not streaming.
+    cfg.stream_threshold_bytes = 64 * 1024 * 1024;
+    let server = spawn_reactor_with(
+        cfg,
+        |net| net.reactor_shards = 1,
+        |e| {
+            e.publish("/big.bin", vec![0xA5u8; BODY], DocKind::Image, false);
+        },
+    );
+    let addr = server.addr();
+
+    // First serve is cold (spills to prime the serve table)…
+    let mut prime = TcpStream::connect(addr).unwrap();
+    prime
+        .write_all(b"GET /big.bin HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    assert!(read_all(&mut prime).starts_with("HTTP/1.1 200"));
+
+    // …then the warm serve goes out through the vectored path.
+    let before_writev = server.reactor_stats().writev_calls.load(Ordering::Relaxed);
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"GET /big.bin HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut resp = Vec::new();
+    s.read_to_end(&mut resp).unwrap();
+    let head_end = resp
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("complete head")
+        + 4;
+    assert!(resp.starts_with(b"HTTP/1.1 200"));
+    assert_eq!(resp.len() - head_end, BODY, "body truncated or padded");
+    assert!(
+        resp[head_end..].iter().all(|&b| b == 0xA5),
+        "body corrupted across partial-write resumption"
+    );
+
+    let stats = server.reactor_stats();
+    assert!(
+        stats.writev_calls.load(Ordering::Relaxed) - before_writev >= 2,
+        "an 8 MiB body exceeds sndbuf and must take several writevs"
+    );
+    assert!(
+        stats.bodies_zero_copy.load(Ordering::Relaxed) >= 1,
+        "warm serve must take the shared-segment path"
+    );
+    assert_eq!(
+        stats.body_copies.load(Ordering::Relaxed),
+        0,
+        "no serve may memcpy its body with copy_writes off"
+    );
+    server.shutdown();
+}
+
+/// With four reactor shards, connections land on every shard (kernel
+/// `SO_REUSEPORT` balancing on Linux, round-robin hand-off elsewhere),
+/// `/dcws/status` breaks the counters down per shard, and a graceful
+/// shutdown drains all shards at the request boundary within the
+/// deadline — every held connection observes EOF.
+#[test]
+fn multi_shard_spread_breakdown_and_drain() {
+    use dcws_core::Json;
+    const CONNS: usize = 160;
+    let server = spawn_reactor(ServerConfig::paper_defaults(), |net| net.reactor_shards = 4);
+    let addr = server.addr();
+
+    let mut held = Vec::with_capacity(CONNS);
+    for _ in 0..CONNS {
+        held.push(TcpStream::connect(addr).unwrap());
+    }
+    assert!(
+        wait_for(Duration::from_secs(10), || {
+            server.reactor_stats().registered.load(Ordering::Relaxed) >= CONNS as u64
+        }),
+        "only {} of {CONNS} conns registered across 4 shards",
+        server.reactor_stats().registered.load(Ordering::Relaxed)
+    );
+
+    // Per-shard breakdown in /dcws/status: 4 entries, every shard has
+    // accepted at least one connection (160 conns make an empty shard
+    // astronomically unlikely under kernel hashing, impossible under
+    // round-robin hand-off).
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"GET /dcws/status HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let status = read_all(&mut s);
+    let body = &status[status.find("\r\n\r\n").expect("head end") + 4..];
+    let doc = Json::parse(body).expect("valid status JSON");
+    let shards = doc
+        .get("reactor")
+        .and_then(|r| r.get("shards"))
+        .and_then(|s| s.as_arr())
+        .expect("reactor.shards array");
+    assert_eq!(shards.len(), 4, "one breakdown entry per shard");
+    let mut total_accepted = 0u64;
+    for (i, entry) in shards.iter().enumerate() {
+        let accepted = entry
+            .get("accepted")
+            .and_then(|v| v.as_u64())
+            .expect("shard accepted counter");
+        assert!(accepted >= 1, "shard {i} accepted no connections");
+        total_accepted += accepted;
+    }
+    assert!(total_accepted >= CONNS as u64);
+
+    // Boundary drain across all four shards, inside the force deadline.
+    let start = Instant::now();
+    server.shutdown();
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "4-shard drain took {elapsed:?}"
+    );
+    for mut c in held {
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = [0u8; 32];
+        assert_eq!(c.read(&mut buf).unwrap_or(0), 0, "conn survived the drain");
+    }
 }

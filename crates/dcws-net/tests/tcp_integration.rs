@@ -465,6 +465,22 @@ fn status_endpoint_reports_engine_and_transport_state() {
     assert!(wait_for(Duration::from_secs(3), || {
         home.transport().snapshot().attempts >= 1
     }));
+    // Each successful ping round-trip feeds the per-peer RTT EWMA; once
+    // one has fired, the co-op shows up under transport.peer_rtt_ms with
+    // a sane millisecond figure (loopback: well under a second).
+    let rtt_visible = wait_for(Duration::from_secs(3), || {
+        let resp = fetch_from(&home_id, &Request::get(dcws_http::STATUS_PATH)).unwrap();
+        let doc = Json::parse(&String::from_utf8_lossy(&resp.body)).expect("valid JSON");
+        doc.get("transport")
+            .and_then(|t| t.get("peer_rtt_ms"))
+            .and_then(|m| m.get(coop_name.as_str()))
+            .and_then(|v| v.as_f64())
+            .is_some_and(|ms| (0.0..1000.0).contains(&ms))
+    });
+    assert!(
+        rtt_visible,
+        "transport.peer_rtt_ms missing the co-op's EWMA"
+    );
     let faults = transport.get("faults").expect("faults section");
     assert!(matches!(faults.get("enabled"), Some(Json::Bool(false))));
     assert_eq!(faults.get("injected").unwrap().as_u64(), Some(0));

@@ -53,7 +53,11 @@ step env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 # nonzero unless every arm clears 10^5 sessions inside the wall-clock
 # bound and the shared-bandwidth re-run reproduces its digest exactly,
 # so an event-core scale or determinism regression fails the gate
-# (docs/SIMULATION.md).
+# (docs/SIMULATION.md); corepress --quick sweeps reactor shards ×
+# {vectored, copy} write paths and exits nonzero unless every vectored
+# arm served with zero per-serve body copies (counter assertion) and —
+# on hosts with >= 4 cores — the 4-shard arm beats 1.5× the 1-shard
+# CPS, so a broken zero-copy path or an inert shard toggle fails here.
 if [[ $quick -eq 0 ]]; then
     step env DCWS_BENCH_QUICK=1 cargo run --release -q -p dcws-bench --bin fig6 -- --status-dump
     step env DCWS_BENCH_QUICK=1 cargo run --release -q -p dcws-bench --bin cachepress -- --status-dump
@@ -62,6 +66,7 @@ if [[ $quick -eq 0 ]]; then
     step cargo run --release -q -p dcws-bench --bin c10kpress -- --quick
     step cargo run --release -q -p dcws-bench --bin bigpress -- --quick
     step cargo run --release -q -p dcws-bench --bin scalepress -- --quick
+    step cargo run --release -q -p dcws-bench --bin corepress -- --quick
     test -s bench_results/fig6.csv
     test -s bench_results/cachepress.csv
     test -s bench_results/lockpress.csv
@@ -74,6 +79,8 @@ if [[ $quick -eq 0 ]]; then
     test -s bench_results/BENCH_bigpress.json
     test -s bench_results/scalepress.csv
     test -s bench_results/BENCH_scalepress.json
+    test -s bench_results/corepress.csv
+    test -s bench_results/BENCH_corepress.json
 fi
 
 echo
